@@ -1,0 +1,774 @@
+// Package repro's root bench suite regenerates every experiment in
+// EXPERIMENTS.md (E1–E12), one Benchmark family per experiment. Each
+// experiment corresponds to a qualitative claim of the tutorial
+// "Operational Analytics Data Management Systems" (VLDB 2016); see
+// DESIGN.md for the claim-to-benchmark mapping.
+//
+// Run all:    go test -bench=. -benchmem
+// Run one:    go test -bench=E4 -benchmem
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/numa"
+	"repro/internal/scan"
+	"repro/internal/storage/colstore"
+	"repro/internal/storage/delta"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// ---------------------------------------------------------------------
+// Shared fixtures
+// ---------------------------------------------------------------------
+
+const e1Rows = 200_000
+
+func wideSchema(cols int) *types.Schema {
+	cs := make([]types.Column, cols)
+	cs[0] = types.Column{Name: "id", Type: types.Int64}
+	for i := 1; i < cols; i++ {
+		cs[i] = types.Column{Name: fmt.Sprintf("c%d", i), Type: types.Int64}
+	}
+	s, _ := types.NewSchema(cs, "id")
+	return s
+}
+
+func wideRow(schema *types.Schema, id int64) types.Row {
+	r := make(types.Row, schema.NumCols())
+	r[0] = types.NewInt(id)
+	for i := 1; i < schema.NumCols(); i++ {
+		r[i] = types.NewInt(id * int64(i) % 1000)
+	}
+	return r
+}
+
+// buildDualTable loads n wide rows and returns engines in two states:
+// all-delta (row store only) and all-merged (column store).
+func buildDualTable(b *testing.B, n, cols int, merged bool) *core.Engine {
+	b.Helper()
+	e, err := core.NewEngine(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := wideSchema(cols)
+	if _, err := e.CreateTable("t", schema); err != nil {
+		b.Fatal(err)
+	}
+	tx := e.Begin()
+	for i := 0; i < n; i++ {
+		if err := tx.Insert("t", wideRow(schema, int64(i))); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%10000 == 0 {
+			tx.Commit()
+			tx = e.Begin()
+		}
+	}
+	tx.Commit()
+	if merged {
+		if _, err := e.Merge("t"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+// scanSumQty sums column 1 over the full table.
+func scanSum(b *testing.B, e *core.Engine, proj []int) int64 {
+	tx := e.Begin()
+	defer tx.Abort()
+	var sum int64
+	_, err := tx.Scan("t", proj, nil, func(batch *types.Batch) bool {
+		for _, v := range batch.Cols[0].Ints {
+			sum += v
+		}
+		return true
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sum
+}
+
+// ---------------------------------------------------------------------
+// E1 — Columnar layout beats row layout for analytic scans; row store
+// wins point access. (Tutorial §1/§4: transposed files [4], DSM [7].)
+// ---------------------------------------------------------------------
+
+func BenchmarkE1_AnalyticScan_RowStore(b *testing.B) {
+	e := buildDualTable(b, e1Rows, 16, false)
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanSum(b, e, []int{1})
+	}
+	b.ReportMetric(float64(e1Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+func BenchmarkE1_AnalyticScan_ColumnStore(b *testing.B) {
+	e := buildDualTable(b, e1Rows, 16, true)
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scanSum(b, e, []int{1})
+	}
+	b.ReportMetric(float64(e1Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+}
+
+func BenchmarkE1_PointLookup_RowStore(b *testing.B) {
+	e := buildDualTable(b, e1Rows, 16, false)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin()
+		key := types.Row{types.NewInt(int64(rng.Intn(e1Rows)))}
+		if _, ok, _ := tx.Get("t", key); !ok {
+			b.Fatal("miss")
+		}
+		tx.Abort()
+	}
+}
+
+func BenchmarkE1_PointLookup_ColumnStore(b *testing.B) {
+	e := buildDualTable(b, e1Rows, 16, true)
+	defer e.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := e.Begin()
+		key := types.Row{types.NewInt(int64(rng.Intn(e1Rows)))}
+		if _, ok, _ := tx.Get("t", key); !ok {
+			b.Fatal("miss")
+		}
+		tx.Abort()
+	}
+}
+
+// ---------------------------------------------------------------------
+// E2 — Compression trade-offs: dictionary, RLE, bit-packing, FOR.
+// (Tutorial §3: [15, 42].)
+// ---------------------------------------------------------------------
+
+func e2Data(card int, sorted bool) []uint64 {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]uint64, 1_000_000)
+	for i := range vals {
+		if sorted {
+			vals[i] = uint64(i * card / len(vals))
+		} else {
+			vals[i] = uint64(rng.Intn(card))
+		}
+	}
+	return vals
+}
+
+func benchScanEncoded(b *testing.B, vals []uint64, enc string) {
+	switch enc {
+	case "bitpack":
+		p := compress.Pack(vals, compress.BitWidthFor(uint64(len(vals))))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.ScanRange(10, 20, nil)
+		}
+		b.ReportMetric(float64(p.SizeBytes())/float64(len(vals)), "bytes/val")
+	case "rle":
+		r := compress.RLEEncode(vals)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.ScanRange(10, 20, nil)
+		}
+		b.ReportMetric(float64(r.SizeBytes())/float64(len(vals)), "bytes/val")
+	case "raw":
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sel := []int(nil)
+			for j, v := range vals {
+				if v >= 10 && v < 20 {
+					sel = append(sel, j)
+				}
+			}
+			_ = sel
+		}
+		b.ReportMetric(8, "bytes/val")
+	}
+}
+
+func BenchmarkE2_Scan(b *testing.B) {
+	for _, card := range []int{10, 1000, 100000} {
+		for _, sorted := range []bool{true, false} {
+			order := "shuffled"
+			if sorted {
+				order = "sorted"
+			}
+			vals := e2Data(card, sorted)
+			for _, enc := range []string{"raw", "bitpack", "rle"} {
+				b.Run(fmt.Sprintf("card=%d/%s/%s", card, order, enc), func(b *testing.B) {
+					benchScanEncoded(b, vals, enc)
+				})
+			}
+		}
+	}
+}
+
+func BenchmarkE2_DictionaryEncode(b *testing.B) {
+	words := make([]string, 100_000)
+	for i := range words {
+		words[i] = fmt.Sprintf("value-%04d", i%500)
+	}
+	dict := compress.BuildDictionary(words)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := dict.Encode(words); !ok {
+			b.Fatal("encode failed")
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E3 — Delta + merge sustains ingest on a compressed column store.
+// (Tutorial §4: differential files / LSM [29,16]; HANA delta merge.)
+// ---------------------------------------------------------------------
+
+func BenchmarkE3_Ingest(b *testing.B) {
+	for _, mergeEvery := range []int{0, 50_000, 10_000} {
+		name := "delta-only"
+		if mergeEvery > 0 {
+			name = fmt.Sprintf("merge-every-%d", mergeEvery)
+		}
+		b.Run(name, func(b *testing.B) {
+			e, _ := core.NewEngine(core.Options{})
+			defer e.Close()
+			schema := wideSchema(8)
+			e.CreateTable("t", schema)
+			b.ResetTimer()
+			tx := e.Begin()
+			for i := 0; i < b.N; i++ {
+				if err := tx.Insert("t", wideRow(schema, int64(i))); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%1000 == 0 {
+					tx.Commit()
+					tx = e.Begin()
+				}
+				if mergeEvery > 0 && (i+1)%mergeEvery == 0 {
+					tx.Commit()
+					e.Merge("t")
+					tx = e.Begin()
+				}
+			}
+			tx.Commit()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+// BenchmarkE3_ScanFreshness: analytic scan latency as a function of how
+// much data sits unmerged in the delta (the merge-threshold trade-off).
+func BenchmarkE3_ScanVsDeltaShare(b *testing.B) {
+	const total = 200_000
+	for _, deltaPct := range []int{0, 10, 50, 100} {
+		b.Run(fmt.Sprintf("delta=%d%%", deltaPct), func(b *testing.B) {
+			e, _ := core.NewEngine(core.Options{})
+			defer e.Close()
+			schema := wideSchema(8)
+			e.CreateTable("t", schema)
+			split := total * (100 - deltaPct) / 100
+			tx := e.Begin()
+			for i := 0; i < total; i++ {
+				tx.Insert("t", wideRow(schema, int64(i)))
+				if (i+1)%10000 == 0 {
+					tx.Commit()
+					tx = e.Begin()
+				}
+				if i+1 == split {
+					tx.Commit()
+					e.Merge("t")
+					tx = e.Begin()
+				}
+			}
+			tx.Commit()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				scanSum(b, e, []int{1})
+			}
+			b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E4 — The headline: one dual-format engine sustains OLTP while serving
+// OLAP (CH-benCHmark). Series: OLTP throughput vs analytic threads,
+// for MVCC vs 2PL. (Tutorial §3 HANA/DBIM, §4 HyPer [19], CH [6].)
+// ---------------------------------------------------------------------
+
+func runE4(b *testing.B, mode core.ConcurrencyMode, analyticThreads int) {
+	e, err := core.NewEngine(core.Options{Mode: mode, LockTimeout: 20 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if err := bench.CreateTables(e); err != nil {
+		b.Fatal(err)
+	}
+	sc := bench.DefaultScale()
+	if err := bench.Load(e, sc, 1); err != nil {
+		b.Fatal(err)
+	}
+	for _, tbl := range []string{bench.TOrderLine, bench.TOrders, bench.TCustomer, bench.TStock} {
+		e.Merge(tbl)
+	}
+	var hist atomic.Int64
+	hist.Store(1 << 20)
+	stop := make(chan struct{})
+	var olapQueries atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < analyticThreads; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			qs := bench.Queries()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := bench.RunQuery(e, qs[i%len(qs)]); err == nil {
+					olapQueries.Add(1)
+				}
+				i++
+			}
+		}(g)
+	}
+	w := &bench.Worker{E: e, Scale: sc, Rng: rand.New(rand.NewSource(99)), NextHist: &hist}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.RunOne(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(w.Committed)/b.Elapsed().Seconds(), "txn/s")
+	b.ReportMetric(float64(olapQueries.Load())/b.Elapsed().Seconds(), "olap-q/s")
+	if w.Committed+w.Aborted > 0 {
+		b.ReportMetric(100*float64(w.Aborted)/float64(w.Committed+w.Aborted), "abort%")
+	}
+}
+
+func BenchmarkE4_MixedWorkload(b *testing.B) {
+	for _, mode := range []core.ConcurrencyMode{core.ModeMVCC, core.Mode2PL} {
+		for _, olap := range []int{0, 1, 4} {
+			b.Run(fmt.Sprintf("%s/olap=%d", mode, olap), func(b *testing.B) {
+				runE4(b, mode, olap)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// E5 — MVCC readers never block under a live update stream; 2PL readers
+// do. (Tutorial §3 BLU multiversioning.)
+// ---------------------------------------------------------------------
+
+func runE5(b *testing.B, mode core.ConcurrencyMode) {
+	e, _ := core.NewEngine(core.Options{Mode: mode, LockTimeout: 2 * time.Millisecond})
+	defer e.Close()
+	schema := wideSchema(4)
+	e.CreateTable("t", schema)
+	const rows = 1000
+	tx := e.Begin()
+	for i := 0; i < rows; i++ {
+		tx.Insert("t", wideRow(schema, int64(i)))
+	}
+	tx.Commit()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writes atomic.Int64
+	wg.Add(1)
+	go func() { // update stream: short transactions, continuously
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(5))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := int64(rng.Intn(rows))
+			wtx := e.Begin()
+			if err := wtx.Update("t", types.Row{types.NewInt(id)}, wideRow(schema, id)); err != nil {
+				wtx.Abort()
+				continue
+			}
+			if _, err := wtx.Commit(); err == nil {
+				writes.Add(1)
+			}
+		}
+	}()
+	// Analytic readers: full-table scans, the access pattern the
+	// tutorial's multiversioned systems keep non-blocking.
+	blocked := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rtx := e.Begin()
+		n := 0
+		_, err := rtx.Scan("t", []int{1}, nil, func(batch *types.Batch) bool {
+			n += batch.Len()
+			return true
+		})
+		if err != nil {
+			blocked++
+		}
+		rtx.Abort()
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(100*float64(blocked)/float64(b.N), "blocked%")
+	b.ReportMetric(float64(b.N-blocked)/b.Elapsed().Seconds(), "scans/s")
+	// The freshness half of the trade-off: how fast could the update
+	// stream make progress while analytics ran?
+	b.ReportMetric(float64(writes.Load())/b.Elapsed().Seconds(), "writes/s")
+}
+
+func BenchmarkE5_ReadersUnderWrites(b *testing.B) {
+	b.Run("MVCC", func(b *testing.B) { runE5(b, core.ModeMVCC) })
+	b.Run("2PL", func(b *testing.B) { runE5(b, core.Mode2PL) })
+}
+
+// ---------------------------------------------------------------------
+// E6 — Shared (clock) scans amortize bandwidth across concurrent
+// queries. (Tutorial §4: QPipe [12], Crescando clock scan [39].)
+// ---------------------------------------------------------------------
+
+func e6Chunks() scan.SliceSource {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	var out []*types.Batch
+	for c := 0; c < 64; c++ {
+		batch := types.NewBatch(s, 4096)
+		for r := 0; r < 4096; r++ {
+			batch.AppendRow(types.Row{types.NewInt(int64(c*4096 + r))})
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
+func consume(batch *types.Batch, acc *int64) {
+	var local int64
+	for _, v := range batch.Cols[0].Ints {
+		local += v
+	}
+	atomic.AddInt64(acc, local)
+}
+
+func BenchmarkE6_Scans(b *testing.B) {
+	src := e6Chunks()
+	for _, q := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shared/queries=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cs := scan.NewClockScan(src)
+				var acc int64
+				var wg sync.WaitGroup
+				for k := 0; k < q; k++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						cs.Attach(func(batch *types.Batch) { consume(batch, &acc) }).Wait()
+					}()
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(q)/b.Elapsed().Seconds()*float64(b.N), "queries/s")
+		})
+		b.Run(fmt.Sprintf("independent/queries=%d", q), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var acc int64
+				var wg sync.WaitGroup
+				for k := 0; k < q; k++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for c := 0; c < src.NumChunks(); c++ {
+							consume(src.Chunk(c), &acc)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			b.ReportMetric(float64(q)/b.Elapsed().Seconds()*float64(b.N), "queries/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E7 — NUMA-aware placement beats NUMA-oblivious placement on the
+// simulated topology. (Tutorial §1: [23,31].)
+// ---------------------------------------------------------------------
+
+func BenchmarkE7_NUMAPlacement(b *testing.B) {
+	const nodes, nparts, accessesPerPart = 4, 16, 1 << 16
+	topo := numa.NewTopology(nodes, 2.0)
+	for _, policy := range []numa.Placement{numa.PlaceLocal, numa.PlaceInterleave, numa.PlaceRemoteWorst} {
+		b.Run(policy.String(), func(b *testing.B) {
+			var completion float64
+			for i := 0; i < b.N; i++ {
+				var m numa.Meter
+				var wg sync.WaitGroup
+				for part := 0; part < nparts; part++ {
+					wg.Add(1)
+					go func(part int) {
+						defer wg.Done()
+						w := numa.WorkerNode(part, nparts, nodes)
+						home := numa.Place(policy, part, nparts, nodes)
+						m.Charge(topo, w, numa.Region{Home: home, Len: accessesPerPart}, accessesPerPart)
+					}(part)
+				}
+				wg.Wait()
+				completion = m.CompletionTime(nodes)
+			}
+			b.ReportMetric(completion, "completion-cost")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E8 — Scale-out: ingest and scan throughput vs cluster size with
+// Raft-replicated tablets. (Tutorial §3: Kudu [24], DBIM distributed
+// [27].) Run separately: benches with real consensus take seconds.
+// ---------------------------------------------------------------------
+
+func BenchmarkE8_ClusterIngest(b *testing.B) {
+	// Import cycle avoidance: cluster imported lazily here.
+	for _, nodes := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
+			benchClusterIngest(b, nodes)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E9 — H-Store-style pre-partitioned serial execution: wins when
+// transactions are partition-local, collapses with cross-partition
+// transactions. (Tutorial §4: [38].)
+// ---------------------------------------------------------------------
+
+func BenchmarkE9_HStore(b *testing.B) {
+	const parts = 8
+	for _, crossPct := range []int{0, 5, 20, 50} {
+		b.Run(fmt.Sprintf("hstore/cross=%d%%", crossPct), func(b *testing.B) {
+			ex := txn.NewPartitionedExecutor(parts)
+			defer ex.Close()
+			counters := make([]int64, parts)
+			rng := rand.New(rand.NewSource(9))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				lrng := rand.New(rand.NewSource(rng.Int63()))
+				for pb.Next() {
+					p1 := lrng.Intn(parts)
+					if lrng.Intn(100) < crossPct {
+						p2 := (p1 + 1 + lrng.Intn(parts-1)) % parts
+						ex.Run([]int{p1, p2}, func() {
+							counters[p1]++
+							counters[p2]++
+						})
+					} else {
+						ex.Run([]int{p1}, func() { counters[p1]++ })
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+		})
+	}
+	// MVCC baseline: same counter workload through the MVCC engine.
+	b.Run("mvcc-baseline", func(b *testing.B) {
+		e, _ := core.NewEngine(core.Options{})
+		defer e.Close()
+		schema := wideSchema(2)
+		e.CreateTable("t", schema)
+		tx := e.Begin()
+		for i := 0; i < parts; i++ {
+			tx.Insert("t", wideRow(schema, int64(i)))
+		}
+		tx.Commit()
+		rng := rand.New(rand.NewSource(10))
+		var mu sync.Mutex
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			mu.Lock()
+			lrng := rand.New(rand.NewSource(rng.Int63()))
+			mu.Unlock()
+			for pb.Next() {
+				id := int64(lrng.Intn(parts))
+				wtx := e.Begin()
+				if err := wtx.Update("t", types.Row{types.NewInt(id)}, wideRow(schema, id)); err != nil {
+					wtx.Abort()
+					continue
+				}
+				wtx.Commit()
+			}
+		})
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "txn/s")
+	})
+}
+
+// ---------------------------------------------------------------------
+// E10 — Vectorized beats tuple-at-a-time execution; specialized kernels
+// beat interpretation. (Tutorial §3/§4: [28,41,42].)
+// ---------------------------------------------------------------------
+
+func e10Rows() []types.Row {
+	rows := make([]types.Row, 500_000)
+	s := wideSchema(2)
+	for i := range rows {
+		rows[i] = wideRow(s, int64(i))
+	}
+	return rows
+}
+
+func BenchmarkE10_Execution(b *testing.B) {
+	rows := e10Rows()
+	schema := wideSchema(2)
+	pred := &exec.BinOp{Kind: exec.OpLt, L: &exec.ColRef{Idx: 0}, R: &exec.Const{Val: types.NewInt(250_000)}}
+	for _, batchSize := range []int{1, 64, 1024, 8192} {
+		name := fmt.Sprintf("interpreted/batch=%d", batchSize)
+		if batchSize == 1 {
+			name = "interpreted/batch=1(volcano)"
+		}
+		b.Run(name, func(b *testing.B) {
+			src := exec.NewSourceFromRows(schema, rows, batchSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src.Reset()
+				f := exec.NewFilter(src, pred)
+				if _, _, err := exec.SumInt64(f, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+	b.Run("kernel/batch=8192", func(b *testing.B) {
+		src := exec.NewSourceFromRows(schema, rows, 8192)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src.Reset()
+			f := exec.NewVectorFilterInt(src, 0, exec.OpLt, 250_000)
+			if _, _, err := exec.SumInt64(f, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rows))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+	})
+}
+
+// ---------------------------------------------------------------------
+// E11 — Zone maps (storage indexes) prune scans on clustered data and
+// cannot on shuffled data. (Tutorial §3: Oracle DBIM.)
+// ---------------------------------------------------------------------
+
+func e11Segment(clustered bool) *colstore.Segment {
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64}, {Name: "v", Type: types.Int64},
+	}, "id")
+	const n = 512 * colstore.ZoneSize
+	perm := make([]int64, n)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	if !clustered {
+		rng := rand.New(rand.NewSource(11))
+		rng.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	}
+	bld := colstore.NewBuilder(schema, 1)
+	for i := 0; i < n; i++ {
+		bld.Add(types.Row{types.NewInt(int64(i)), types.NewInt(perm[i])})
+	}
+	return bld.Build()
+}
+
+func BenchmarkE11_ZoneMapPruning(b *testing.B) {
+	for _, clustered := range []bool{true, false} {
+		name := "clustered"
+		if !clustered {
+			name = "shuffled"
+		}
+		seg := e11Segment(clustered)
+		b.Run(name, func(b *testing.B) {
+			preds := []colstore.Predicate{
+				{Col: 1, Op: colstore.OpGe, Val: types.NewInt(1000)},
+				{Col: 1, Op: colstore.OpLt, Val: types.NewInt(2000)},
+			}
+			var stats colstore.ScanStats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats = seg.Scan(100, 0, []int{0}, preds, func(batch *types.Batch) bool { return true })
+			}
+			b.ReportMetric(100*float64(stats.ZonesPruned)/float64(stats.ZonesTotal), "pruned%")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// E12 — COW snapshots: creation is O(1); total cost scales with pages
+// dirtied afterwards, not database size. (Tutorial §4: HyPer [19].)
+// ---------------------------------------------------------------------
+
+func BenchmarkE12_SnapshotCreate(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("dbsize=%d", n), func(b *testing.B) {
+			ps := delta.NewPageStore()
+			for i := 0; i < n; i++ {
+				ps.Append(types.Row{types.NewInt(int64(i))})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ps.Snapshot()
+			}
+		})
+	}
+}
+
+func BenchmarkE12_WritesUnderSnapshot(b *testing.B) {
+	const n = 256 * delta.PageSize
+	for _, dirtyPct := range []int{1, 10, 50, 100} {
+		b.Run(fmt.Sprintf("dirty=%d%%", dirtyPct), func(b *testing.B) {
+			var copies uint64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ps := delta.NewPageStore()
+				for j := 0; j < n; j++ {
+					ps.Append(types.Row{types.NewInt(int64(j))})
+				}
+				before := ps.Copies()
+				snap := ps.Snapshot()
+				writes := n * dirtyPct / 100
+				b.StartTimer()
+				for wi := 0; wi < writes; wi++ {
+					ps.Update(wi, types.Row{types.NewInt(int64(-wi))})
+				}
+				b.StopTimer()
+				copies = ps.Copies() - before
+				_ = snap
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(copies), "pages-copied")
+		})
+	}
+}

@@ -1,0 +1,81 @@
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+// benchClusterIngest is the E8 body: concurrent client inserts against a
+// cluster of the given size (replication 3, tablets = 2x nodes), then a
+// scatter-gather scan.
+func benchClusterIngest(b *testing.B, nodes int) {
+	c, err := cluster.New(cluster.Config{
+		Nodes:       nodes,
+		Partitions:  2 * nodes,
+		Replication: 3,
+		Timeout:     20 * time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.String},
+	}, "id")
+	if _, err := c.CreateTable("kv", schema); err != nil {
+		b.Fatal(err)
+	}
+	clients := 4 * nodes
+	b.ResetTimer()
+	var next int64
+	var mu sync.Mutex
+	alloc := func(n int) int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		v := next
+		next += int64(n)
+		return v
+	}
+	var wg sync.WaitGroup
+	perClient := (b.N + clients - 1) / clients
+	errs := make(chan error, clients)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := alloc(perClient)
+			for i := 0; i < perClient; i++ {
+				row := types.Row{types.NewInt(base + int64(i)), types.NewString("v")}
+				if err := c.Insert("kv", row); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	select {
+	case err := <-errs:
+		b.Fatal(err)
+	default:
+	}
+	b.ReportMetric(float64(clients*perClient)/b.Elapsed().Seconds(), "inserts/s")
+	// Scatter-gather scan throughput.
+	start := time.Now()
+	n, err := c.Count("kv")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if n < clients*perClient {
+		b.Fatalf("scan saw %d rows, want >= %d", n, clients*perClient)
+	}
+	b.ReportMetric(float64(n)/time.Since(start).Seconds()/1e6, "scan-Mrows/s")
+	_ = fmt.Sprint()
+}

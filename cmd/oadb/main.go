@@ -1,0 +1,153 @@
+// Command oadb is an interactive SQL shell over the oadms engine.
+//
+// Usage:
+//
+//	oadb [-wal path] [-mode mvcc|2pl] [-demo]
+//
+// With -demo it pre-loads the CH-benCHmark dataset so you can query
+// immediately. Meta commands: \tables, \stats <table>, \merge <table>,
+// \quit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sql"
+)
+
+func main() {
+	walPath := flag.String("wal", "", "enable write-ahead logging to this file")
+	mode := flag.String("mode", "mvcc", "concurrency mode: mvcc or 2pl")
+	demo := flag.Bool("demo", false, "pre-load the CH-benCHmark demo dataset")
+	flag.Parse()
+
+	opts := core.Options{WALPath: *walPath}
+	if strings.EqualFold(*mode, "2pl") {
+		opts.Mode = core.Mode2PL
+	}
+	engine, err := core.NewEngine(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oadb:", err)
+		os.Exit(1)
+	}
+	defer engine.Close()
+
+	if *demo {
+		fmt.Print("loading CH-benCHmark demo data... ")
+		start := time.Now()
+		if err := bench.CreateTables(engine); err != nil {
+			fmt.Fprintln(os.Stderr, "oadb:", err)
+			os.Exit(1)
+		}
+		if err := bench.Load(engine, bench.DefaultScale(), 1); err != nil {
+			fmt.Fprintln(os.Stderr, "oadb:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("done (%v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	session := sql.NewSession(engine)
+	fmt.Println("oadb — operational analytics DBMS. \\quit to exit, \\tables to list tables.")
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("oadb> ")
+		if !in.Scan() {
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			if runMeta(engine, line) {
+				return
+			}
+			continue
+		}
+		start := time.Now()
+		res, err := session.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res, time.Since(start))
+	}
+}
+
+// runMeta handles \-commands; returns true to quit.
+func runMeta(engine *core.Engine, line string) bool {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return true
+	case "\\tables":
+		for _, name := range engine.Tables() {
+			fmt.Println(" ", name)
+		}
+	case "\\stats":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\stats <table>")
+			return false
+		}
+		tbl, err := engine.Table(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("  delta rows:    %d\n", tbl.DeltaRows())
+		fmt.Printf("  column rows:   %d (%d segments, %d bytes encoded)\n",
+			tbl.ColdRows(), tbl.Cold().NumSegments(), tbl.Cold().SizeBytes())
+		fmt.Printf("  merges run:    %d\n", tbl.Merges())
+	case "\\merge":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\merge <table>")
+			return false
+		}
+		res, err := engine.Merge(fields[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("  merged %d rows at ts %d (waited %v)\n", res.Merged, res.MergeTS, res.Waited)
+	default:
+		fmt.Println("unknown meta command; available: \\tables \\stats \\merge \\quit")
+	}
+	return false
+}
+
+func printResult(res *sql.Result, elapsed time.Duration) {
+	if res.Schema == nil {
+		fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed.Round(time.Microsecond))
+		return
+	}
+	var header []string
+	for _, c := range res.Schema.Cols {
+		header = append(header, c.Name)
+	}
+	fmt.Println(strings.Join(header, " | "))
+	fmt.Println(strings.Repeat("-", len(strings.Join(header, " | "))))
+	limit := len(res.Rows)
+	const maxPrint = 50
+	if limit > maxPrint {
+		limit = maxPrint
+	}
+	for _, row := range res.Rows[:limit] {
+		var cells []string
+		for _, v := range row {
+			cells = append(cells, v.String())
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	if len(res.Rows) > maxPrint {
+		fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxPrint)
+	}
+	fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+}

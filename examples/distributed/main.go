@@ -1,0 +1,107 @@
+// Distributed deployment — scale-out in the style of Kudu and
+// distributed Oracle DBIM (tutorial §3): a 4-server cluster with
+// hash-partitioned tablets replicated 3x via Raft. The example ingests
+// through tablet leaders, survives a server crash without losing
+// committed rows, and runs scatter-gather scans.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/types"
+)
+
+func main() {
+	c, err := cluster.New(cluster.Config{
+		Nodes:       4,
+		Partitions:  8,
+		Replication: 3,
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	schema := types.MustSchema([]types.Column{
+		{Name: "sensor_id", Type: types.Int64},
+		{Name: "site", Type: types.String},
+		{Name: "reading", Type: types.Float64},
+	}, "sensor_id")
+	if _, err := c.CreateTable("sensors", schema); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("cluster: 4 servers, 8 tablets, replication factor 3")
+
+	// Parallel ingest through tablet leaders (each write is a Raft
+	// commit: durable on a majority before acknowledging).
+	sites := []string{"berlin", "tokyo", "austin", "oslo"}
+	const total = 400
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += 4 {
+				row := types.Row{
+					types.NewInt(int64(i)),
+					types.NewString(sites[i%len(sites)]),
+					types.NewFloat(20 + float64(i%15)),
+				}
+				if err := c.Insert("sensors", row); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	fmt.Printf("ingested %d rows through Raft in %v\n", total, time.Since(start).Round(time.Millisecond))
+
+	n, err := c.Count("sensors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scatter-gather count: %d rows\n", n)
+
+	// Crash a server: every tablet it hosted still has a majority.
+	fmt.Println("\ncrash-stopping server 0 ...")
+	c.StopServer(0)
+	for i := total; i < total+50; i++ {
+		row := types.Row{types.NewInt(int64(i)), types.NewString("recovery"), types.NewFloat(1)}
+		if err := c.Insert("sensors", row); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n, err = c.Count("sensors")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after failure: %d rows (writes kept flowing, nothing lost)\n", n)
+
+	// Per-site aggregate via scatter-gather.
+	counts := map[string]int{}
+	if err := c.ScanAll("sensors", func(b *types.Batch) bool {
+		for i := 0; i < b.Len(); i++ {
+			counts[b.Row(i)[1].S]++
+		}
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrows per site:")
+	for _, s := range append(sites, "recovery") {
+		fmt.Printf("  %-8s %d\n", s, counts[s])
+	}
+
+	// Bring the server back and keep going.
+	c.RestartServer(0)
+	if err := c.Insert("sensors", types.Row{types.NewInt(9999), types.NewString("healed"), types.NewFloat(0)}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nserver 0 restarted; cluster healthy")
+}

@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// iv/fv/sv are Row literal helpers.
+func iv(v int64) types.Value   { return types.NewInt(v) }
+func fv(v float64) types.Value { return types.NewFloat(v) }
+func sv(v string) types.Value  { return types.NewString(v) }
+
+var states = []string{"CA", "NY", "TX", "WA", "IL", "MA", "OR", "FL"}
+
+var lastNames = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// Load populates the CH tables at the given scale. It is deterministic
+// for a given seed.
+func Load(e *core.Engine, sc Scale, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	// Items.
+	tx := e.Begin()
+	for i := 1; i <= sc.Items; i++ {
+		data := "data"
+		if rng.Intn(10) == 0 {
+			data = "ORIGINAL" // the TPC-C "original" marker some queries filter on
+		}
+		err := tx.Insert(TItem, types.Row{
+			iv(int64(i)), sv(fmt.Sprintf("item-%04d", i)),
+			fv(1 + rng.Float64()*99), sv(data),
+		})
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+	}
+	if _, err := tx.Commit(); err != nil {
+		return err
+	}
+
+	histID := int64(0)
+	for w := 1; w <= sc.Warehouses; w++ {
+		tx := e.Begin()
+		err := tx.Insert(TWarehouse, types.Row{
+			iv(int64(w)), sv(fmt.Sprintf("wh-%02d", w)),
+			sv(states[(w-1)%len(states)]), fv(rng.Float64() * 0.2), fv(0),
+		})
+		if err != nil {
+			tx.Abort()
+			return err
+		}
+		// Stock for every item in this warehouse.
+		for i := 1; i <= sc.Items; i++ {
+			err := tx.Insert(TStock, types.Row{
+				iv(int64(w)), iv(int64(i)),
+				iv(int64(10 + rng.Intn(91))), iv(0), iv(0),
+			})
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+		}
+		if _, err := tx.Commit(); err != nil {
+			return err
+		}
+
+		for d := 1; d <= sc.DistrictsPerW; d++ {
+			tx := e.Begin()
+			nextO := sc.InitialOrdersPerD + 1
+			err := tx.Insert(TDistrict, types.Row{
+				iv(int64(w)), iv(int64(d)), sv(fmt.Sprintf("dist-%d-%d", w, d)),
+				fv(rng.Float64() * 0.2), fv(0), iv(int64(nextO)),
+			})
+			if err != nil {
+				tx.Abort()
+				return err
+			}
+			for c := 1; c <= sc.CustomersPerD; c++ {
+				credit := "GC"
+				if rng.Intn(10) == 0 {
+					credit = "BC"
+				}
+				err := tx.Insert(TCustomer, types.Row{
+					iv(int64(w)), iv(int64(d)), iv(int64(c)),
+					sv(lastNames[c%len(lastNames)] + lastNames[(c/10)%len(lastNames)]),
+					sv(states[rng.Intn(len(states))]), sv(credit),
+					fv(-10), fv(10), iv(1),
+				})
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+			}
+			// Initial orders with lines; the most recent third are
+			// undelivered (in new_order).
+			for o := 1; o <= sc.InitialOrdersPerD; o++ {
+				olCnt := 5 + rng.Intn(11)
+				carrier := int64(1 + rng.Intn(10))
+				undelivered := o > sc.InitialOrdersPerD*2/3
+				if undelivered {
+					carrier = 0
+				}
+				err := tx.Insert(TOrders, types.Row{
+					iv(int64(w)), iv(int64(d)), iv(int64(o)),
+					iv(int64(1 + rng.Intn(sc.CustomersPerD))),
+					iv(int64(o * 1000)), iv(carrier), iv(int64(olCnt)),
+				})
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				if undelivered {
+					err := tx.Insert(TNewOrder, types.Row{iv(int64(w)), iv(int64(d)), iv(int64(o))})
+					if err != nil {
+						tx.Abort()
+						return err
+					}
+				}
+				for ol := 1; ol <= olCnt; ol++ {
+					deliveryD := int64(o * 1000)
+					if undelivered {
+						deliveryD = 0
+					}
+					err := tx.Insert(TOrderLine, types.Row{
+						iv(int64(w)), iv(int64(d)), iv(int64(o)), iv(int64(ol)),
+						iv(int64(1 + rng.Intn(sc.Items))), iv(int64(w)),
+						iv(int64(1 + rng.Intn(10))), fv(rng.Float64() * 100), iv(deliveryD),
+					})
+					if err != nil {
+						tx.Abort()
+						return err
+					}
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			_ = histID
+		}
+	}
+	return nil
+}
+
+// Zipf wraps a Zipf-distributed generator over [1, n] with exponent s
+// (s > 1; higher = more skew). The tutorial's motivating workloads are
+// skewed (hot metrics, trending products).
+type Zipf struct{ z *rand.Zipf }
+
+// NewZipf builds a Zipf generator.
+func NewZipf(rng *rand.Rand, s float64, n int) *Zipf {
+	if s <= 1 {
+		s = 1.01
+	}
+	return &Zipf{z: rand.NewZipf(rng, s, 1, uint64(n-1))}
+}
+
+// Next draws a value in [1, n].
+func (z *Zipf) Next() int64 { return int64(z.z.Uint64()) + 1 }

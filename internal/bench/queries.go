@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Query is one analytic query of the CH suite (TPC-H-style queries
+// rephrased over the TPC-C schema, following Cole et al. [6], adapted to
+// the scaled-down column set).
+type Query struct {
+	ID   int
+	Name string
+	SQL  string
+}
+
+// Queries returns the analytic query set (12 representative CH queries).
+func Queries() []Query {
+	return []Query{
+		{1, "pricing-summary", `
+			SELECT ol_number, SUM(ol_quantity) AS sum_qty, SUM(ol_amount) AS sum_amount,
+			       AVG(ol_quantity) AS avg_qty, AVG(ol_amount) AS avg_amount, COUNT(*) AS cnt
+			FROM order_line
+			WHERE ol_delivery_d > 0
+			GROUP BY ol_number
+			ORDER BY ol_number`},
+		{2, "stock-pressure", `
+			SELECT s_i_id, SUM(s_order_cnt) AS ordered
+			FROM stock
+			GROUP BY s_i_id
+			ORDER BY ordered DESC
+			LIMIT 10`},
+		{3, "unshipped-value", `
+			SELECT o_w_id, o_d_id, o_id, SUM(ol_amount) AS revenue
+			FROM orders
+			JOIN order_line ON o_w_id = ol_w_id AND o_d_id = ol_d_id AND o_id = ol_o_id
+			WHERE o_carrier_id = 0
+			GROUP BY o_w_id, o_d_id, o_id
+			ORDER BY revenue DESC
+			LIMIT 10`},
+		{4, "order-sizes", `
+			SELECT o_ol_cnt, COUNT(*) AS n
+			FROM orders
+			GROUP BY o_ol_cnt
+			ORDER BY o_ol_cnt`},
+		{5, "revenue-by-state", `
+			SELECT c_state, SUM(ol_amount) AS revenue
+			FROM customer
+			JOIN orders ON c_w_id = o_w_id AND c_d_id = o_d_id AND c_id = o_c_id
+			JOIN order_line ON o_w_id = ol_w_id AND o_d_id = ol_d_id AND o_id = ol_o_id
+			GROUP BY c_state
+			ORDER BY revenue DESC`},
+		{6, "revenue-forecast", `
+			SELECT SUM(ol_amount) AS revenue
+			FROM order_line
+			WHERE ol_quantity >= 2 AND ol_quantity <= 8`},
+		{7, "high-value-customers", `
+			SELECT c_last, c_balance
+			FROM customer
+			WHERE c_balance > 0
+			ORDER BY c_balance DESC
+			LIMIT 10`},
+		{8, "warehouse-activity", `
+			SELECT w_state, COUNT(*) AS orders
+			FROM warehouse
+			JOIN orders ON w_id = o_w_id
+			GROUP BY w_state
+			ORDER BY orders DESC`},
+		{9, "credit-mix", `
+			SELECT c_credit, COUNT(*) AS n, AVG(c_balance) AS avg_bal, SUM(c_ytd_payment) AS ytd
+			FROM customer
+			GROUP BY c_credit
+			ORDER BY c_credit`},
+		{10, "delivered-late", `
+			SELECT o_carrier_id, COUNT(*) AS n
+			FROM orders
+			WHERE o_carrier_id > 0
+			GROUP BY o_carrier_id
+			ORDER BY n DESC`},
+		{11, "promo-items", `
+			SELECT i_id, i_name, i_price
+			FROM item
+			WHERE i_data LIKE 'ORIG%'
+			ORDER BY i_price DESC
+			LIMIT 20`},
+		{12, "item-revenue", `
+			SELECT ol_i_id, SUM(ol_amount) AS revenue, SUM(ol_quantity) AS qty
+			FROM order_line
+			JOIN item ON ol_i_id = i_id
+			WHERE i_price > 50
+			GROUP BY ol_i_id
+			ORDER BY revenue DESC
+			LIMIT 10`},
+	}
+}
+
+// RunQuery executes one analytic query and returns its result rows.
+func RunQuery(e *core.Engine, q Query) ([]types.Row, error) {
+	s := sql.NewSession(e)
+	res, err := s.Exec(q.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("bench: query %d (%s): %w", q.ID, q.Name, err)
+	}
+	return res.Rows, nil
+}
+
+// RunAllQueries runs the full suite, returning per-query row counts.
+func RunAllQueries(e *core.Engine) (map[int]int, error) {
+	out := make(map[int]int)
+	for _, q := range Queries() {
+		rows, err := RunQuery(e, q)
+		if err != nil {
+			return nil, err
+		}
+		out[q.ID] = len(rows)
+	}
+	return out, nil
+}

@@ -1,0 +1,108 @@
+// Package bench implements the evaluation workloads: a scaled-down
+// CH-benCHmark (Cole et al. [6] — TPC-C's transactional schema and
+// transaction mix unified with TPC-H-style analytic queries), plus the
+// machine-metrics and social-retail ingest workloads from the tutorial's
+// motivating examples, and distribution generators (uniform, Zipf).
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// CH-benCHmark table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	THistory   = "history"
+	TOrders    = "orders"
+	TNewOrder  = "new_order"
+	TOrderLine = "order_line"
+	TItem      = "item"
+	TStock     = "stock"
+)
+
+// Schemas returns the nine CH-benCHmark table schemas (scaled-down
+// column sets: every column the transactions and analytic queries touch,
+// omitting pure-padding fields).
+func Schemas() map[string]*types.Schema {
+	I, F, S := types.Int64, types.Float64, types.String
+	return map[string]*types.Schema{
+		TWarehouse: types.MustSchema([]types.Column{
+			{Name: "w_id", Type: I}, {Name: "w_name", Type: S},
+			{Name: "w_state", Type: S}, {Name: "w_tax", Type: F},
+			{Name: "w_ytd", Type: F},
+		}, "w_id"),
+		TDistrict: types.MustSchema([]types.Column{
+			{Name: "d_w_id", Type: I}, {Name: "d_id", Type: I},
+			{Name: "d_name", Type: S}, {Name: "d_tax", Type: F},
+			{Name: "d_ytd", Type: F}, {Name: "d_next_o_id", Type: I},
+		}, "d_w_id", "d_id"),
+		TCustomer: types.MustSchema([]types.Column{
+			{Name: "c_w_id", Type: I}, {Name: "c_d_id", Type: I}, {Name: "c_id", Type: I},
+			{Name: "c_last", Type: S}, {Name: "c_state", Type: S},
+			{Name: "c_credit", Type: S}, {Name: "c_balance", Type: F},
+			{Name: "c_ytd_payment", Type: F}, {Name: "c_payment_cnt", Type: I},
+		}, "c_w_id", "c_d_id", "c_id"),
+		THistory: types.MustSchema([]types.Column{
+			{Name: "h_id", Type: I}, {Name: "h_c_w_id", Type: I},
+			{Name: "h_c_d_id", Type: I}, {Name: "h_c_id", Type: I},
+			{Name: "h_amount", Type: F}, {Name: "h_date", Type: I},
+		}, "h_id"),
+		TOrders: types.MustSchema([]types.Column{
+			{Name: "o_w_id", Type: I}, {Name: "o_d_id", Type: I}, {Name: "o_id", Type: I},
+			{Name: "o_c_id", Type: I}, {Name: "o_entry_d", Type: I},
+			{Name: "o_carrier_id", Type: I}, {Name: "o_ol_cnt", Type: I},
+		}, "o_w_id", "o_d_id", "o_id"),
+		TNewOrder: types.MustSchema([]types.Column{
+			{Name: "no_w_id", Type: I}, {Name: "no_d_id", Type: I}, {Name: "no_o_id", Type: I},
+		}, "no_w_id", "no_d_id", "no_o_id"),
+		TOrderLine: types.MustSchema([]types.Column{
+			{Name: "ol_w_id", Type: I}, {Name: "ol_d_id", Type: I}, {Name: "ol_o_id", Type: I},
+			{Name: "ol_number", Type: I}, {Name: "ol_i_id", Type: I},
+			{Name: "ol_supply_w_id", Type: I}, {Name: "ol_quantity", Type: I},
+			{Name: "ol_amount", Type: F}, {Name: "ol_delivery_d", Type: I},
+		}, "ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+		TItem: types.MustSchema([]types.Column{
+			{Name: "i_id", Type: I}, {Name: "i_name", Type: S},
+			{Name: "i_price", Type: F}, {Name: "i_data", Type: S},
+		}, "i_id"),
+		TStock: types.MustSchema([]types.Column{
+			{Name: "s_w_id", Type: I}, {Name: "s_i_id", Type: I},
+			{Name: "s_quantity", Type: I}, {Name: "s_ytd", Type: I},
+			{Name: "s_order_cnt", Type: I},
+		}, "s_w_id", "s_i_id"),
+	}
+}
+
+// CreateTables registers the CH schema on an engine.
+func CreateTables(e *core.Engine) error {
+	for name, schema := range Schemas() {
+		if _, err := e.CreateTable(name, schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scale sizes the generated dataset.
+type Scale struct {
+	Warehouses        int
+	DistrictsPerW     int
+	CustomersPerD     int
+	Items             int
+	InitialOrdersPerD int
+}
+
+// DefaultScale is a CI-sized configuration (TPC-C ratios preserved,
+// absolute counts shrunk).
+func DefaultScale() Scale {
+	return Scale{
+		Warehouses:        2,
+		DistrictsPerW:     4,
+		CustomersPerD:     30,
+		Items:             200,
+		InitialOrdersPerD: 20,
+	}
+}

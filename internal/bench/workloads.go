@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/types"
+)
+
+// MetricsSchema is the machine-data-analytics table from the tutorial's
+// first motivating example: data-center telemetry streams queried
+// ad-hoc in real time.
+func MetricsSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "ts", Type: types.Int64},    // microseconds
+		{Name: "host", Type: types.String}, // source host
+		{Name: "metric", Type: types.String},
+		{Name: "value", Type: types.Float64},
+	}, "ts", "host", "metric")
+}
+
+// MetricsGen produces a deterministic telemetry stream: hosts emit a
+// fixed metric set with values following per-metric baselines plus
+// noise; host popularity is Zipf-skewed (hot services emit more).
+type MetricsGen struct {
+	rng     *rand.Rand
+	hosts   []string
+	metrics []string
+	zipf    *Zipf
+	ts      int64
+}
+
+// NewMetricsGen builds a generator over nHosts hosts.
+func NewMetricsGen(nHosts int, seed int64) *MetricsGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &MetricsGen{
+		rng:     rng,
+		metrics: []string{"cpu", "mem", "disk_io", "net_rx", "net_tx", "lat_p99"},
+		zipf:    NewZipf(rng, 1.3, nHosts),
+		ts:      1_700_000_000_000_000,
+	}
+	for i := 0; i < nHosts; i++ {
+		g.hosts = append(g.hosts, fmt.Sprintf("host-%03d", i))
+	}
+	return g
+}
+
+// Next emits one reading.
+func (g *MetricsGen) Next() types.Row {
+	g.ts += int64(1 + g.rng.Intn(1000)) // microsecond cadence
+	h := g.hosts[int(g.zipf.Next())-1]
+	m := g.metrics[g.rng.Intn(len(g.metrics))]
+	base := map[string]float64{"cpu": 50, "mem": 70, "disk_io": 200, "net_rx": 1000, "net_tx": 800, "lat_p99": 20}[m]
+	v := base * (0.5 + g.rng.Float64())
+	return types.Row{
+		types.NewInt(g.ts), types.NewString(h), types.NewString(m), types.NewFloat(v),
+	}
+}
+
+// LoadMetrics creates the metrics table and ingests n readings.
+func LoadMetrics(e *core.Engine, n int, seed int64) error {
+	if _, err := e.CreateTable("metrics", MetricsSchema()); err != nil {
+		return err
+	}
+	g := NewMetricsGen(50, seed)
+	tx := e.Begin()
+	for i := 0; i < n; i++ {
+		if err := tx.Insert("metrics", g.Next()); err != nil {
+			tx.Abort()
+			return err
+		}
+		if (i+1)%5000 == 0 {
+			if _, err := tx.Commit(); err != nil {
+				return err
+			}
+			tx = e.Begin()
+		}
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// RetailSchema is the social-retail table from the tutorial's second
+// motivating example: product interest events with bursts driven by
+// social-media surges.
+func RetailSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "event_id", Type: types.Int64},
+		{Name: "ts", Type: types.Int64},
+		{Name: "product", Type: types.String},
+		{Name: "action", Type: types.String}, // view | cart | buy
+		{Name: "amount", Type: types.Float64},
+	}, "event_id")
+}
+
+// RetailGen produces a skewed event stream where a "surging" product
+// receives a burst of interest — the pattern real-time trend queries
+// must surface.
+type RetailGen struct {
+	rng      *rand.Rand
+	products []string
+	zipf     *Zipf
+	next     int64
+	ts       int64
+	// Surge: product index receiving boosted traffic.
+	SurgeProduct string
+	surgeIdx     int
+}
+
+// NewRetailGen builds a generator over nProducts.
+func NewRetailGen(nProducts int, seed int64) *RetailGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &RetailGen{
+		rng:  rng,
+		zipf: NewZipf(rng, 1.2, nProducts),
+		ts:   1_700_000_000_000_000,
+	}
+	for i := 0; i < nProducts; i++ {
+		g.products = append(g.products, fmt.Sprintf("product-%04d", i))
+	}
+	g.surgeIdx = rng.Intn(nProducts)
+	g.SurgeProduct = g.products[g.surgeIdx]
+	return g
+}
+
+// Next emits one event; during a surge window 30% of traffic hits the
+// surging product.
+func (g *RetailGen) Next(surging bool) types.Row {
+	g.next++
+	g.ts += int64(1 + g.rng.Intn(500))
+	var p string
+	if surging && g.rng.Intn(10) < 3 {
+		p = g.SurgeProduct
+	} else {
+		p = g.products[int(g.zipf.Next())-1]
+	}
+	action := "view"
+	amount := 0.0
+	switch r := g.rng.Intn(100); {
+	case r < 5:
+		action = "buy"
+		amount = 5 + g.rng.Float64()*195
+	case r < 20:
+		action = "cart"
+	}
+	return types.Row{
+		types.NewInt(g.next), types.NewInt(g.ts),
+		types.NewString(p), types.NewString(action), types.NewFloat(amount),
+	}
+}

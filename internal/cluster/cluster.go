@@ -1,0 +1,391 @@
+// Package cluster implements scale-out in the style the tutorial
+// describes for Kudu [24] and distributed Oracle DBIM [27]: tables are
+// horizontally partitioned into tablets by primary-key hash; each tablet
+// is replicated across servers with Raft consensus; queries scatter to
+// tablet leaders and gather results.
+//
+// Every server hosts a full oadms engine; a tablet's replicas apply the
+// same Raft log to per-tablet local tables, so any replica can serve a
+// consistent scan of its tablet once entries commit.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/raft"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Errors.
+var (
+	ErrTimeout = errors.New("cluster: operation timed out")
+	ErrNoTable = errors.New("cluster: no such table")
+)
+
+// Server is one cluster node hosting an engine.
+type Server struct {
+	ID     int
+	Engine *core.Engine
+}
+
+// tabletSM applies committed tablet commands to a server-local table.
+type tabletSM struct {
+	engine *core.Engine
+	table  string // local per-tablet table name
+}
+
+// Apply implements raft.StateMachine. Commands are wal.Record-encoded.
+func (sm *tabletSM) Apply(index uint64, cmd []byte) {
+	rec, err := wal.DecodeRecord(cmd)
+	if err != nil {
+		return // corrupt commands are skipped (cannot happen in-process)
+	}
+	tx := sm.engine.Begin()
+	defer func() {
+		if tx != nil {
+			tx.Abort()
+		}
+	}()
+	tbl, err := sm.engine.Table(sm.table)
+	if err != nil {
+		return
+	}
+	switch rec.Kind {
+	case wal.KindInsert:
+		err = tx.Insert(sm.table, rec.Row)
+	case wal.KindUpdate:
+		err = tx.Update(sm.table, tbl.Schema().KeyOf(rec.Row), rec.Row)
+	case wal.KindDelete:
+		err = tx.Delete(sm.table, rec.Row)
+	default:
+		return
+	}
+	if err != nil {
+		return // deterministic failures fail identically on all replicas
+	}
+	if _, err := tx.Commit(); err == nil {
+		tx = nil
+	}
+}
+
+// tablet is one partition of one distributed table.
+type tablet struct {
+	part     int
+	group    *raft.Cluster // raft replica ids are 0..R-1
+	replicas []int         // replica idx -> server id
+	local    string        // local table name on hosting servers
+}
+
+// leaderServer returns (server id, raft node) of the current leader.
+func (tb *tablet) leader(timeout time.Duration) (int, *raft.Node, error) {
+	lid := tb.group.WaitLeader(timeout)
+	if lid < 0 {
+		return -1, nil, ErrTimeout
+	}
+	return tb.replicas[lid], tb.group.Node(lid), nil
+}
+
+// DistTable is a distributed table: schema + tablets.
+type DistTable struct {
+	name    string
+	schema  *types.Schema
+	tablets []*tablet
+}
+
+// Partition routes a primary key to a tablet index.
+func (dt *DistTable) Partition(key types.Row) int {
+	cols := make([]int, len(key))
+	for i := range cols {
+		cols[i] = i
+	}
+	h := types.HashRow(key, cols)
+	return int(h % uint64(len(dt.tablets)))
+}
+
+// Cluster is the distributed database.
+type Cluster struct {
+	mu          sync.Mutex
+	servers     []*Server
+	tables      map[string]*DistTable
+	partitions  int
+	replication int
+	timeout     time.Duration
+	netDelay    time.Duration
+}
+
+// Config sizes a cluster.
+type Config struct {
+	// Nodes is the server count (default 3).
+	Nodes int
+	// Partitions is the tablet count per table (default = Nodes).
+	Partitions int
+	// Replication is the replica count per tablet (default 3, capped at
+	// Nodes).
+	Replication int
+	// Timeout bounds consensus waits (default 5s).
+	Timeout time.Duration
+	// NetDelay injects per-message latency into tablet Raft groups.
+	NetDelay time.Duration
+}
+
+// New builds a cluster of in-process servers.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Partitions <= 0 {
+		cfg.Partitions = cfg.Nodes
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 3
+	}
+	if cfg.Replication > cfg.Nodes {
+		cfg.Replication = cfg.Nodes
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	c := &Cluster{
+		tables:      make(map[string]*DistTable),
+		partitions:  cfg.Partitions,
+		replication: cfg.Replication,
+		timeout:     cfg.Timeout,
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		e, err := core.NewEngine(core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, &Server{ID: i, Engine: e})
+	}
+	c.netDelay = cfg.NetDelay
+	return c, nil
+}
+
+// Servers returns the server list.
+func (c *Cluster) Servers() []*Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Server(nil), c.servers...)
+}
+
+// CreateTable registers a distributed table and its tablets.
+func (c *Cluster) CreateTable(name string, schema *types.Schema) (*DistTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("cluster: table %s exists", name)
+	}
+	dt := &DistTable{name: name, schema: schema}
+	for p := 0; p < c.partitions; p++ {
+		local := fmt.Sprintf("%s#%d", name, p)
+		replicas := make([]int, c.replication)
+		sms := make([]raft.StateMachine, c.replication)
+		for r := 0; r < c.replication; r++ {
+			sid := (p + r) % len(c.servers)
+			replicas[r] = sid
+			if _, err := c.servers[sid].Engine.CreateTable(local, schema); err != nil {
+				return nil, err
+			}
+			sms[r] = &tabletSM{engine: c.servers[sid].Engine, table: local}
+		}
+		group := raft.NewCluster(c.replication, sms, c.netDelay)
+		group.RunTicker(2 * time.Millisecond)
+		dt.tablets = append(dt.tablets, &tablet{part: p, group: group, replicas: replicas, local: local})
+	}
+	c.tables[name] = dt
+	return dt, nil
+}
+
+// table looks up a distributed table.
+func (c *Cluster) table(name string) (*DistTable, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dt, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoTable, name)
+	}
+	return dt, nil
+}
+
+// propose routes a command to the tablet leader and waits for commit.
+func (c *Cluster) propose(dt *DistTable, key types.Row, rec wal.Record) error {
+	tb := dt.tablets[dt.Partition(key)]
+	cmd := rec.Encode(nil)
+	deadline := time.Now().Add(c.timeout)
+	for time.Now().Before(deadline) {
+		_, node, err := tb.leader(c.timeout)
+		if err != nil {
+			return err
+		}
+		ch, _, err := node.Propose(cmd)
+		if err != nil {
+			continue // leadership moved; retry
+		}
+		select {
+		case ok := <-ch:
+			if ok {
+				return nil
+			}
+		case <-time.After(c.timeout):
+			return ErrTimeout
+		}
+	}
+	return ErrTimeout
+}
+
+// Insert adds a row to a distributed table (waits for Raft commit).
+func (c *Cluster) Insert(table string, row types.Row) error {
+	dt, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	if err := dt.schema.Validate(row); err != nil {
+		return err
+	}
+	return c.propose(dt, dt.schema.KeyOf(row), wal.Record{Kind: wal.KindInsert, Table: table, Row: row})
+}
+
+// Update replaces the row with newRow's key.
+func (c *Cluster) Update(table string, newRow types.Row) error {
+	dt, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	return c.propose(dt, dt.schema.KeyOf(newRow), wal.Record{Kind: wal.KindUpdate, Table: table, Row: newRow})
+}
+
+// Delete removes the row at key.
+func (c *Cluster) Delete(table string, key types.Row) error {
+	dt, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	return c.propose(dt, key, wal.Record{Kind: wal.KindDelete, Table: table, Row: key})
+}
+
+// Get reads a row from its tablet leader's engine.
+func (c *Cluster) Get(table string, key types.Row) (types.Row, bool, error) {
+	dt, err := c.table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	tb := dt.tablets[dt.Partition(key)]
+	sid, _, err := tb.leader(c.timeout)
+	if err != nil {
+		return nil, false, err
+	}
+	srv := c.servers[sid]
+	tx := srv.Engine.Begin()
+	defer tx.Abort()
+	row, ok, err := tx.Get(tb.local, key)
+	return row, ok, err
+}
+
+// ScanAll scatter-gathers every visible row across tablets, invoking fn
+// per batch (tablet order; rows within a tablet are key-ordered).
+func (c *Cluster) ScanAll(table string, fn func(b *types.Batch) bool) error {
+	dt, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	for _, tb := range dt.tablets {
+		sid, _, err := tb.leader(c.timeout)
+		if err != nil {
+			return err
+		}
+		srv := c.servers[sid]
+		tx := srv.Engine.Begin()
+		stop := false
+		_, err = tx.Scan(tb.local, nil, nil, func(b *types.Batch) bool {
+			if !fn(b) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		tx.Abort()
+		if err != nil {
+			return err
+		}
+		if stop {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the total visible rows.
+func (c *Cluster) Count(table string) (int, error) {
+	n := 0
+	err := c.ScanAll(table, func(b *types.Batch) bool {
+		n += b.Len()
+		return true
+	})
+	return n, err
+}
+
+// MergeAll runs a delta-merge on every tablet replica's engine.
+func (c *Cluster) MergeAll(table string) error {
+	dt, err := c.table(table)
+	if err != nil {
+		return err
+	}
+	for _, tb := range dt.tablets {
+		for _, sid := range tb.replicas {
+			if _, err := c.servers[sid].Engine.Merge(tb.local); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StopServer crash-stops a server in every tablet group it hosts.
+func (c *Cluster) StopServer(sid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dt := range c.tables {
+		for _, tb := range dt.tablets {
+			for r, s := range tb.replicas {
+				if s == sid {
+					tb.group.StopNode(r)
+				}
+			}
+		}
+	}
+}
+
+// RestartServer revives a stopped server.
+func (c *Cluster) RestartServer(sid int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dt := range c.tables {
+		for _, tb := range dt.tablets {
+			for r, s := range tb.replicas {
+				if s == sid {
+					tb.group.RestartNode(r)
+				}
+			}
+		}
+	}
+}
+
+// Close shuts down all tablet groups and engines.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dt := range c.tables {
+		for _, tb := range dt.tablets {
+			tb.group.Close()
+		}
+	}
+	for _, s := range c.servers {
+		s.Engine.Close()
+	}
+}

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func testSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.String},
+	}, "id")
+}
+
+func row(id int64, v string) types.Row {
+	return types.Row{types.NewInt(id), types.NewString(v)}
+}
+
+func key(id int64) types.Row { return types.Row{types.NewInt(id)} }
+
+func newTestCluster(t *testing.T, nodes, parts int) *Cluster {
+	t.Helper()
+	c, err := New(Config{Nodes: nodes, Partitions: parts, Replication: 3, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if _, err := c.CreateTable("kv", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestInsertGetAcrossPartitions(t *testing.T) {
+	c := newTestCluster(t, 3, 4)
+	for i := int64(0); i < 40; i++ {
+		if err := c.Insert("kv", row(i, fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for i := int64(0); i < 40; i++ {
+		got, ok, err := c.Get("kv", key(i))
+		if err != nil || !ok {
+			t.Fatalf("get %d: %v %v", i, ok, err)
+		}
+		if got[1].S != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %d = %v", i, got)
+		}
+	}
+	if n, _ := c.Count("kv"); n != 40 {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestPartitioningSpreadsKeys(t *testing.T) {
+	c := newTestCluster(t, 4, 4)
+	dt, err := c.table("kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := int64(0); i < 200; i++ {
+		seen[dt.Partition(key(i))]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("keys hit %d of 4 partitions", len(seen))
+	}
+	for p, n := range seen {
+		if n < 20 {
+			t.Fatalf("partition %d got only %d keys (skew)", p, n)
+		}
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	c.Insert("kv", row(1, "a"))
+	if err := c.Update("kv", row(1, "b")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := c.Get("kv", key(1))
+	if !ok || got[1].S != "b" {
+		t.Fatalf("after update: %v", got)
+	}
+	if err := c.Delete("kv", key(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := c.Get("kv", key(1)); ok {
+		t.Fatal("row survived delete")
+	}
+}
+
+func TestReplicasConverge(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	for i := int64(0); i < 20; i++ {
+		if err := c.Insert("kv", row(i, "x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All three replicas of tablet 0 should apply every insert; poll
+	// until followers catch up.
+	dt, _ := c.table("kv")
+	tb := dt.tablets[0]
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		allCaughtUp := true
+		for _, sid := range tb.replicas {
+			e := c.servers[sid].Engine
+			tx := e.Begin()
+			n := 0
+			tx.Scan(tb.local, nil, nil, func(b *types.Batch) bool { n += b.Len(); return true })
+			tx.Abort()
+			if n != 20 {
+				allCaughtUp = false
+			}
+		}
+		if allCaughtUp {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("replicas did not converge")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSurvivesServerFailure(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	for i := int64(0); i < 10; i++ {
+		if err := c.Insert("kv", row(i, "pre")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill one server; with replication 3 the tablet keeps a majority.
+	c.StopServer(0)
+	for i := int64(10); i < 20; i++ {
+		if err := c.Insert("kv", row(i, "post")); err != nil {
+			t.Fatalf("insert after failure: %v", err)
+		}
+	}
+	if n, err := c.Count("kv"); err != nil || n != 20 {
+		t.Fatalf("count after failure = %d, %v", n, err)
+	}
+	// Revive: cluster continues.
+	c.RestartServer(0)
+	if err := c.Insert("kv", row(20, "revived")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentClientInserts(t *testing.T) {
+	c := newTestCluster(t, 3, 4)
+	var wg sync.WaitGroup
+	const G, N = 4, 25
+	errs := make(chan error, G*N)
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				if err := c.Insert("kv", row(int64(g*N+i), "w")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if n, _ := c.Count("kv"); n != G*N {
+		t.Fatalf("count = %d", n)
+	}
+}
+
+func TestMergeAllKeepsResults(t *testing.T) {
+	c := newTestCluster(t, 3, 2)
+	for i := int64(0); i < 30; i++ {
+		c.Insert("kv", row(i, "m"))
+	}
+	if err := c.MergeAll("kv"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.Count("kv"); n != 30 {
+		t.Fatalf("count after merge = %d", n)
+	}
+	// Writes keep flowing after merges.
+	if err := c.Insert("kv", row(100, "post-merge")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c := newTestCluster(t, 3, 1)
+	if err := c.Insert("nope", row(1, "x")); err == nil {
+		t.Fatal("insert into missing table")
+	}
+	if _, err := c.CreateTable("kv", testSchema()); err == nil {
+		t.Fatal("duplicate table")
+	}
+	bad := types.Row{types.NewString("wrong")}
+	if err := c.Insert("kv", bad); err == nil {
+		t.Fatal("schema violation accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package compress
+
+import "math/bits"
+
+// BitPacked stores a sequence of unsigned integers at a fixed bit width,
+// the physical format underneath dictionary codes in the column store.
+type BitPacked struct {
+	words []uint64
+	width uint // bits per value, 0..64
+	n     int  // number of values
+}
+
+// BitWidthFor returns the minimum width able to represent max.
+func BitWidthFor(max uint64) uint {
+	if max == 0 {
+		return 1
+	}
+	return uint(bits.Len64(max))
+}
+
+// Pack encodes vals at the given width. Width must be able to hold every
+// value; values wider than width are truncated (callers derive width via
+// BitWidthFor over the max).
+func Pack(vals []uint64, width uint) *BitPacked {
+	if width == 0 {
+		width = 1
+	}
+	if width > 64 {
+		width = 64
+	}
+	totalBits := uint64(len(vals)) * uint64(width)
+	words := make([]uint64, (totalBits+63)/64)
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << width) - 1
+	}
+	for i, v := range vals {
+		v &= mask
+		bitPos := uint64(i) * uint64(width)
+		w := bitPos / 64
+		off := bitPos % 64
+		words[w] |= v << off
+		if off+uint64(width) > 64 {
+			words[w+1] |= v >> (64 - off)
+		}
+	}
+	return &BitPacked{words: words, width: width, n: len(vals)}
+}
+
+// Len returns the number of packed values.
+func (p *BitPacked) Len() int { return p.n }
+
+// Width returns the bit width per value.
+func (p *BitPacked) Width() uint { return p.width }
+
+// SizeBytes returns the payload size in bytes.
+func (p *BitPacked) SizeBytes() int { return len(p.words) * 8 }
+
+// Get returns the value at position i.
+func (p *BitPacked) Get(i int) uint64 {
+	bitPos := uint64(i) * uint64(p.width)
+	w := bitPos / 64
+	off := bitPos % 64
+	var mask uint64
+	if p.width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << p.width) - 1
+	}
+	v := p.words[w] >> off
+	if off+uint64(p.width) > 64 {
+		v |= p.words[w+1] << (64 - off)
+	}
+	return v & mask
+}
+
+// Unpack decodes all values into dst (allocated if nil or short).
+func (p *BitPacked) Unpack(dst []uint64) []uint64 {
+	if cap(dst) < p.n {
+		dst = make([]uint64, p.n)
+	}
+	dst = dst[:p.n]
+	for i := 0; i < p.n; i++ {
+		dst[i] = p.Get(i)
+	}
+	return dst
+}
+
+// ScanEq appends to sel the positions whose packed value equals code.
+// This is the code-domain predicate kernel: it never materializes values.
+func (p *BitPacked) ScanEq(code uint64, sel []int) []int {
+	for i := 0; i < p.n; i++ {
+		if p.Get(i) == code {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}
+
+// ScanRange appends to sel the positions whose value c satisfies
+// lo <= c < hi (a half-open code range, as produced by the
+// order-preserving dictionary's LowerBound/UpperBound).
+func (p *BitPacked) ScanRange(lo, hi uint64, sel []int) []int {
+	for i := 0; i < p.n; i++ {
+		if c := p.Get(i); c >= lo && c < hi {
+			sel = append(sel, i)
+		}
+	}
+	return sel
+}

@@ -1,0 +1,75 @@
+package compress
+
+// FrameOfReference (FOR) encodes int64 values as bit-packed unsigned
+// deltas from the minimum value of the frame. It is the standard integer
+// coding for clustered numeric columns (timestamps, ids) in analytic
+// column stores.
+type FrameOfReference struct {
+	base   int64
+	packed *BitPacked
+}
+
+// FOREncode builds a frame-of-reference coding of vals.
+func FOREncode(vals []int64) *FrameOfReference {
+	if len(vals) == 0 {
+		return &FrameOfReference{packed: Pack(nil, 1)}
+	}
+	minV := vals[0]
+	maxV := vals[0]
+	for _, v := range vals[1:] {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	deltas := make([]uint64, len(vals))
+	for i, v := range vals {
+		deltas[i] = uint64(v - minV)
+	}
+	return &FrameOfReference{base: minV, packed: Pack(deltas, BitWidthFor(uint64(maxV-minV)))}
+}
+
+// Len returns the number of encoded values.
+func (f *FrameOfReference) Len() int { return f.packed.Len() }
+
+// SizeBytes returns the encoded payload size.
+func (f *FrameOfReference) SizeBytes() int { return 8 + f.packed.SizeBytes() }
+
+// Get returns the value at position i.
+func (f *FrameOfReference) Get(i int) int64 {
+	return f.base + int64(f.packed.Get(i))
+}
+
+// Decode expands all values into dst.
+func (f *FrameOfReference) Decode(dst []int64) []int64 {
+	n := f.packed.Len()
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		dst[i] = f.Get(i)
+	}
+	return dst
+}
+
+// ScanRange appends to sel the positions whose decoded value v satisfies
+// lo <= v < hi, translating the predicate into the delta domain first.
+func (f *FrameOfReference) ScanRange(lo, hi int64, sel []int) []int {
+	n := f.packed.Len()
+	if n == 0 || hi <= lo {
+		return sel
+	}
+	// Translate bounds into the unsigned delta domain, clamping.
+	var dlo uint64
+	if lo > f.base {
+		dlo = uint64(lo - f.base)
+	}
+	if hi <= f.base {
+		return sel
+	}
+	dhi := uint64(hi - f.base)
+	return f.packed.ScanRange(dlo, dhi, sel)
+}

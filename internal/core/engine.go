@@ -1,0 +1,477 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/storage/colstore"
+	"repro/internal/storage/rowstore"
+	"repro/internal/txn"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// ConcurrencyMode selects the transaction mechanism.
+type ConcurrencyMode int
+
+// Concurrency modes: MVCC snapshot isolation (the tutorial's
+// HANA/BLU/DBIM model) or strict two-phase locking (the classical
+// baseline E4/E5 compare against).
+const (
+	ModeMVCC ConcurrencyMode = iota
+	Mode2PL
+)
+
+// String names the mode.
+func (m ConcurrencyMode) String() string {
+	if m == Mode2PL {
+		return "2PL"
+	}
+	return "MVCC"
+}
+
+// Errors returned by the engine.
+var (
+	ErrNoSuchTable  = errors.New("core: no such table")
+	ErrTableExists  = errors.New("core: table already exists")
+	ErrDuplicateKey = rowstore.ErrDuplicateKey
+	ErrNotFound     = rowstore.ErrNotFound
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Mode selects MVCC (default) or 2PL.
+	Mode ConcurrencyMode
+	// LockTimeout bounds 2PL lock waits (default 100ms).
+	LockTimeout time.Duration
+	// WALPath, when set, enables write-ahead logging to this file.
+	WALPath string
+	// WALSync forces fsync per commit.
+	WALSync bool
+	// MergeThreshold is the delta live-row count that triggers an
+	// automatic merge when AutoMerge runs (default 64k rows).
+	MergeThreshold int
+}
+
+// Engine is the oadms database engine.
+type Engine struct {
+	oracle *txn.Oracle
+	locks  *txn.LockManager
+	opts   Options
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	wal *wal.Writer
+	// mergeMu serializes merges across tables (prevents cross-table
+	// writer/merge cycles).
+	mergeMu sync.Mutex
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts Options) (*Engine, error) {
+	if opts.LockTimeout <= 0 {
+		opts.LockTimeout = 100 * time.Millisecond
+	}
+	if opts.MergeThreshold <= 0 {
+		opts.MergeThreshold = 64 << 10
+	}
+	e := &Engine{
+		oracle: txn.NewOracle(),
+		locks:  txn.NewLockManager(opts.LockTimeout),
+		opts:   opts,
+		tables: make(map[string]*Table),
+	}
+	if opts.WALPath != "" {
+		w, err := wal.Create(opts.WALPath, wal.Options{Sync: opts.WALSync})
+		if err != nil {
+			return nil, err
+		}
+		e.wal = w
+	}
+	return e, nil
+}
+
+// Close releases engine resources.
+func (e *Engine) Close() error {
+	if e.wal != nil {
+		return e.wal.Close()
+	}
+	return nil
+}
+
+// Oracle exposes the timestamp oracle.
+func (e *Engine) Oracle() *txn.Oracle { return e.oracle }
+
+// Mode returns the concurrency mode.
+func (e *Engine) Mode() ConcurrencyMode { return e.opts.Mode }
+
+// CreateTable registers a new dual-format table.
+func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.tables[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	t, err := newTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	e.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a table.
+func (e *Engine) Table(name string) (*Table, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	t, ok := e.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// Tables returns all table names, sorted.
+func (e *Engine) Tables() []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	names := make([]string, 0, len(e.tables))
+	for n := range e.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Recover replays a WAL file into the engine: committed INSERT, UPDATE,
+// and DELETE records are re-applied in log order (uncommitted and
+// aborted transactions are filtered by wal.Replay). Tables must already
+// exist (the catalog is not logged).
+func (e *Engine) Recover(walPath string) error {
+	return wal.Replay(walPath, func(r wal.Record) error {
+		tx := e.Begin()
+		var err error
+		switch r.Kind {
+		case wal.KindInsert:
+			err = tx.Insert(r.Table, r.Row)
+		case wal.KindUpdate:
+			tbl, terr := e.Table(r.Table)
+			if terr != nil {
+				tx.Abort()
+				return terr
+			}
+			err = tx.Update(r.Table, tbl.schema.KeyOf(r.Row), r.Row)
+		case wal.KindDelete:
+			err = tx.Delete(r.Table, r.Row)
+		}
+		if err != nil {
+			tx.Abort()
+			return fmt.Errorf("core: recover: %w", err)
+		}
+		_, err = tx.Commit()
+		return err
+	})
+}
+
+// Tx is an engine-level transaction handle.
+type Tx struct {
+	engine *Engine
+	inner  *txn.Txn
+	// wrote tracks tables this transaction has written (merge-gate
+	// bypass and activeWriters bookkeeping).
+	wrote map[*Table]bool
+	// walRecs buffers redo records until commit.
+	walRecs []wal.Record
+}
+
+// Begin starts a transaction.
+func (e *Engine) Begin() *Tx {
+	return &Tx{engine: e, inner: e.oracle.Begin(), wrote: make(map[*Table]bool)}
+}
+
+// ReadTS returns the transaction's snapshot timestamp.
+func (t *Tx) ReadTS() uint64 { return t.inner.ReadTS }
+
+// ID returns the transaction id.
+func (t *Tx) ID() uint64 { return t.inner.ID }
+
+// Inner exposes the low-level transaction.
+func (t *Tx) Inner() *txn.Txn { return t.inner }
+
+// Commit commits the transaction, appending WAL records first.
+func (t *Tx) Commit() (uint64, error) {
+	if t.engine.wal != nil && len(t.walRecs) > 0 {
+		recs := make([]wal.Record, 0, len(t.walRecs)+1)
+		recs = append(recs, t.walRecs...)
+		recs = append(recs, wal.Record{TxnID: t.inner.ID, Kind: wal.KindCommit})
+		if _, err := t.engine.wal.Append(recs...); err != nil {
+			_ = t.inner.Abort()
+			return 0, err
+		}
+	}
+	return t.inner.Commit()
+}
+
+// Abort rolls back the transaction.
+func (t *Tx) Abort() error { return t.inner.Abort() }
+
+// enterWrite acquires the merge gate for tbl (first write only) and
+// registers activeWriters bookkeeping. Returns a release function for
+// the op-scoped part (none needed — gate is held until txn end for
+// first-writers via hooks).
+func (t *Tx) enterWrite(tbl *Table) {
+	if t.wrote[tbl] {
+		return
+	}
+	// Block while a merge is running on this table. The activeWriters
+	// increment happens under the gate so the merge, after taking the
+	// gate exclusively, sees either the increment or a blocked writer.
+	tbl.gate.RLock()
+	t.wrote[tbl] = true
+	tbl.activeWriters.Add(1)
+	tbl.gate.RUnlock()
+	t.inner.OnCommit(func(uint64) { tbl.activeWriters.Add(-1) })
+	t.inner.OnAbort(func() { tbl.activeWriters.Add(-1) })
+}
+
+// lock2PLWrite acquires the 2PL locks for writing key in tbl: intention
+// exclusive on the table (conflicts with table-scan shared locks) and
+// exclusive on the key. No-op in MVCC mode.
+func (t *Tx) lock2PLWrite(tbl *Table, key types.Row) error {
+	if t.engine.opts.Mode != Mode2PL {
+		return nil
+	}
+	if err := t.engine.locks.LockIntentionExclusive(t.inner, tbl.name, tableLockKey); err != nil {
+		return err
+	}
+	return t.engine.locks.LockExclusive(t.inner, tbl.name, key)
+}
+
+// logWrite buffers a WAL record if logging is enabled.
+func (t *Tx) logWrite(kind wal.Kind, table string, row types.Row) {
+	if t.engine.wal == nil {
+		return
+	}
+	t.walRecs = append(t.walRecs, wal.Record{TxnID: t.inner.ID, Kind: kind, Table: table, Row: row.Clone()})
+}
+
+// Insert adds a row to the named table.
+func (t *Tx) Insert(table string, row types.Row) error {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.insertTable(tbl, row)
+}
+
+func (t *Tx) insertTable(tbl *Table, row types.Row) error {
+	if err := tbl.schema.Validate(row); err != nil {
+		return err
+	}
+	t.enterWrite(tbl)
+	if err := t.lock2PLWrite(tbl, tbl.schema.KeyOf(row)); err != nil {
+		return err
+	}
+	key := tbl.schema.KeyOf(row)
+	tbl.storageMu.RLock()
+	blocked := tbl.cold.FindBlocking(key, t.inner.ReadTS, t.inner.ID)
+	tbl.storageMu.RUnlock()
+	if blocked {
+		return ErrDuplicateKey
+	}
+	if err := tbl.delta.Insert(t.inner, row); err != nil {
+		return err
+	}
+	t.maintainIndexes(tbl, row)
+	t.logWrite(wal.KindInsert, tbl.name, row)
+	return nil
+}
+
+// Update replaces the row at key in the named table.
+func (t *Tx) Update(table string, key types.Row, newRow types.Row) error {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return err
+	}
+	if err := tbl.schema.Validate(newRow); err != nil {
+		return err
+	}
+	if types.CompareKeys(tbl.schema.KeyOf(newRow), key) != 0 {
+		return fmt.Errorf("core: update must preserve the primary key")
+	}
+	t.enterWrite(tbl)
+	if err := t.lock2PLWrite(tbl, key); err != nil {
+		return err
+	}
+	// Try the delta first; fall back to invalidating the merged copy.
+	err = tbl.delta.Update(t.inner, key, newRow)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		tbl.storageMu.RLock()
+		found, merr := tbl.cold.MarkDeleted(t.inner, key)
+		tbl.storageMu.RUnlock()
+		if merr != nil {
+			return merr
+		}
+		if !found {
+			return ErrNotFound
+		}
+		// Install the new version in the delta (fresh chain).
+		err = tbl.delta.Insert(t.inner, newRow)
+	}
+	if err != nil {
+		return err
+	}
+	t.maintainIndexes(tbl, newRow)
+	t.logWrite(wal.KindUpdate, tbl.name, newRow)
+	return nil
+}
+
+// Delete removes the row at key in the named table.
+func (t *Tx) Delete(table string, key types.Row) error {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return err
+	}
+	t.enterWrite(tbl)
+	if err := t.lock2PLWrite(tbl, key); err != nil {
+		return err
+	}
+	err = tbl.delta.Delete(t.inner, key)
+	if errors.Is(err, rowstore.ErrNotFound) {
+		tbl.storageMu.RLock()
+		found, merr := tbl.cold.MarkDeleted(t.inner, key)
+		tbl.storageMu.RUnlock()
+		if merr != nil {
+			return merr
+		}
+		if !found {
+			return ErrNotFound
+		}
+		err = nil
+	}
+	if err != nil {
+		return err
+	}
+	t.logWrite(wal.KindDelete, tbl.name, key)
+	return nil
+}
+
+// Get returns the visible row at key.
+func (t *Tx) Get(table string, key types.Row) (types.Row, bool, error) {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return nil, false, err
+	}
+	if t.engine.opts.Mode == Mode2PL {
+		if err := t.engine.locks.LockShared(t.inner, tbl.name, key); err != nil {
+			return nil, false, err
+		}
+	}
+	tbl.storageMu.RLock()
+	defer tbl.storageMu.RUnlock()
+	if row, ok := tbl.delta.GetAt(key, t.inner.ReadTS, t.inner.ID); ok {
+		return row, true, nil
+	}
+	if seg, idx, ok := tbl.cold.FindVisible(key, t.inner.ReadTS, t.inner.ID); ok {
+		return seg.Row(idx), true, nil
+	}
+	return nil, false, nil
+}
+
+// Scan streams every visible row of the table: column segments first
+// (vectorized), then the delta, under one consistent snapshot.
+//
+// In 2PL mode the scan takes a shared lock on the whole table (strict
+// S2PL at coarse granularity — the classical behaviour the tutorial's
+// multiversioned systems eliminate): analytic readers block behind
+// writers and vice versa, which is exactly what E4/E5 measure.
+func (t *Tx) Scan(table string, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) (colstore.ScanStats, error) {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return colstore.ScanStats{}, err
+	}
+	if t.engine.opts.Mode == Mode2PL {
+		if err := t.engine.locks.LockShared(t.inner, tbl.name, tableLockKey); err != nil {
+			return colstore.ScanStats{}, err
+		}
+	}
+	return scanTable(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, fn), nil
+}
+
+// tableLockKey is the pseudo-key used for table-granularity locks in
+// 2PL mode.
+var tableLockKey = types.Row{types.NewString("\x00table")}
+
+// scanTable unions the column store and the delta at one snapshot.
+func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) colstore.ScanStats {
+	tbl.storageMu.RLock()
+	defer tbl.storageMu.RUnlock()
+	if proj == nil {
+		proj = make([]int, len(tbl.schema.Cols))
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	stop := false
+	stats := tbl.cold.Scan(readTS, self, proj, preds, func(b *types.Batch) bool {
+		if !fn(b) {
+			stop = true
+			return false
+		}
+		return true
+	})
+	if stop {
+		return stats
+	}
+	// Delta rows stream in primary-key order, batched.
+	projSchema := projectSchema(tbl.schema, proj)
+	const deltaBatch = 1024
+	batch := types.NewBatch(projSchema, deltaBatch)
+	flush := func() bool {
+		if batch.Len() == 0 {
+			return true
+		}
+		ok := fn(batch)
+		batch = types.NewBatch(projSchema, deltaBatch)
+		return ok
+	}
+	tbl.delta.Scan(readTS, self, func(row types.Row) bool {
+		if !matchesAll(row, preds) {
+			return true
+		}
+		stats.RowsScanned++
+		stats.RowsMatched++
+		out := make(types.Row, len(proj))
+		for i, ci := range proj {
+			out[i] = row[ci]
+		}
+		batch.AppendRow(out)
+		if batch.Len() >= deltaBatch {
+			return flush()
+		}
+		return true
+	})
+	flush()
+	return stats
+}
+
+func projectSchema(s *types.Schema, proj []int) *types.Schema {
+	cols := make([]types.Column, len(proj))
+	for i, ci := range proj {
+		cols[i] = s.Cols[ci]
+	}
+	return &types.Schema{Cols: cols}
+}
+
+func matchesAll(row types.Row, preds []colstore.Predicate) bool {
+	for _, p := range preds {
+		if !p.Matches(row[p.Col]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/storage/colstore"
+)
+
+// MergeResult reports what a delta-merge did.
+type MergeResult struct {
+	// Merged is the number of rows moved into the new segment.
+	Merged int
+	// MergeTS is the snapshot the segment represents.
+	MergeTS uint64
+	// Compacted is the number of old segments rewritten.
+	Compacted int
+	// Waited is how long the merge waited for writer quiescence.
+	Waited time.Duration
+}
+
+// Merge runs a delta-merge on the named table: it quiesces writers
+// (HANA's "delta switch"), encodes every row committed in the delta into
+// a new compressed column segment carrying per-row insert timestamps,
+// installs the segment and truncates the delta atomically with respect
+// to scans, and opportunistically compacts old segments with many
+// deletions.
+//
+// Readers are never blocked (they hold storageMu only; the switch itself
+// is brief). New writer transactions stall for the merge duration;
+// in-flight writers run to completion first.
+func (e *Engine) Merge(table string) (MergeResult, error) {
+	tbl, err := e.Table(table)
+	if err != nil {
+		return MergeResult{}, err
+	}
+	return e.mergeTable(tbl), nil
+}
+
+func (e *Engine) mergeTable(tbl *Table) MergeResult {
+	// One merge at a time engine-wide: prevents writer/merge cycles
+	// across tables (a writer blocked on table B's gate while counted in
+	// table A's activeWriters can only happen if B is merging; with a
+	// global merge lock, A's merge implies B is not merging).
+	e.mergeMu.Lock()
+	defer e.mergeMu.Unlock()
+
+	var res MergeResult
+	start := time.Now()
+
+	// 1. Gate new writers; wait for in-flight writers to finish.
+	tbl.gate.Lock()
+	defer tbl.gate.Unlock()
+	for tbl.activeWriters.Load() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	res.Waited = time.Since(start)
+
+	// 2. Choose the merge snapshot. With writers quiesced, every version
+	// in the delta is committed, and all begin/end stamps are <= mergeTS.
+	mergeTS := e.oracle.Now()
+	res.MergeTS = mergeTS
+
+	// 3. Collect the delta's visible rows with their commit timestamps
+	// and encode the new segment.
+	rows, begins := tbl.delta.CollectVersionsAt(mergeTS)
+	if len(rows) > 0 {
+		b := colstore.NewBuilder(tbl.schema, mergeTS)
+		for i, r := range rows {
+			b.AddVersioned(r, begins[i])
+		}
+		seg := b.Build()
+
+		// 4. Install the segment and truncate the delta atomically with
+		// respect to scans.
+		tbl.storageMu.Lock()
+		tbl.cold.AddSegment(seg)
+		tbl.delta.TruncateMerged(mergeTS, e.oracle.Watermark())
+		tbl.storageMu.Unlock()
+		res.Merged = len(rows)
+	}
+
+	// 5. Compact heavily-deleted old segments (rewrites exclude rows
+	// dead below the watermark; scans are fenced by storageMu inside).
+	tbl.storageMu.Lock()
+	res.Compacted = tbl.cold.Compact(e.oracle.Watermark())
+	tbl.storageMu.Unlock()
+
+	tbl.merges.Add(1)
+	return res
+}
+
+// AutoMergeAll merges every table whose delta exceeds the configured
+// threshold; it returns the number of tables merged. Call it from a
+// background ticker for HANA-style automatic delta management.
+func (e *Engine) AutoMergeAll() int {
+	merged := 0
+	for _, name := range e.Tables() {
+		tbl, err := e.Table(name)
+		if err != nil {
+			continue
+		}
+		if tbl.DeltaRows() >= e.opts.MergeThreshold {
+			e.mergeTable(tbl)
+			merged++
+		}
+	}
+	return merged
+}
+
+// StartAutoMerge runs AutoMergeAll on an interval until stop is closed.
+func (e *Engine) StartAutoMerge(interval time.Duration, stop <-chan struct{}) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				e.AutoMergeAll()
+			}
+		}
+	}()
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/exec"
+	"repro/internal/storage/colstore"
+	"repro/internal/types"
+)
+
+// ScanOperator returns an exec.Operator streaming the visible rows of a
+// table at this transaction's snapshot, with optional projection and
+// pushed-down predicates. It bridges storage into the vectorized
+// pipeline (and, through it, into the SQL layer).
+func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) (exec.Operator, error) {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if proj == nil {
+		proj = make([]int, len(tbl.schema.Cols))
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	schema := projectSchema(tbl.schema, proj)
+	readTS, self := t.inner.ReadTS, t.inner.ID
+	var batches []*types.Batch
+	loaded := false
+	gen := func(reset bool) (*types.Batch, error) {
+		if reset {
+			batches = nil
+			loaded = false
+			return nil, nil
+		}
+		if !loaded {
+			scanTable(tbl, readTS, self, proj, preds, func(b *types.Batch) bool {
+				batches = append(batches, b)
+				return true
+			})
+			loaded = true
+		}
+		if len(batches) == 0 {
+			return nil, nil
+		}
+		b := batches[0]
+		batches = batches[1:]
+		return b, nil
+	}
+	return exec.NewCallbackSource(schema, gen), nil
+}

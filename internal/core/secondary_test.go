@@ -1,0 +1,203 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, func(tx *Tx) error {
+		for i := int64(0); i < 100; i++ {
+			cat := fmt.Sprintf("cat-%d", i%5)
+			if err := tx.Insert("items", types.Row{types.NewInt(i), types.NewString(cat), types.NewInt(i)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.CreateIndex("items", "by_cat", []string{"cat"}, true); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("cat-3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("lookup returned %d rows, want 20", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].S != "cat-3" {
+			t.Fatalf("wrong row: %v", r)
+		}
+	}
+	// Missing key, missing index.
+	rows, err = tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("nope")})
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("missing key: %v %v", rows, err)
+	}
+	if _, err := tx.LookupByIndex("items", "nope", types.Row{types.NewString("x")}); err == nil {
+		t.Fatal("missing index should error")
+	}
+}
+
+func TestIndexMaintainedByWrites(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateIndex("items", "by_cat", []string{"cat"}, true); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, func(tx *Tx) error { return tx.Insert("items", row(1, "red", 1)) })
+	mustExec(t, e, func(tx *Tx) error { return tx.Insert("items", row(2, "red", 2)) })
+
+	tx := e.Begin()
+	rows, _ := tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("red")})
+	if len(rows) != 2 {
+		t.Fatalf("after inserts: %d rows", len(rows))
+	}
+	tx.Abort()
+
+	// Update moves a row to a new index key; old entries are stale and
+	// must be filtered by validation.
+	mustExec(t, e, func(tx *Tx) error { return tx.Update("items", key(1), row(1, "blue", 1)) })
+	tx = e.Begin()
+	rows, _ = tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("red")})
+	if len(rows) != 1 || rows[0][0].I != 2 {
+		t.Fatalf("after update, red = %v", rows)
+	}
+	rows, _ = tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("blue")})
+	if len(rows) != 1 || rows[0][0].I != 1 {
+		t.Fatalf("after update, blue = %v", rows)
+	}
+	tx.Abort()
+
+	// Delete removes visibility.
+	mustExec(t, e, func(tx *Tx) error { return tx.Delete("items", key(2)) })
+	tx = e.Begin()
+	rows, _ = tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("red")})
+	if len(rows) != 0 {
+		t.Fatalf("after delete, red = %v", rows)
+	}
+	tx.Abort()
+}
+
+func TestIndexAbortRollsBackEntries(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateIndex("items", "by_cat", []string{"cat"}, false); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	tx.Insert("items", row(1, "ghost", 1))
+	tx.Abort()
+	tx2 := e.Begin()
+	defer tx2.Abort()
+	rows, err := tx2.LookupByIndex("items", "by_cat", types.Row{types.NewString("ghost")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("aborted insert visible via index: %v", rows)
+	}
+}
+
+func TestIndexUncommittedInvisibleToOthers(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateIndex("items", "by_cat", []string{"cat"}, true); err != nil {
+		t.Fatal(err)
+	}
+	t1 := e.Begin()
+	t1.Insert("items", row(1, "pending", 1))
+	// The writer sees its own row through the index.
+	rows, _ := t1.LookupByIndex("items", "by_cat", types.Row{types.NewString("pending")})
+	if len(rows) != 1 {
+		t.Fatalf("own write via index: %v", rows)
+	}
+	// Another transaction does not.
+	t2 := e.Begin()
+	rows, _ = t2.LookupByIndex("items", "by_cat", types.Row{types.NewString("pending")})
+	if len(rows) != 0 {
+		t.Fatalf("uncommitted write leaked via index: %v", rows)
+	}
+	t2.Abort()
+	t1.Commit()
+}
+
+func TestIndexRangeLookup(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, func(tx *Tx) error {
+		for i := int64(0); i < 50; i++ {
+			if err := tx.Insert("items", types.Row{types.NewInt(i), types.NewString("x"), types.NewInt(i * 10)}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.CreateIndex("items", "by_qty", []string{"qty"}, true); err != nil {
+		t.Fatal(err)
+	}
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := tx.LookupByIndexRange("items", "by_qty",
+		types.Row{types.NewInt(100)}, types.Row{types.NewInt(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("range lookup = %d rows, want 10", len(rows))
+	}
+	// Hash indexes reject ranges.
+	if err := e.CreateIndex("items", "h", []string{"qty"}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.LookupByIndexRange("items", "h", nil, nil); err == nil {
+		t.Fatal("hash range lookup should error")
+	}
+}
+
+func TestIndexSurvivesMerge(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, func(tx *Tx) error {
+		for i := int64(0); i < 30; i++ {
+			if err := tx.Insert("items", row(i, "m", i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err := e.CreateIndex("items", "by_cat", []string{"cat"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Merge("items"); err != nil {
+		t.Fatal(err)
+	}
+	// Index lookups validate through Get, which reads the column store
+	// after the merge.
+	tx := e.Begin()
+	defer tx.Abort()
+	rows, err := tx.LookupByIndex("items", "by_cat", types.Row{types.NewString("m")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 30 {
+		t.Fatalf("post-merge index lookup = %d rows", len(rows))
+	}
+}
+
+func TestCreateIndexErrors(t *testing.T) {
+	e := newTestEngine(t)
+	if err := e.CreateIndex("missing", "i", []string{"cat"}, true); err == nil {
+		t.Fatal("index on missing table")
+	}
+	if err := e.CreateIndex("items", "i", []string{"nope"}, true); err == nil {
+		t.Fatal("index on missing column")
+	}
+	if err := e.CreateIndex("items", "i", []string{"cat"}, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateIndex("items", "i", []string{"cat"}, true); err == nil {
+		t.Fatal("duplicate index name")
+	}
+}

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"container/heap"
+
+	"repro/internal/types"
+)
+
+// Distinct removes duplicate rows (all columns), streaming: each batch
+// is filtered against the set of rows already seen.
+type Distinct struct {
+	in   Operator
+	seen map[uint64][]types.Row
+	cols []int
+}
+
+// NewDistinct wraps in with duplicate elimination.
+func NewDistinct(in Operator) *Distinct {
+	n := len(in.Schema().Cols)
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return &Distinct{in: in, seen: make(map[uint64][]types.Row), cols: cols}
+}
+
+// Schema implements Operator.
+func (d *Distinct) Schema() *types.Schema { return d.in.Schema() }
+
+// Next implements Operator.
+func (d *Distinct) Next() (*types.Batch, error) {
+	for {
+		b, err := d.in.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := types.NewBatch(b.Schema, b.Len())
+		n := 0
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			h := types.HashRow(row, d.cols)
+			dup := false
+			for _, prev := range d.seen[h] {
+				if types.CompareKeys(prev, row) == 0 {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			d.seen[h] = append(d.seen[h], row)
+			out.AppendRow(row)
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+// Reset implements Operator.
+func (d *Distinct) Reset() {
+	d.in.Reset()
+	d.seen = make(map[uint64][]types.Row)
+}
+
+// TopN is a fused ORDER BY + LIMIT: it keeps only the best n rows in a
+// bounded heap instead of materializing and sorting the whole input —
+// the standard optimization for "top-k" analytic queries.
+type TopN struct {
+	in   Operator
+	keys []SortKey
+	n    int
+	done bool
+}
+
+// NewTopN returns the first n rows of in under the sort keys.
+func NewTopN(in Operator, keys []SortKey, n int) *TopN {
+	return &TopN{in: in, keys: keys, n: n}
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *types.Schema { return t.in.Schema() }
+
+type topNRow struct {
+	row  types.Row
+	keys types.Row
+}
+
+// topNHeap is a max-heap under the sort order, so the root is the worst
+// retained row (evicted first).
+type topNHeap struct {
+	rows []topNRow
+	spec []SortKey
+}
+
+func (h *topNHeap) Len() int { return len(h.rows) }
+func (h *topNHeap) Less(i, j int) bool {
+	// Max-heap: i sorts after j => i is "less" in heap order.
+	return h.after(h.rows[i].keys, h.rows[j].keys)
+}
+func (h *topNHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topNHeap) Push(x any)    { h.rows = append(h.rows, x.(topNRow)) }
+func (h *topNHeap) Pop() any {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}
+
+// after reports whether key a sorts strictly after b.
+func (h *topNHeap) after(a, b types.Row) bool {
+	for k, sk := range h.spec {
+		c := types.Compare(a[k], b[k])
+		if c == 0 {
+			continue
+		}
+		if sk.Desc {
+			return c < 0
+		}
+		return c > 0
+	}
+	return false
+}
+
+// Next implements Operator: drains the input through the bounded heap
+// and emits one sorted batch.
+func (t *TopN) Next() (*types.Batch, error) {
+	if t.done {
+		return nil, nil
+	}
+	t.done = true
+	h := &topNHeap{spec: t.keys}
+	for {
+		b, err := t.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			ks := make(types.Row, len(t.keys))
+			for k, sk := range t.keys {
+				ks[k] = sk.E.Eval(b, i)
+			}
+			if h.Len() < t.n {
+				heap.Push(h, topNRow{row: b.Row(i), keys: ks})
+				continue
+			}
+			// Replace the worst retained row if this one sorts before it.
+			if t.n > 0 && h.after(h.rows[0].keys, ks) {
+				h.rows[0] = topNRow{row: b.Row(i), keys: ks}
+				heap.Fix(h, 0)
+			}
+		}
+	}
+	if h.Len() == 0 {
+		return nil, nil
+	}
+	// Pop yields worst-first; fill the batch back-to-front.
+	ordered := make([]types.Row, h.Len())
+	for i := len(ordered) - 1; i >= 0; i-- {
+		ordered[i] = heap.Pop(h).(topNRow).row
+	}
+	out := types.NewBatch(t.in.Schema(), len(ordered))
+	for _, r := range ordered {
+		out.AppendRow(r)
+	}
+	return out, nil
+}
+
+// Reset implements Operator.
+func (t *TopN) Reset() {
+	t.in.Reset()
+	t.done = false
+}

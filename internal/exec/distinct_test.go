@@ -1,0 +1,126 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func TestDistinct(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	var rows []types.Row
+	for i := 0; i < 100; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i % 7))})
+	}
+	d := NewDistinct(NewSourceFromRows(s, rows, 13))
+	got, err := Collect(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("distinct = %d rows", len(got))
+	}
+	// Reset re-executes cleanly.
+	d.Reset()
+	got, _ = Collect(d)
+	if len(got) != 7 {
+		t.Fatalf("post-reset distinct = %d rows", len(got))
+	}
+}
+
+func TestDistinctMultiColumn(t *testing.T) {
+	s := types.MustSchema([]types.Column{
+		{Name: "a", Type: types.Int64}, {Name: "b", Type: types.String},
+	})
+	rows := []types.Row{
+		{types.NewInt(1), types.NewString("x")},
+		{types.NewInt(1), types.NewString("y")},
+		{types.NewInt(1), types.NewString("x")},
+	}
+	got, _ := Collect(NewDistinct(NewSourceFromRows(s, rows, 2)))
+	if len(got) != 2 {
+		t.Fatalf("distinct = %v", got)
+	}
+}
+
+func TestTopNMatchesSortLimit(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	rng := rand.New(rand.NewSource(8))
+	var rows []types.Row
+	for i := 0; i < 1000; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(rng.Intn(10000)))})
+	}
+	for _, desc := range []bool{false, true} {
+		for _, n := range []int{1, 10, 100, 2000} {
+			keys := []SortKey{{E: &ColRef{Idx: 0}, Desc: desc}}
+			top := NewTopN(NewSourceFromRows(s, rows, 64), keys, n)
+			gotRows, err := Collect(top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := NewLimit(NewSort(NewSourceFromRows(s, rows, 64), keys), n, 0)
+			wantRows, _ := Collect(ref)
+			if len(gotRows) != len(wantRows) {
+				t.Fatalf("desc=%v n=%d: %d vs %d rows", desc, n, len(gotRows), len(wantRows))
+			}
+			for i := range wantRows {
+				if gotRows[i][0].I != wantRows[i][0].I {
+					t.Fatalf("desc=%v n=%d row %d: %v vs %v", desc, n, i, gotRows[i], wantRows[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopNQuick(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	f := func(vals []int16, nRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		n := int(nRaw)%len(vals) + 1
+		rows := make([]types.Row, len(vals))
+		ints := make([]int, len(vals))
+		for i, v := range vals {
+			rows[i] = types.Row{types.NewInt(int64(v))}
+			ints[i] = int(v)
+		}
+		top := NewTopN(NewSourceFromRows(s, rows, 16),
+			[]SortKey{{E: &ColRef{Idx: 0}}}, n)
+		got, err := Collect(top)
+		if err != nil {
+			return false
+		}
+		sort.Ints(ints)
+		if len(got) != n {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if got[i][0].I != int64(ints[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopNEmptyAndZero(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	top := NewTopN(NewSourceFromRows(s, nil, 4), []SortKey{{E: &ColRef{Idx: 0}}}, 5)
+	got, err := Collect(top)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	top0 := NewTopN(NewSourceFromRows(s, []types.Row{{types.NewInt(1)}}, 4),
+		[]SortKey{{E: &ColRef{Idx: 0}}}, 0)
+	got, _ = Collect(top0)
+	if len(got) != 0 {
+		t.Fatalf("n=0: %v", got)
+	}
+}

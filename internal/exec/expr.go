@@ -1,0 +1,338 @@
+// Package exec implements the query execution engine: a vectorized
+// (batch-at-a-time) operator pipeline in the style the tutorial
+// attributes to HANA, BLU, and Vectorwise-lineage systems, plus a
+// tuple-at-a-time "volcano" baseline used by experiment E10 to reproduce
+// the claim that vectorized execution dominates.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Expr is a scalar expression evaluated against one row of a batch.
+type Expr interface {
+	// Eval computes the expression for logical row i of b.
+	Eval(b *types.Batch, i int) types.Value
+	// Type reports the result type given the input schema.
+	Type(s *types.Schema) types.Type
+	// String renders the expression.
+	String() string
+}
+
+// ColRef references input column Idx.
+type ColRef struct {
+	Idx  int
+	Name string
+}
+
+// Eval returns the column value.
+func (c *ColRef) Eval(b *types.Batch, i int) types.Value {
+	return b.Cols[c.Idx].Get(b.RowIdx(i))
+}
+
+// Type returns the column type.
+func (c *ColRef) Type(s *types.Schema) types.Type { return s.Cols[c.Idx].Type }
+
+// String renders the reference.
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Idx)
+}
+
+// Const is a literal value.
+type Const struct{ Val types.Value }
+
+// Eval returns the literal.
+func (c *Const) Eval(b *types.Batch, i int) types.Value { return c.Val }
+
+// Type returns the literal's type.
+func (c *Const) Type(s *types.Schema) types.Type { return c.Val.Typ }
+
+// String renders the literal.
+func (c *Const) String() string {
+	if c.Val.Typ == types.String && !c.Val.Null {
+		return "'" + c.Val.S + "'"
+	}
+	return c.Val.String()
+}
+
+// BinOpKind enumerates binary operators.
+type BinOpKind uint8
+
+// Binary operators.
+const (
+	OpAdd BinOpKind = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+)
+
+var binOpNames = map[BinOpKind]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "=", OpNe: "<>", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "AND", OpOr: "OR",
+}
+
+// IsComparison reports whether the operator yields a boolean from a
+// comparison.
+func (k BinOpKind) IsComparison() bool { return k >= OpEq && k <= OpGe }
+
+// BinOp applies a binary operator to two sub-expressions.
+type BinOp struct {
+	Kind BinOpKind
+	L, R Expr
+}
+
+// Eval computes the operation with SQL NULL semantics (NULL propagates;
+// comparisons with NULL are false; AND/OR use two-valued shortcut over
+// non-null operands).
+func (o *BinOp) Eval(b *types.Batch, i int) types.Value {
+	l := o.L.Eval(b, i)
+	switch o.Kind {
+	case OpAnd:
+		if !l.Null && !l.Bool() {
+			return types.NewBool(false)
+		}
+		r := o.R.Eval(b, i)
+		if l.Null || r.Null {
+			return types.NewNull(types.Bool)
+		}
+		return types.NewBool(l.Bool() && r.Bool())
+	case OpOr:
+		if !l.Null && l.Bool() {
+			return types.NewBool(true)
+		}
+		r := o.R.Eval(b, i)
+		if l.Null || r.Null {
+			return types.NewNull(types.Bool)
+		}
+		return types.NewBool(l.Bool() || r.Bool())
+	}
+	r := o.R.Eval(b, i)
+	if l.Null || r.Null {
+		if o.Kind.IsComparison() {
+			return types.NewNull(types.Bool)
+		}
+		return types.NewNull(l.Typ)
+	}
+	if o.Kind.IsComparison() {
+		c := types.Compare(l, r)
+		switch o.Kind {
+		case OpEq:
+			return types.NewBool(c == 0)
+		case OpNe:
+			return types.NewBool(c != 0)
+		case OpLt:
+			return types.NewBool(c < 0)
+		case OpLe:
+			return types.NewBool(c <= 0)
+		case OpGt:
+			return types.NewBool(c > 0)
+		case OpGe:
+			return types.NewBool(c >= 0)
+		}
+	}
+	return evalArith(o.Kind, l, r)
+}
+
+func evalArith(k BinOpKind, l, r types.Value) types.Value {
+	// String concatenation via +.
+	if k == OpAdd && l.Typ == types.String && r.Typ == types.String {
+		return types.NewString(l.S + r.S)
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return types.NewNull(l.Typ)
+	}
+	if l.Typ == types.Float64 || r.Typ == types.Float64 {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch k {
+		case OpAdd:
+			return types.NewFloat(a + b)
+		case OpSub:
+			return types.NewFloat(a - b)
+		case OpMul:
+			return types.NewFloat(a * b)
+		case OpDiv:
+			if b == 0 {
+				return types.NewNull(types.Float64)
+			}
+			return types.NewFloat(a / b)
+		case OpMod:
+			return types.NewNull(types.Float64)
+		}
+	}
+	a, b := l.I, r.I
+	switch k {
+	case OpAdd:
+		return types.NewInt(a + b)
+	case OpSub:
+		return types.NewInt(a - b)
+	case OpMul:
+		return types.NewInt(a * b)
+	case OpDiv:
+		if b == 0 {
+			return types.NewNull(types.Int64)
+		}
+		return types.NewInt(a / b)
+	case OpMod:
+		if b == 0 {
+			return types.NewNull(types.Int64)
+		}
+		return types.NewInt(a % b)
+	}
+	return types.NewNull(types.Int64)
+}
+
+// Type infers the result type.
+func (o *BinOp) Type(s *types.Schema) types.Type {
+	if o.Kind.IsComparison() || o.Kind == OpAnd || o.Kind == OpOr {
+		return types.Bool
+	}
+	lt, rt := o.L.Type(s), o.R.Type(s)
+	if lt == types.String && rt == types.String {
+		return types.String
+	}
+	// Integer division yields an integer (Postgres semantics); mixed
+	// arithmetic promotes to float.
+	if lt == types.Float64 || rt == types.Float64 {
+		return types.Float64
+	}
+	return lt
+}
+
+// String renders the operation.
+func (o *BinOp) String() string {
+	return fmt.Sprintf("(%s %s %s)", o.L, binOpNames[o.Kind], o.R)
+}
+
+// Not negates a boolean expression.
+type Not struct{ E Expr }
+
+// Eval negates with NULL propagation.
+func (n *Not) Eval(b *types.Batch, i int) types.Value {
+	v := n.E.Eval(b, i)
+	if v.Null {
+		return types.NewNull(types.Bool)
+	}
+	return types.NewBool(!v.Bool())
+}
+
+// Type is Bool.
+func (n *Not) Type(s *types.Schema) types.Type { return types.Bool }
+
+// String renders the negation.
+func (n *Not) String() string { return "NOT " + n.E.String() }
+
+// IsNull tests a value for NULL (IS NULL / IS NOT NULL).
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval tests nullness.
+func (e *IsNull) Eval(b *types.Batch, i int) types.Value {
+	v := e.E.Eval(b, i)
+	return types.NewBool(v.Null != e.Negate)
+}
+
+// Type is Bool.
+func (e *IsNull) Type(s *types.Schema) types.Type { return types.Bool }
+
+// String renders the test.
+func (e *IsNull) String() string {
+	if e.Negate {
+		return e.E.String() + " IS NOT NULL"
+	}
+	return e.E.String() + " IS NULL"
+}
+
+// InList tests membership in a literal list.
+type InList struct {
+	E    Expr
+	Vals []types.Value
+}
+
+// Eval tests membership.
+func (e *InList) Eval(b *types.Batch, i int) types.Value {
+	v := e.E.Eval(b, i)
+	if v.Null {
+		return types.NewNull(types.Bool)
+	}
+	for _, c := range e.Vals {
+		if types.Equal(v, c) {
+			return types.NewBool(true)
+		}
+	}
+	return types.NewBool(false)
+}
+
+// Type is Bool.
+func (e *InList) Type(s *types.Schema) types.Type { return types.Bool }
+
+// String renders the membership test.
+func (e *InList) String() string {
+	parts := make([]string, len(e.Vals))
+	for i, v := range e.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", e.E, strings.Join(parts, ", "))
+}
+
+// Like implements a simple SQL LIKE with % and _ wildcards.
+type Like struct {
+	E       Expr
+	Pattern string
+}
+
+// Eval matches the pattern.
+func (e *Like) Eval(b *types.Batch, i int) types.Value {
+	v := e.E.Eval(b, i)
+	if v.Null {
+		return types.NewNull(types.Bool)
+	}
+	return types.NewBool(likeMatch(v.S, e.Pattern))
+}
+
+// Type is Bool.
+func (e *Like) Type(s *types.Schema) types.Type { return types.Bool }
+
+// String renders the match.
+func (e *Like) String() string { return fmt.Sprintf("%s LIKE '%s'", e.E, e.Pattern) }
+
+// likeMatch implements %/_ glob matching without regexp.
+func likeMatch(s, p string) bool {
+	// Dynamic programming over (s, p) with memo via iterative two-row.
+	m, n := len(s), len(p)
+	prev := make([]bool, m+1)
+	cur := make([]bool, m+1)
+	prev[0] = true
+	for j := 1; j <= n; j++ {
+		cur[0] = prev[0] && p[j-1] == '%'
+		for i := 1; i <= m; i++ {
+			switch p[j-1] {
+			case '%':
+				cur[i] = cur[i-1] || prev[i]
+			case '_':
+				cur[i] = prev[i-1]
+			default:
+				cur[i] = prev[i-1] && s[i-1] == p[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}

@@ -1,0 +1,137 @@
+package exec
+
+import (
+	"repro/internal/types"
+)
+
+// JoinKind selects join semantics.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+)
+
+// HashJoin is a build/probe equi-join: the right (build) side is
+// materialized into a hash table, the left (probe) side streams.
+type HashJoin struct {
+	left, right Operator
+	leftKeys    []int
+	rightKeys   []int
+	kind        JoinKind
+	schema      *types.Schema
+
+	built bool
+	table map[uint64][]types.Row
+}
+
+// NewHashJoin joins left and right on leftKeys[i] = rightKeys[i].
+func NewHashJoin(left, right Operator, leftKeys, rightKeys []int, kind JoinKind) *HashJoin {
+	ls, rs := left.Schema(), right.Schema()
+	cols := make([]types.Column, 0, len(ls.Cols)+len(rs.Cols))
+	cols = append(cols, ls.Cols...)
+	cols = append(cols, rs.Cols...)
+	return &HashJoin{
+		left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		kind:   kind,
+		schema: &types.Schema{Cols: cols},
+	}
+}
+
+// Schema implements Operator.
+func (j *HashJoin) Schema() *types.Schema { return j.schema }
+
+func (j *HashJoin) build() error {
+	j.table = make(map[uint64][]types.Row)
+	for {
+		b, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			row := b.Row(i)
+			if rowKeyHasNull(row, j.rightKeys) {
+				continue // NULL keys never join
+			}
+			h := types.HashRow(row, j.rightKeys)
+			j.table[h] = append(j.table[h], row)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+// Next implements Operator.
+func (j *HashJoin) Next() (*types.Batch, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		b, err := j.left.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := types.NewBatch(j.schema, b.Len())
+		n := 0
+		rightWidth := len(j.schema.Cols) - len(j.left.Schema().Cols)
+		for i := 0; i < b.Len(); i++ {
+			lrow := b.Row(i)
+			matched := false
+			if !rowKeyHasNull(lrow, j.leftKeys) {
+				h := types.HashRow(lrow, j.leftKeys)
+				for _, rrow := range j.table[h] {
+					if joinKeysEqual(lrow, rrow, j.leftKeys, j.rightKeys) {
+						out.AppendRow(append(lrow.Clone(), rrow...))
+						matched = true
+						n++
+					}
+				}
+			}
+			if !matched && j.kind == LeftJoin {
+				pad := lrow.Clone()
+				for c := 0; c < rightWidth; c++ {
+					pad = append(pad, types.NewNull(j.schema.Cols[len(lrow)+c].Type))
+				}
+				out.AppendRow(pad)
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+// Reset implements Operator.
+func (j *HashJoin) Reset() {
+	j.left.Reset()
+	j.right.Reset()
+	j.built = false
+	j.table = nil
+}
+
+func rowKeyHasNull(r types.Row, keys []int) bool {
+	for _, k := range keys {
+		if r[k].Null {
+			return true
+		}
+	}
+	return false
+}
+
+func joinKeysEqual(l, r types.Row, lk, rk []int) bool {
+	for i := range lk {
+		if types.Compare(l[lk[i]], r[rk[i]]) != 0 {
+			return false
+		}
+	}
+	return true
+}

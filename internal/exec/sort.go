@@ -1,0 +1,83 @@
+package exec
+
+import (
+	"sort"
+
+	"repro/internal/types"
+)
+
+// SortKey orders by one expression.
+type SortKey struct {
+	E    Expr
+	Desc bool
+}
+
+// Sort materializes the input and emits it ordered by the keys.
+type Sort struct {
+	in   Operator
+	keys []SortKey
+	done bool
+}
+
+// NewSort wraps in with an ORDER BY.
+func NewSort(in Operator, keys []SortKey) *Sort { return &Sort{in: in, keys: keys} }
+
+// Schema implements Operator.
+func (s *Sort) Schema() *types.Schema { return s.in.Schema() }
+
+// Next implements Operator: first call drains, sorts, and emits one
+// batch.
+func (s *Sort) Next() (*types.Batch, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	type keyed struct {
+		row  types.Row
+		keys types.Row
+	}
+	var rows []keyed
+	for {
+		b, err := s.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			ks := make(types.Row, len(s.keys))
+			for k, sk := range s.keys {
+				ks[k] = sk.E.Eval(b, i)
+			}
+			rows = append(rows, keyed{row: b.Row(i), keys: ks})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for k, sk := range s.keys {
+			c := types.Compare(rows[i].keys[k], rows[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if sk.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := types.NewBatch(s.in.Schema(), len(rows))
+	for _, r := range rows {
+		out.AppendRow(r.row)
+	}
+	return out, nil
+}
+
+// Reset implements Operator.
+func (s *Sort) Reset() {
+	s.in.Reset()
+	s.done = false
+}

@@ -1,0 +1,201 @@
+package index
+
+import (
+	"repro/internal/types"
+)
+
+// btreeDegree is the minimum degree: every node except the root holds at
+// least degree-1 and at most 2*degree-1 keys.
+const btreeDegree = 16
+
+// BTree is an in-memory B+-tree mapping types.Row keys to int64 row ids.
+// It backs ordered secondary indexes. It is not safe for concurrent
+// mutation; the owning table serializes index maintenance.
+type BTree struct {
+	root *btNode
+	size int
+}
+
+type btNode struct {
+	keys     []types.Row
+	vals     []int64
+	children []*btNode // nil for leaves
+}
+
+func (n *btNode) leaf() bool { return n.children == nil }
+
+// NewBTree returns an empty B+-tree.
+func NewBTree() *BTree {
+	return &BTree{root: &btNode{}}
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.size }
+
+// search returns the index of the first key >= k in n, and whether it is
+// an exact match.
+func (n *btNode) search(k types.Row) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if types.CompareKeys(n.keys[mid], k) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && types.CompareKeys(n.keys[lo], k) == 0
+}
+
+// Get returns the value for k and whether it is present.
+func (t *BTree) Get(k types.Row) (int64, bool) {
+	n := t.root
+	for {
+		i, ok := n.search(k)
+		if ok {
+			return n.vals[i], true
+		}
+		if n.leaf() {
+			return 0, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set inserts or updates k -> v.
+func (t *BTree) Set(k types.Row, v int64) {
+	r := t.root
+	if len(r.keys) == 2*btreeDegree-1 {
+		newRoot := &btNode{children: []*btNode{r}}
+		newRoot.splitChild(0)
+		t.root = newRoot
+	}
+	if t.root.insertNonFull(k, v) {
+		t.size++
+	}
+}
+
+// splitChild splits the full child at position i.
+func (n *btNode) splitChild(i int) {
+	child := n.children[i]
+	mid := btreeDegree - 1
+	right := &btNode{
+		keys: append([]types.Row(nil), child.keys[mid+1:]...),
+		vals: append([]int64(nil), child.vals[mid+1:]...),
+	}
+	if !child.leaf() {
+		right.children = append([]*btNode(nil), child.children[mid+1:]...)
+	}
+	midKey, midVal := child.keys[mid], child.vals[mid]
+	child.keys = child.keys[:mid]
+	child.vals = child.vals[:mid]
+	if !child.leaf() {
+		child.children = child.children[:mid+1]
+	}
+	n.keys = append(n.keys, nil)
+	copy(n.keys[i+1:], n.keys[i:])
+	n.keys[i] = midKey
+	n.vals = append(n.vals, 0)
+	copy(n.vals[i+1:], n.vals[i:])
+	n.vals[i] = midVal
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known to have room; reports whether a
+// new key was added (false = update).
+func (n *btNode) insertNonFull(k types.Row, v int64) bool {
+	i, ok := n.search(k)
+	if ok {
+		n.vals[i] = v
+		return false
+	}
+	if n.leaf() {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = k.Clone()
+		n.vals = append(n.vals, 0)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = v
+		return true
+	}
+	if len(n.children[i].keys) == 2*btreeDegree-1 {
+		n.splitChild(i)
+		if types.CompareKeys(k, n.keys[i]) > 0 {
+			i++
+		} else if types.CompareKeys(k, n.keys[i]) == 0 {
+			n.vals[i] = v
+			return false
+		}
+	}
+	return n.children[i].insertNonFull(k, v)
+}
+
+// Delete removes k; reports whether it was present. This B+-tree uses
+// lazy deletion (tombstone-free removal from leaves, no rebalancing),
+// which is adequate for secondary indexes that are rebuilt at merge time.
+func (t *BTree) Delete(k types.Row) bool {
+	if t.deleteFrom(t.root, k) {
+		t.size--
+		return true
+	}
+	return false
+}
+
+func (t *BTree) deleteFrom(n *btNode, k types.Row) bool {
+	i, ok := n.search(k)
+	if ok {
+		if n.leaf() {
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.vals = append(n.vals[:i], n.vals[i+1:]...)
+			return true
+		}
+		// Replace with predecessor (rightmost key of left subtree).
+		pred := n.children[i]
+		for !pred.leaf() {
+			pred = pred.children[len(pred.children)-1]
+		}
+		last := len(pred.keys) - 1
+		n.keys[i], n.vals[i] = pred.keys[last], pred.vals[last]
+		pred.keys = pred.keys[:last]
+		pred.vals = pred.vals[:last]
+		return true
+	}
+	if n.leaf() {
+		return false
+	}
+	return t.deleteFrom(n.children[i], k)
+}
+
+// Ascend calls fn for each key-value pair with from <= key < to (nil
+// bounds open) in ascending order, stopping if fn returns false.
+func (t *BTree) Ascend(from, to types.Row, fn func(k types.Row, v int64) bool) {
+	t.ascend(t.root, from, to, fn)
+}
+
+func (t *BTree) ascend(n *btNode, from, to types.Row, fn func(k types.Row, v int64) bool) bool {
+	start := 0
+	if from != nil {
+		start, _ = n.search(from)
+	}
+	for i := start; i <= len(n.keys); i++ {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], from, to, fn) {
+				return false
+			}
+		}
+		if i == len(n.keys) {
+			break
+		}
+		if to != nil && types.CompareKeys(n.keys[i], to) >= 0 {
+			return false
+		}
+		if from == nil || types.CompareKeys(n.keys[i], from) >= 0 {
+			if !fn(n.keys[i], n.vals[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package index
+
+import (
+	"sync"
+
+	"repro/internal/types"
+)
+
+// HashIndex is a concurrent hash index from key rows to row ids,
+// supporting duplicate keys (non-unique secondary indexes). Point lookup
+// only; use BTree for range access.
+type HashIndex struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]hashEntry
+	size    int
+}
+
+type hashEntry struct {
+	key types.Row
+	id  int64
+}
+
+// NewHashIndex returns an empty hash index.
+func NewHashIndex() *HashIndex {
+	return &HashIndex{buckets: make(map[uint64][]hashEntry)}
+}
+
+// Len returns the number of entries (including duplicates).
+func (h *HashIndex) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.size
+}
+
+func keyHash(k types.Row) uint64 {
+	var hv uint64 = 1469598103934665603
+	for _, v := range k {
+		hv ^= v.Hash()
+		hv *= 1099511628211
+	}
+	return hv
+}
+
+// Add inserts an entry (duplicates allowed).
+func (h *HashIndex) Add(k types.Row, id int64) {
+	hv := keyHash(k)
+	h.mu.Lock()
+	h.buckets[hv] = append(h.buckets[hv], hashEntry{key: k.Clone(), id: id})
+	h.size++
+	h.mu.Unlock()
+}
+
+// Remove deletes the entry with exactly this key and id; reports whether
+// it was present.
+func (h *HashIndex) Remove(k types.Row, id int64) bool {
+	hv := keyHash(k)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bucket := h.buckets[hv]
+	for i, e := range bucket {
+		if e.id == id && types.CompareKeys(e.key, k) == 0 {
+			h.buckets[hv] = append(bucket[:i], bucket[i+1:]...)
+			h.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the row ids for key k.
+func (h *HashIndex) Lookup(k types.Row) []int64 {
+	hv := keyHash(k)
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var out []int64
+	for _, e := range h.buckets[hv] {
+		if types.CompareKeys(e.key, k) == 0 {
+			out = append(out, e.id)
+		}
+	}
+	return out
+}

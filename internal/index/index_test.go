@@ -1,0 +1,389 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+func intKey(i int64) types.Row { return types.Row{types.NewInt(i)} }
+
+func TestSkipListGetOrInsert(t *testing.T) {
+	s := NewSkipList[string]()
+	v1 := "one"
+	e, loaded := s.GetOrInsert(intKey(1), &v1)
+	if loaded {
+		t.Fatal("fresh insert reported loaded")
+	}
+	if *e.Load() != "one" {
+		t.Fatal("stored value mismatch")
+	}
+	v2 := "uno"
+	e2, loaded := s.GetOrInsert(intKey(1), &v2)
+	if !loaded {
+		t.Fatal("second insert should load existing")
+	}
+	if *e2.Load() != "one" {
+		t.Fatal("existing value should win")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSkipListGet(t *testing.T) {
+	s := NewSkipList[int]()
+	for i := 0; i < 100; i++ {
+		v := i * 10
+		s.GetOrInsert(intKey(int64(i)), &v)
+	}
+	for i := 0; i < 100; i++ {
+		got := s.Get(intKey(int64(i)))
+		if got == nil || *got != i*10 {
+			t.Fatalf("Get(%d) = %v", i, got)
+		}
+	}
+	if s.Get(intKey(1000)) != nil {
+		t.Error("absent key should return nil")
+	}
+}
+
+func TestSkipListSortedIteration(t *testing.T) {
+	s := NewSkipList[int]()
+	perm := rand.New(rand.NewSource(7)).Perm(500)
+	for _, i := range perm {
+		v := i
+		s.GetOrInsert(intKey(int64(i)), &v)
+	}
+	var got []int64
+	s.Seek(nil, func(k types.Row, e *Entry[int]) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 500 {
+		t.Fatalf("iterated %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("iteration not sorted")
+	}
+}
+
+func TestSkipListSeekAndRange(t *testing.T) {
+	s := NewSkipList[int]()
+	for i := 0; i < 20; i += 2 { // evens 0..18
+		v := i
+		s.GetOrInsert(intKey(int64(i)), &v)
+	}
+	var got []int64
+	s.Seek(intKey(5), func(k types.Row, e *Entry[int]) bool {
+		got = append(got, k[0].I)
+		return len(got) < 3
+	})
+	want := []int64{6, 8, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seek got %v, want %v", got, want)
+		}
+	}
+	got = got[:0]
+	s.Range(intKey(4), intKey(12), func(k types.Row, e *Entry[int]) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	want = []int64{4, 6, 8, 10}
+	if len(got) != len(want) {
+		t.Fatalf("Range got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSkipListEntryCAS(t *testing.T) {
+	s := NewSkipList[int]()
+	v1 := 1
+	e, _ := s.GetOrInsert(intKey(9), &v1)
+	v2 := 2
+	if !e.CompareAndSwap(&v1, &v2) {
+		t.Fatal("CAS should succeed")
+	}
+	if e.CompareAndSwap(&v1, &v2) {
+		t.Fatal("stale CAS should fail")
+	}
+	if *s.Get(intKey(9)) != 2 {
+		t.Fatal("CAS value not visible")
+	}
+	e.Store(&v1)
+	if *e.Load() != 1 {
+		t.Fatal("Store/Load")
+	}
+	if e.Key()[0].I != 9 {
+		t.Fatal("Key")
+	}
+}
+
+func TestSkipListConcurrentInserts(t *testing.T) {
+	s := NewSkipList[int64]()
+	const goroutines = 8
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				k := int64(i) // heavy contention: same key space
+				v := int64(g*perG + i)
+				s.GetOrInsert(intKey(k), &v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != perG {
+		t.Fatalf("Len = %d, want %d (no lost or duplicate keys)", s.Len(), perG)
+	}
+	// Every key present exactly once, iteration sorted.
+	var prev int64 = -1
+	count := 0
+	s.Seek(nil, func(k types.Row, e *Entry[int64]) bool {
+		if k[0].I <= prev {
+			t.Errorf("unsorted or duplicate key %d after %d", k[0].I, prev)
+			return false
+		}
+		prev = k[0].I
+		count++
+		return true
+	})
+	if count != perG {
+		t.Fatalf("iterated %d, want %d", count, perG)
+	}
+}
+
+func TestSkipListConcurrentDisjointInserts(t *testing.T) {
+	s := NewSkipList[int]()
+	const goroutines = 8
+	const perG = 3000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := i
+				s.GetOrInsert(intKey(int64(g*perG+i)), &v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != goroutines*perG {
+		t.Fatalf("Len = %d, want %d", s.Len(), goroutines*perG)
+	}
+}
+
+func TestSkipListCompositeKeys(t *testing.T) {
+	s := NewSkipList[int]()
+	keys := []types.Row{
+		{types.NewInt(1), types.NewString("b")},
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(2), types.NewString("a")},
+	}
+	for i, k := range keys {
+		v := i
+		s.GetOrInsert(k, &v)
+	}
+	var got []string
+	s.Seek(nil, func(k types.Row, e *Entry[int]) bool {
+		got = append(got, fmt.Sprintf("%d%s", k[0].I, k[1].S))
+		return true
+	})
+	want := []string{"1a", "1b", "2a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("composite order got %v", got)
+		}
+	}
+}
+
+func TestBTreeSetGet(t *testing.T) {
+	bt := NewBTree()
+	perm := rand.New(rand.NewSource(3)).Perm(2000)
+	for _, i := range perm {
+		bt.Set(intKey(int64(i)), int64(i*7))
+	}
+	if bt.Len() != 2000 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := 0; i < 2000; i++ {
+		v, ok := bt.Get(intKey(int64(i)))
+		if !ok || v != int64(i*7) {
+			t.Fatalf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := bt.Get(intKey(99999)); ok {
+		t.Error("absent key found")
+	}
+}
+
+func TestBTreeUpdate(t *testing.T) {
+	bt := NewBTree()
+	bt.Set(intKey(5), 1)
+	bt.Set(intKey(5), 2)
+	if bt.Len() != 1 {
+		t.Fatalf("update should not grow tree: Len = %d", bt.Len())
+	}
+	if v, _ := bt.Get(intKey(5)); v != 2 {
+		t.Fatal("update not applied")
+	}
+}
+
+func TestBTreeAscend(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 100; i++ {
+		bt.Set(intKey(int64(i)), int64(i))
+	}
+	var got []int64
+	bt.Ascend(intKey(10), intKey(20), func(k types.Row, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("Ascend [10,20) = %v", got)
+	}
+	got = got[:0]
+	bt.Ascend(nil, nil, func(k types.Row, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 100 {
+		t.Fatalf("full Ascend = %d keys", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("Ascend not sorted")
+	}
+	// Early stop.
+	n := 0
+	bt.Ascend(nil, nil, func(k types.Row, v int64) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	for i := 0; i < 500; i++ {
+		bt.Set(intKey(int64(i)), int64(i))
+	}
+	for i := 0; i < 500; i += 2 {
+		if !bt.Delete(intKey(int64(i))) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if bt.Delete(intKey(0)) {
+		t.Error("double delete should fail")
+	}
+	if bt.Len() != 250 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	for i := 0; i < 500; i++ {
+		_, ok := bt.Get(intKey(int64(i)))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence = %v", i, ok)
+		}
+	}
+	var got []int64
+	bt.Ascend(nil, nil, func(k types.Row, v int64) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 250 || !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Error("post-delete iteration broken")
+	}
+}
+
+func TestBTreeQuickMapEquivalence(t *testing.T) {
+	f := func(ops []int16) bool {
+		bt := NewBTree()
+		ref := map[int64]int64{}
+		for i, op := range ops {
+			k := int64(op % 64)
+			if i%3 == 2 {
+				delete(ref, k)
+				bt.Delete(intKey(k))
+			} else {
+				ref[k] = int64(i)
+				bt.Set(intKey(k), int64(i))
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.Get(intKey(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashIndexBasic(t *testing.T) {
+	h := NewHashIndex()
+	k := types.Row{types.NewString("x")}
+	h.Add(k, 1)
+	h.Add(k, 2)
+	h.Add(types.Row{types.NewString("y")}, 3)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	ids := h.Lookup(k)
+	if len(ids) != 2 {
+		t.Fatalf("Lookup = %v", ids)
+	}
+	if !h.Remove(k, 1) {
+		t.Fatal("Remove failed")
+	}
+	if h.Remove(k, 1) {
+		t.Fatal("double Remove succeeded")
+	}
+	if got := h.Lookup(k); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("post-remove Lookup = %v", got)
+	}
+	if got := h.Lookup(types.Row{types.NewString("zz")}); got != nil {
+		t.Fatalf("absent Lookup = %v", got)
+	}
+}
+
+func TestHashIndexConcurrent(t *testing.T) {
+	h := NewHashIndex()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Add(intKey(int64(i%50)), int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Len() != 8000 {
+		t.Fatalf("Len = %d", h.Len())
+	}
+	if got := h.Lookup(intKey(7)); len(got) != 8*20 {
+		t.Fatalf("Lookup(7) = %d ids", len(got))
+	}
+}

@@ -1,0 +1,179 @@
+// Package numa simulates a NUMA machine so the engine's placement
+// policies can be exercised and measured without NUMA hardware.
+//
+// The tutorial highlights NUMA-awareness as a core dimension of scaling
+// up operational analytics systems (Psaroudakis et al. [31], Li et
+// al. [23], Oracle DBIM's NUMA-distributed column store). Go exposes no
+// NUMA API, so we substitute a cost model: a Topology describes nodes and
+// a relative access-cost matrix (local=1.0, remote>1); memory regions are
+// tagged with a home node; workers are pinned to nodes; every access a
+// worker makes to a region is charged the corresponding cost. Placement
+// policies then differ measurably in total charged cost and in simulated
+// wall-clock work, which is exactly the effect the cited papers measure
+// on hardware.
+package numa
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Topology describes a simulated NUMA machine.
+type Topology struct {
+	// Cost[i][j] is the relative cost of node-i workers touching node-j
+	// memory; the diagonal is 1.
+	Cost [][]float64
+	// nodes is the node count.
+	nodes int
+}
+
+// NewTopology builds a symmetric topology with the given local/remote
+// cost ratio (typical hardware: 1.4–2.2x remote penalty; the tutorial's
+// cited systems assume ~2x).
+func NewTopology(nodes int, remotePenalty float64) *Topology {
+	if nodes < 1 {
+		nodes = 1
+	}
+	t := &Topology{nodes: nodes, Cost: make([][]float64, nodes)}
+	for i := range t.Cost {
+		t.Cost[i] = make([]float64, nodes)
+		for j := range t.Cost[i] {
+			if i == j {
+				t.Cost[i][j] = 1
+			} else {
+				t.Cost[i][j] = remotePenalty
+			}
+		}
+	}
+	return t
+}
+
+// Nodes returns the node count.
+func (t *Topology) Nodes() int { return t.nodes }
+
+// AccessCost returns the relative cost for a worker on node w touching
+// memory on node m.
+func (t *Topology) AccessCost(w, m int) float64 { return t.Cost[w][m] }
+
+// Region is a block of simulated memory homed on one NUMA node.
+type Region struct {
+	Home int // owning node
+	Len  int // element count (abstract units)
+}
+
+// Placement assigns data partitions to home nodes.
+type Placement int
+
+// Placement policies, in the taxonomy of [31]: local (partition i on
+// node i — NUMA-aware), interleaved (round-robin pages — the OS default
+// the papers compare against), and worst-case remote (everything on node
+// 0 while workers run elsewhere — the hotspot anti-pattern).
+const (
+	PlaceLocal Placement = iota
+	PlaceInterleave
+	PlaceRemoteWorst
+)
+
+// String names the placement policy.
+func (p Placement) String() string {
+	switch p {
+	case PlaceLocal:
+		return "local"
+	case PlaceInterleave:
+		return "interleave"
+	case PlaceRemoteWorst:
+		return "remote-worst"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// Place computes the home node for partition part (of nparts total)
+// under the policy on a machine with nodes nodes.
+func Place(p Placement, part, nparts, nodes int) int {
+	switch p {
+	case PlaceLocal:
+		// Partition i lives where worker i runs.
+		return part * nodes / max(nparts, 1) % nodes
+	case PlaceInterleave:
+		return part % nodes
+	case PlaceRemoteWorst:
+		return 0
+	default:
+		return 0
+	}
+}
+
+// maxMeterNodes bounds the per-node controller-load counters.
+const maxMeterNodes = 64
+
+// Meter accumulates charged access costs, the simulator's figure of
+// merit. Total cost is proportional to memory stall cycles on real
+// hardware; CompletionTime additionally models per-node memory
+// controllers serving requests in parallel, so a placement that piles
+// all data on one node bottlenecks on that node's controller — the
+// hotspot effect [23,31] measure.
+type Meter struct {
+	charged atomic.Uint64 // cost in millicost units to stay integral
+	perNode [maxMeterNodes]atomic.Uint64
+}
+
+// Charge records n accesses from a worker on node w to region r under
+// topology t, and returns the charged cost.
+func (m *Meter) Charge(t *Topology, w int, r Region, n int) float64 {
+	c := t.AccessCost(w, r.Home) * float64(n)
+	mc := uint64(c * 1000)
+	m.charged.Add(mc)
+	if r.Home >= 0 && r.Home < maxMeterNodes {
+		m.perNode[r.Home].Add(mc)
+	}
+	return c
+}
+
+// Total returns the accumulated cost.
+func (m *Meter) Total() float64 { return float64(m.charged.Load()) / 1000 }
+
+// NodeLoad returns the cost served by node n's memory controller.
+func (m *Meter) NodeLoad(n int) float64 {
+	if n < 0 || n >= maxMeterNodes {
+		return 0
+	}
+	return float64(m.perNode[n].Load()) / 1000
+}
+
+// CompletionTime returns the bandwidth-bound completion estimate: the
+// maximum load on any single memory controller (controllers drain in
+// parallel, so the busiest one gates the scan).
+func (m *Meter) CompletionTime(nodes int) float64 {
+	var worst float64
+	for n := 0; n < nodes && n < maxMeterNodes; n++ {
+		if l := m.NodeLoad(n); l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.charged.Store(0)
+	for i := range m.perNode {
+		m.perNode[i].Store(0)
+	}
+}
+
+// WorkerNode maps worker w of nworkers onto a node (block assignment:
+// contiguous worker ranges share a node, like pinned thread pools).
+func WorkerNode(w, nworkers, nodes int) int {
+	if nworkers <= 0 {
+		return 0
+	}
+	return w * nodes / nworkers % nodes
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,141 @@
+package numa
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTopologyCosts(t *testing.T) {
+	topo := NewTopology(4, 2.0)
+	if topo.Nodes() != 4 {
+		t.Fatalf("Nodes = %d", topo.Nodes())
+	}
+	if topo.AccessCost(1, 1) != 1.0 {
+		t.Error("local cost must be 1")
+	}
+	if topo.AccessCost(0, 3) != 2.0 {
+		t.Error("remote cost must be the penalty")
+	}
+}
+
+func TestTopologyMinimumOneNode(t *testing.T) {
+	topo := NewTopology(0, 2.0)
+	if topo.Nodes() != 1 {
+		t.Fatalf("Nodes = %d, want clamp to 1", topo.Nodes())
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlaceLocal.String() != "local" || PlaceInterleave.String() != "interleave" || PlaceRemoteWorst.String() != "remote-worst" {
+		t.Error("Placement.String")
+	}
+}
+
+func TestPlaceLocalAlignsWithWorkers(t *testing.T) {
+	// With equal partitions and workers, local placement puts partition
+	// i on the node of worker i.
+	const nodes, n = 4, 8
+	for i := 0; i < n; i++ {
+		if Place(PlaceLocal, i, n, nodes) != WorkerNode(i, n, nodes) {
+			t.Fatalf("partition %d: place %d != worker node %d", i,
+				Place(PlaceLocal, i, n, nodes), WorkerNode(i, n, nodes))
+		}
+	}
+}
+
+func TestPlaceInterleaveCoversAllNodes(t *testing.T) {
+	const nodes = 4
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		seen[Place(PlaceInterleave, i, 16, nodes)] = true
+	}
+	if len(seen) != nodes {
+		t.Fatalf("interleave used %d nodes", len(seen))
+	}
+}
+
+func TestPlaceRemoteWorstIsNode0(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		if Place(PlaceRemoteWorst, i, 8, 4) != 0 {
+			t.Fatal("remote-worst must pin node 0")
+		}
+	}
+}
+
+func TestMeterCharge(t *testing.T) {
+	topo := NewTopology(2, 2.0)
+	var m Meter
+	c := m.Charge(topo, 0, Region{Home: 0, Len: 100}, 100)
+	if c != 100 {
+		t.Fatalf("local charge = %f", c)
+	}
+	c = m.Charge(topo, 0, Region{Home: 1, Len: 100}, 100)
+	if c != 200 {
+		t.Fatalf("remote charge = %f", c)
+	}
+	if m.Total() != 300 {
+		t.Fatalf("Total = %f", m.Total())
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatal("Reset")
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	topo := NewTopology(2, 1.5)
+	var m Meter
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Charge(topo, 0, Region{Home: 0}, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Total() != 8000 {
+		t.Fatalf("Total = %f, want 8000", m.Total())
+	}
+}
+
+func TestPolicyOrdering(t *testing.T) {
+	// End-to-end sanity: for a partitioned scan with one worker per
+	// partition, total cost must order local < interleave < remote-worst
+	// (this is the qualitative claim E7 reproduces).
+	const nodes, nparts, accesses = 4, 8, 1000
+	topo := NewTopology(nodes, 2.0)
+	run := func(p Placement) (total, completion float64) {
+		var m Meter
+		for part := 0; part < nparts; part++ {
+			w := WorkerNode(part, nparts, nodes)
+			home := Place(p, part, nparts, nodes)
+			m.Charge(topo, w, Region{Home: home}, accesses)
+		}
+		return m.Total(), m.CompletionTime(nodes)
+	}
+	localT, localC := run(PlaceLocal)
+	_, interC := run(PlaceInterleave)
+	_, worstC := run(PlaceRemoteWorst)
+	if !(localC < interC && interC < worstC) {
+		t.Fatalf("completion ordering violated: local=%f interleave=%f worst=%f", localC, interC, worstC)
+	}
+	if localT != nparts*accesses {
+		t.Fatalf("local placement should be all-local: %f", localT)
+	}
+}
+
+func TestWorkerNodeBlocks(t *testing.T) {
+	// 8 workers on 4 nodes: workers 0,1 → node 0; 2,3 → node 1; etc.
+	want := []int{0, 0, 1, 1, 2, 2, 3, 3}
+	for w, n := range want {
+		if got := WorkerNode(w, 8, 4); got != n {
+			t.Fatalf("WorkerNode(%d) = %d, want %d", w, got, n)
+		}
+	}
+	if WorkerNode(3, 0, 4) != 0 {
+		t.Error("zero workers should not panic and return 0")
+	}
+}

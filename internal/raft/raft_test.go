@@ -1,0 +1,297 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recorder is a StateMachine capturing applied commands.
+type recorder struct {
+	mu   sync.Mutex
+	cmds []string
+}
+
+func (r *recorder) Apply(index uint64, cmd []byte) {
+	r.mu.Lock()
+	r.cmds = append(r.cmds, string(cmd))
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.cmds...)
+}
+
+func newTestCluster(t *testing.T, n int) (*Cluster, []*recorder) {
+	t.Helper()
+	recs := make([]*recorder, n)
+	sms := make([]StateMachine, n)
+	for i := range recs {
+		recs[i] = &recorder{}
+		sms[i] = recs[i]
+	}
+	c := NewCluster(n, sms, 0)
+	t.Cleanup(c.Close)
+	return c, recs
+}
+
+// propose drives a command through the current leader, retrying on
+// leadership changes.
+func propose(t *testing.T, c *Cluster, cmd string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		lid := c.WaitLeader(timeout)
+		if lid < 0 {
+			break
+		}
+		ch, _, err := c.Node(lid).Propose([]byte(cmd))
+		if err != nil {
+			continue
+		}
+		// Drive ticks while waiting for commit.
+		for time.Now().Before(deadline) {
+			select {
+			case <-ch:
+				return
+			case <-time.After(2 * time.Millisecond):
+				c.TickAll()
+			}
+		}
+	}
+	t.Fatalf("propose %q did not commit", cmd)
+}
+
+func TestElectsExactlyOneLeader(t *testing.T) {
+	c, _ := newTestCluster(t, 3)
+	lid := c.WaitLeader(5 * time.Second)
+	if lid < 0 {
+		t.Fatal("no leader elected")
+	}
+	// Let things settle; count leaders in the max term.
+	for i := 0; i < 20; i++ {
+		c.TickAll()
+		time.Sleep(time.Millisecond)
+	}
+	leaders := 0
+	var maxTerm uint64
+	for i := 0; i < 3; i++ {
+		if term := c.Node(i).Term(); term > maxTerm {
+			maxTerm = term
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if c.Node(i).Role() == Leader && c.Node(i).Term() == maxTerm {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("leaders in term %d: %d", maxTerm, leaders)
+	}
+}
+
+func TestReplicationToAll(t *testing.T) {
+	c, recs := newTestCluster(t, 3)
+	for i := 0; i < 5; i++ {
+		propose(t, c, fmt.Sprintf("cmd-%d", i), 5*time.Second)
+	}
+	// Drive a few more ticks so followers learn the commit index.
+	for i := 0; i < 10; i++ {
+		c.TickAll()
+		time.Sleep(time.Millisecond)
+	}
+	for n, r := range recs {
+		got := r.snapshot()
+		if len(got) != 5 {
+			t.Fatalf("node %d applied %d commands: %v", n, len(got), got)
+		}
+		for i, cmd := range got {
+			if cmd != fmt.Sprintf("cmd-%d", i) {
+				t.Fatalf("node %d order: %v", n, got)
+			}
+		}
+	}
+}
+
+func TestProposeOnFollowerFails(t *testing.T) {
+	c, _ := newTestCluster(t, 3)
+	lid := c.WaitLeader(5 * time.Second)
+	if lid < 0 {
+		t.Fatal("no leader")
+	}
+	for i := 0; i < 3; i++ {
+		if i == lid {
+			continue
+		}
+		if _, hint, err := c.Node(i).Propose([]byte("x")); err != ErrNotLeader {
+			t.Fatalf("follower Propose: %v", err)
+		} else if hint != lid {
+			// Hint may lag; just require no crash. (Still assert type.)
+			_ = hint
+		}
+	}
+}
+
+func TestLeaderFailover(t *testing.T) {
+	c, recs := newTestCluster(t, 5)
+	propose(t, c, "before", 5*time.Second)
+	lid := c.WaitLeader(5 * time.Second)
+	c.StopNode(lid)
+	// New leader must emerge among the remaining four.
+	newLid := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c.TickAll()
+		time.Sleep(2 * time.Millisecond)
+		for i := 0; i < 5; i++ {
+			if i != lid && c.Node(i).Role() == Leader {
+				newLid = i
+				break
+			}
+		}
+		if newLid >= 0 {
+			break
+		}
+	}
+	if newLid < 0 {
+		t.Fatal("no new leader after failover")
+	}
+	propose(t, c, "after", 10*time.Second)
+	for i := 0; i < 10; i++ {
+		c.TickAll()
+		time.Sleep(time.Millisecond)
+	}
+	// Committed entries survive: every running node has both commands.
+	for i := 0; i < 5; i++ {
+		if i == lid {
+			continue
+		}
+		got := recs[i].snapshot()
+		if len(got) != 2 || got[0] != "before" || got[1] != "after" {
+			t.Fatalf("node %d state: %v", i, got)
+		}
+	}
+}
+
+func TestMinorityPartitionCannotCommit(t *testing.T) {
+	c, _ := newTestCluster(t, 5)
+	lid := c.WaitLeader(5 * time.Second)
+	if lid < 0 {
+		t.Fatal("no leader")
+	}
+	// Isolate the leader with one follower (minority side).
+	other := (lid + 1) % 5
+	minority := []int{lid, other}
+	var majority []int
+	for i := 0; i < 5; i++ {
+		if i != lid && i != other {
+			majority = append(majority, i)
+		}
+	}
+	c.Partition(minority, majority)
+	// A proposal on the isolated leader must not commit.
+	ch, _, err := c.Node(lid).Propose([]byte("lost"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := false
+	for i := 0; i < 50; i++ {
+		c.TickAll()
+		select {
+		case <-ch:
+			committed = true
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if committed {
+		t.Fatal("minority committed an entry")
+	}
+	// The majority elects a fresh leader and commits.
+	newLid := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && newLid < 0 {
+		c.TickAll()
+		time.Sleep(2 * time.Millisecond)
+		for _, i := range majority {
+			if c.Node(i).Role() == Leader {
+				newLid = i
+			}
+		}
+	}
+	if newLid < 0 {
+		t.Fatal("majority elected no leader")
+	}
+	ch2, _, err := c.Node(newLid).Propose([]byte("won"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed = false
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && !committed {
+		c.TickAll()
+		select {
+		case <-ch2:
+			committed = true
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !committed {
+		t.Fatal("majority could not commit")
+	}
+	// Heal: the old leader steps down and converges.
+	c.Heal()
+	deadline = time.Now().Add(10 * time.Second)
+	converged := false
+	for time.Now().Before(deadline) && !converged {
+		c.TickAll()
+		time.Sleep(2 * time.Millisecond)
+		converged = c.Node(lid).Role() == Follower && c.Node(lid).CommitIndex() >= c.Node(newLid).CommitIndex()
+	}
+	if !converged {
+		t.Fatalf("old leader did not converge: role=%v ci=%d want>=%d",
+			c.Node(lid).Role(), c.Node(lid).CommitIndex(), c.Node(newLid).CommitIndex())
+	}
+}
+
+func TestStateMachinesConverge(t *testing.T) {
+	c, recs := newTestCluster(t, 3)
+	for i := 0; i < 20; i++ {
+		propose(t, c, fmt.Sprintf("op%d", i), 5*time.Second)
+	}
+	for i := 0; i < 20; i++ {
+		c.TickAll()
+		time.Sleep(time.Millisecond)
+	}
+	base := recs[0].snapshot()
+	if len(base) != 20 {
+		t.Fatalf("node 0 applied %d", len(base))
+	}
+	for n := 1; n < 3; n++ {
+		got := recs[n].snapshot()
+		if len(got) != len(base) {
+			t.Fatalf("node %d applied %d, node 0 %d", n, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("divergence at %d: %q vs %q", i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestSingleNodeCluster(t *testing.T) {
+	c, recs := newTestCluster(t, 1)
+	propose(t, c, "solo", 2*time.Second)
+	if got := recs[0].snapshot(); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("single-node apply: %v", got)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Error("Role.String")
+	}
+}

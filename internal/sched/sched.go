@@ -1,0 +1,205 @@
+// Package sched implements the mixed-workload manager the tutorial calls
+// out for HANA (Psaroudakis et al. [32]): OLTP requests are
+// latency-critical and short; OLAP queries are throughput-oriented and
+// long. A shared worker pool gives OLTP strict priority and bounds OLAP
+// concurrency with admission control, so analytic floods cannot starve
+// transaction processing — the "battle of data freshness, flexibility,
+// and scheduling".
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Class partitions requests by workload type.
+type Class int
+
+// Workload classes.
+const (
+	OLTP Class = iota
+	OLAP
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == OLTP {
+		return "OLTP"
+	}
+	return "OLAP"
+}
+
+// ErrClosed reports submission to a stopped manager.
+var ErrClosed = errors.New("sched: manager closed")
+
+// Config tunes the manager.
+type Config struct {
+	// Workers is the pool size (default: 4).
+	Workers int
+	// MaxOLAP bounds concurrently executing OLAP tasks (admission
+	// control; default: half the workers, at least 1).
+	MaxOLAP int
+	// QueueDepth bounds each queue (default: 1024).
+	QueueDepth int
+}
+
+// Stats aggregates per-class counters.
+type Stats struct {
+	Submitted uint64
+	Completed uint64
+	Rejected  uint64
+	// WaitNS and ExecNS accumulate queue-wait and execution times.
+	WaitNS uint64
+	ExecNS uint64
+}
+
+// Manager schedules tasks over a fixed worker pool.
+type Manager struct {
+	cfg      Config
+	oltpQ    chan *task
+	olapQ    chan *task
+	olapSem  chan struct{}
+	quit     chan struct{}
+	stopped  atomic.Bool
+	wg       sync.WaitGroup
+	statsMu  sync.Mutex
+	stats    [2]Stats
+	inflight sync.WaitGroup
+}
+
+type task struct {
+	class    Class
+	fn       func()
+	enqueued time.Time
+	done     chan struct{}
+}
+
+// New starts a manager.
+func New(cfg Config) *Manager {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MaxOLAP <= 0 {
+		cfg.MaxOLAP = cfg.Workers / 2
+		if cfg.MaxOLAP == 0 {
+			cfg.MaxOLAP = 1
+		}
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	m := &Manager{
+		cfg:     cfg,
+		oltpQ:   make(chan *task, cfg.QueueDepth),
+		olapQ:   make(chan *task, cfg.QueueDepth),
+		olapSem: make(chan struct{}, cfg.MaxOLAP),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// worker drains OLTP strictly before OLAP.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		if m.stopped.Load() {
+			return
+		}
+		// Strict priority: drain OLTP first without blocking.
+		select {
+		case t := <-m.oltpQ:
+			m.execute(t)
+			continue
+		default:
+		}
+		// Block on either queue; re-check OLTP preference on wake.
+		select {
+		case <-m.quit:
+			return
+		case t := <-m.oltpQ:
+			m.execute(t)
+		case t := <-m.olapQ:
+			// Admission control: if OLAP is saturated, requeue would
+			// reorder; instead block on the semaphore (the worker is
+			// dedicated to this task now, bounding OLAP-executing
+			// workers at MaxOLAP + transient).
+			m.olapSem <- struct{}{}
+			m.execute(t)
+			<-m.olapSem
+		}
+	}
+}
+
+func (m *Manager) execute(t *task) {
+	wait := time.Since(t.enqueued)
+	start := time.Now()
+	t.fn()
+	exec := time.Since(start)
+	m.statsMu.Lock()
+	s := &m.stats[t.class]
+	s.Completed++
+	s.WaitNS += uint64(wait.Nanoseconds())
+	s.ExecNS += uint64(exec.Nanoseconds())
+	m.statsMu.Unlock()
+	close(t.done)
+	m.inflight.Done()
+}
+
+// Submit enqueues fn and returns a wait function. It rejects when the
+// class queue is full (load shedding) or the manager is closed.
+func (m *Manager) Submit(class Class, fn func()) (wait func(), err error) {
+	if m.stopped.Load() {
+		return nil, ErrClosed
+	}
+	t := &task{class: class, fn: fn, enqueued: time.Now(), done: make(chan struct{})}
+	q := m.oltpQ
+	if class == OLAP {
+		q = m.olapQ
+	}
+	m.inflight.Add(1)
+	select {
+	case q <- t:
+		m.statsMu.Lock()
+		m.stats[class].Submitted++
+		m.statsMu.Unlock()
+		return func() { <-t.done }, nil
+	default:
+		m.inflight.Done()
+		m.statsMu.Lock()
+		m.stats[class].Rejected++
+		m.statsMu.Unlock()
+		return nil, errors.New("sched: queue full")
+	}
+}
+
+// Run submits fn and waits for completion.
+func (m *Manager) Run(class Class, fn func()) error {
+	wait, err := m.Submit(class, fn)
+	if err != nil {
+		return err
+	}
+	wait()
+	return nil
+}
+
+// Stats returns a copy of the class's counters.
+func (m *Manager) Stats(class Class) Stats {
+	m.statsMu.Lock()
+	defer m.statsMu.Unlock()
+	return m.stats[class]
+}
+
+// Close drains in-flight tasks and stops the workers. Submissions after
+// Close are rejected.
+func (m *Manager) Close() {
+	m.stopped.Store(true)
+	m.inflight.Wait()
+	close(m.quit)
+	m.wg.Wait()
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunBasic(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Close()
+	ran := false
+	if err := m.Run(OLTP, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+	s := m.Stats(OLTP)
+	if s.Submitted != 1 || s.Completed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if OLTP.String() != "OLTP" || OLAP.String() != "OLAP" {
+		t.Error("Class.String")
+	}
+}
+
+func TestConcurrentSubmissions(t *testing.T) {
+	m := New(Config{Workers: 4})
+	defer m.Close()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				class := OLTP
+				if i%4 == 0 {
+					class = OLAP
+				}
+				if err := m.Run(class, func() { n.Add(1) }); err != nil {
+					t.Errorf("run: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != 1600 {
+		t.Fatalf("completed %d", n.Load())
+	}
+}
+
+func TestOLAPAdmissionControl(t *testing.T) {
+	m := New(Config{Workers: 4, MaxOLAP: 1})
+	defer m.Close()
+	var cur, peak atomic.Int64
+	var waits []func()
+	for i := 0; i < 6; i++ {
+		w, err := m.Submit(OLAP, func() {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			cur.Add(-1)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+	for _, w := range waits {
+		w()
+	}
+	if peak.Load() > 1 {
+		t.Fatalf("OLAP concurrency peak = %d, want <= 1", peak.Load())
+	}
+}
+
+func TestOLTPPriorityUnderOLAPFlood(t *testing.T) {
+	m := New(Config{Workers: 2, MaxOLAP: 1})
+	defer m.Close()
+	// Flood with slow OLAP work.
+	stopFlood := make(chan struct{})
+	var floodWaits []func()
+	for i := 0; i < 50; i++ {
+		w, err := m.Submit(OLAP, func() {
+			select {
+			case <-stopFlood:
+			case <-time.After(2 * time.Millisecond):
+			}
+		})
+		if err == nil {
+			floodWaits = append(floodWaits, w)
+		}
+	}
+	// OLTP latency should stay low: workers prefer the OLTP queue and
+	// admission control leaves capacity.
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		if err := m.Run(OLTP, func() {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	oltpDur := time.Since(start)
+	close(stopFlood)
+	for _, w := range floodWaits {
+		w()
+	}
+	// 20 trivial OLTP tasks must not be stuck behind 50 slow OLAP tasks
+	// (which would take >= 50*2ms on the OLAP-admitted single slot).
+	if oltpDur > 60*time.Millisecond {
+		t.Fatalf("OLTP starved: %v", oltpDur)
+	}
+	s := m.Stats(OLAP)
+	if s.Completed == 0 {
+		t.Fatal("OLAP never ran")
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 2, MaxOLAP: 1})
+	defer m.Close()
+	block := make(chan struct{})
+	var waits []func()
+	rejected := 0
+	for i := 0; i < 20; i++ {
+		w, err := m.Submit(OLAP, func() { <-block })
+		if err != nil {
+			rejected++
+		} else {
+			waits = append(waits, w)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("bounded queue never rejected")
+	}
+	close(block)
+	for _, w := range waits {
+		w()
+	}
+	if got := m.Stats(OLAP).Rejected; got != uint64(rejected) {
+		t.Fatalf("rejected stat = %d, want %d", got, rejected)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	m := New(Config{Workers: 1})
+	m.Close()
+	if _, err := m.Submit(OLTP, func() {}); err == nil {
+		t.Fatal("submit after close should fail")
+	}
+}
+
+func TestStatsTimings(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	m.Run(OLAP, func() { time.Sleep(2 * time.Millisecond) })
+	s := m.Stats(OLAP)
+	if s.ExecNS < uint64(time.Millisecond) {
+		t.Fatalf("ExecNS = %d, want >= 1ms", s.ExecNS)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	m := New(Config{})
+	defer m.Close()
+	if err := m.Run(OLAP, func() {}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,732 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage/colstore"
+	"repro/internal/types"
+)
+
+// scopeCol is one resolvable column in the current plan scope.
+type scopeCol struct {
+	qual string // table alias (lowercased)
+	name string // column name (lowercased)
+	typ  types.Type
+}
+
+// scope resolves column references to operator output positions.
+type scope struct {
+	cols []scopeCol
+}
+
+func (sc *scope) resolve(q, name string) (int, types.Type, error) {
+	q, name = strings.ToLower(q), strings.ToLower(name)
+	found := -1
+	var typ types.Type
+	for i, c := range sc.cols {
+		if c.name != name {
+			continue
+		}
+		if q != "" && c.qual != q {
+			continue
+		}
+		if found >= 0 {
+			return 0, 0, fmt.Errorf("sql: ambiguous column %q", name)
+		}
+		found = i
+		typ = c.typ
+	}
+	if found < 0 {
+		if q != "" {
+			return 0, 0, fmt.Errorf("sql: unknown column %s.%s", q, name)
+		}
+		return 0, 0, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, typ, nil
+}
+
+func (sc *scope) schema() *types.Schema {
+	cols := make([]types.Column, len(sc.cols))
+	for i, c := range sc.cols {
+		cols[i] = types.Column{Name: c.name, Type: c.typ}
+	}
+	return &types.Schema{Cols: cols}
+}
+
+// renderResolved canonicalizes an AST expression for structural matching
+// (GROUP BY / select-list correspondence), resolving column references
+// through the scope so qualified and unqualified spellings of the same
+// column compare equal.
+func renderResolved(e AstExpr, sc *scope) string {
+	switch v := e.(type) {
+	case *ColExpr:
+		if idx, _, err := sc.resolve(v.Table, v.Name); err == nil {
+			return fmt.Sprintf("col:%d", idx)
+		}
+		return strings.ToLower(v.Table) + "." + strings.ToLower(v.Name)
+	case *BinExpr:
+		return "(" + renderResolved(v.L, sc) + v.Op + renderResolved(v.R, sc) + ")"
+	case *NotExpr:
+		return "not(" + renderResolved(v.E, sc) + ")"
+	case *IsNullExpr:
+		return fmt.Sprintf("isnull(%s,%v)", renderResolved(v.E, sc), v.Negate)
+	case *InExpr:
+		parts := make([]string, len(v.Vals))
+		for i, val := range v.Vals {
+			parts[i] = val.String()
+		}
+		return "in(" + renderResolved(v.E, sc) + ";" + strings.Join(parts, ",") + ")"
+	case *LikeExpr:
+		return "like(" + renderResolved(v.E, sc) + ";" + v.Pattern + ")"
+	case *AggExpr:
+		if v.Star {
+			return "agg:count(*)"
+		}
+		return "agg:" + strings.ToLower(v.Func) + "(" + renderResolved(v.Arg, sc) + ")"
+	default:
+		return renderAst(e)
+	}
+}
+
+// renderAst canonicalizes an AST expression without scope resolution
+// (used for display names and aggregate de-duplication keys).
+func renderAst(e AstExpr) string {
+	switch v := e.(type) {
+	case *ColExpr:
+		return strings.ToLower(v.Table) + "." + strings.ToLower(v.Name)
+	case *LitExpr:
+		return "lit:" + v.Val.String()
+	case *BinExpr:
+		return "(" + renderAst(v.L) + v.Op + renderAst(v.R) + ")"
+	case *NotExpr:
+		return "not(" + renderAst(v.E) + ")"
+	case *IsNullExpr:
+		return fmt.Sprintf("isnull(%s,%v)", renderAst(v.E), v.Negate)
+	case *InExpr:
+		parts := make([]string, len(v.Vals))
+		for i, val := range v.Vals {
+			parts[i] = val.String()
+		}
+		return "in(" + renderAst(v.E) + ";" + strings.Join(parts, ",") + ")"
+	case *LikeExpr:
+		return "like(" + renderAst(v.E) + ";" + v.Pattern + ")"
+	case *AggExpr:
+		if v.Star {
+			return "agg:count(*)"
+		}
+		return "agg:" + strings.ToLower(v.Func) + "(" + renderAst(v.Arg) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// compileExpr lowers an AST expression against a scope. Aggregates are
+// rejected here; the planner replaces them before compilation.
+func compileExpr(e AstExpr, sc *scope) (exec.Expr, error) {
+	switch v := e.(type) {
+	case *ColExpr:
+		idx, _, err := sc.resolve(v.Table, v.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.ColRef{Idx: idx, Name: strings.ToLower(v.Name)}, nil
+	case *LitExpr:
+		return &exec.Const{Val: v.Val}, nil
+	case *BinExpr:
+		l, err := compileExpr(v.L, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(v.R, sc)
+		if err != nil {
+			return nil, err
+		}
+		kind, ok := binKinds[v.Op]
+		if !ok {
+			return nil, fmt.Errorf("sql: unsupported operator %q", v.Op)
+		}
+		return &exec.BinOp{Kind: kind, L: l, R: r}, nil
+	case *NotExpr:
+		inner, err := compileExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Not{E: inner}, nil
+	case *IsNullExpr:
+		inner, err := compileExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.IsNull{E: inner, Negate: v.Negate}, nil
+	case *InExpr:
+		inner, err := compileExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.InList{E: inner, Vals: v.Vals}, nil
+	case *LikeExpr:
+		inner, err := compileExpr(v.E, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Like{E: inner, Pattern: v.Pattern}, nil
+	case *AggExpr:
+		return nil, fmt.Errorf("sql: aggregate %s not allowed here", v.Func)
+	default:
+		return nil, fmt.Errorf("sql: cannot compile %T", e)
+	}
+}
+
+var binKinds = map[string]exec.BinOpKind{
+	"+": exec.OpAdd, "-": exec.OpSub, "*": exec.OpMul, "/": exec.OpDiv, "%": exec.OpMod,
+	"=": exec.OpEq, "<>": exec.OpNe, "<": exec.OpLt, "<=": exec.OpLe,
+	">": exec.OpGt, ">=": exec.OpGe, "AND": exec.OpAnd, "OR": exec.OpOr,
+}
+
+var cmpToColstore = map[string]colstore.Op{
+	"=": colstore.OpEq, "<>": colstore.OpNe, "<": colstore.OpLt,
+	"<=": colstore.OpLe, ">": colstore.OpGt, ">=": colstore.OpGe,
+}
+
+// splitConjuncts flattens a WHERE tree over AND.
+func splitConjuncts(e AstExpr, out []AstExpr) []AstExpr {
+	if b, ok := e.(*BinExpr); ok && b.Op == "AND" {
+		out = splitConjuncts(b.L, out)
+		return splitConjuncts(b.R, out)
+	}
+	return append(out, e)
+}
+
+// tableMeta describes one planned table scan.
+type tableMeta struct {
+	ref    *TableRef
+	schema *types.Schema
+}
+
+// pushdown extracts `col op literal` conjuncts for a specific table.
+// Returns the storage predicates and the remaining conjuncts.
+func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.Predicate, []AstExpr) {
+	var preds []colstore.Predicate
+	var rest []AstExpr
+	alias := strings.ToLower(tm.ref.Alias)
+	for _, c := range conjuncts {
+		b, ok := c.(*BinExpr)
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		op, ok := cmpToColstore[b.Op]
+		if !ok {
+			rest = append(rest, c)
+			continue
+		}
+		colE, lit, flipped := extractColLit(b)
+		if colE == nil {
+			rest = append(rest, c)
+			continue
+		}
+		if colE.Table != "" && strings.ToLower(colE.Table) != alias {
+			rest = append(rest, c)
+			continue
+		}
+		if colE.Table == "" && !singleTable {
+			rest = append(rest, c) // unqualified in a join: don't guess
+			continue
+		}
+		ci := tm.schema.ColIndex(colE.Name)
+		if ci < 0 {
+			rest = append(rest, c)
+			continue
+		}
+		if flipped {
+			op = flipOp(op)
+		}
+		// Coerce int literals for float columns and vice versa where safe.
+		val := lit
+		colT := tm.schema.Cols[ci].Type
+		if colT == types.Float64 && val.Typ == types.Int64 {
+			val = types.NewFloat(float64(val.I))
+		}
+		if val.Typ != colT && !(val.IsNumeric() && colT == types.Int64 && val.Typ == types.Float64) {
+			if val.Typ != colT {
+				rest = append(rest, c)
+				continue
+			}
+		}
+		preds = append(preds, colstore.Predicate{Col: ci, Op: op, Val: val})
+	}
+	return preds, rest
+}
+
+// extractColLit matches col-op-lit or lit-op-col.
+func extractColLit(b *BinExpr) (*ColExpr, types.Value, bool) {
+	if c, ok := b.L.(*ColExpr); ok {
+		if l, ok := b.R.(*LitExpr); ok && !l.Val.Null {
+			return c, l.Val, false
+		}
+	}
+	if c, ok := b.R.(*ColExpr); ok {
+		if l, ok := b.L.(*LitExpr); ok && !l.Val.Null {
+			return c, l.Val, true
+		}
+	}
+	return nil, types.Value{}, false
+}
+
+func flipOp(op colstore.Op) colstore.Op {
+	switch op {
+	case colstore.OpLt:
+		return colstore.OpGt
+	case colstore.OpLe:
+		return colstore.OpGe
+	case colstore.OpGt:
+		return colstore.OpLt
+	case colstore.OpGe:
+		return colstore.OpLe
+	default:
+		return op
+	}
+}
+
+// planSelect compiles a SELECT into an operator tree.
+func planSelect(tx *core.Tx, e *core.Engine, st *SelectStmt) (exec.Operator, error) {
+	if st.From == nil {
+		return planSelectNoFrom(st)
+	}
+	// Resolve base table and joins.
+	metas := make([]tableMeta, 0, 1+len(st.Joins))
+	base, err := e.Table(st.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	metas = append(metas, tableMeta{ref: st.From, schema: base.Schema()})
+	for _, j := range st.Joins {
+		jt, err := e.Table(j.Table.Table)
+		if err != nil {
+			return nil, err
+		}
+		metas = append(metas, tableMeta{ref: j.Table, schema: jt.Schema()})
+	}
+	singleTable := len(metas) == 1
+
+	var conjuncts []AstExpr
+	if st.Where != nil {
+		conjuncts = splitConjuncts(st.Where, nil)
+	}
+
+	// Scan each table with its pushed-down predicates; build the scope
+	// as the concatenation of full table schemas (column pruning is
+	// applied only for single-table scans to keep join resolution
+	// simple).
+	var op exec.Operator
+	var sc scope
+	for i, tm := range metas {
+		preds, rest := pushdown(conjuncts, tm, singleTable)
+		conjuncts = rest
+		tblOp, err := tx.ScanOperator(tm.ref.Table, nil, preds)
+		if err != nil {
+			return nil, err
+		}
+		alias := strings.ToLower(tm.ref.Alias)
+		for _, c := range tm.schema.Cols {
+			sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
+		}
+		if i == 0 {
+			op = tblOp
+			continue
+		}
+		// Extract equi-join keys from the ON expression.
+		j := st.Joins[i-1]
+		leftScope := scope{cols: sc.cols[:len(sc.cols)-len(tm.schema.Cols)]}
+		rightScope := scope{}
+		for _, c := range tm.schema.Cols {
+			rightScope.cols = append(rightScope.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
+		}
+		lk, rk, residual, err := extractJoinKeys(j.On, &leftScope, &rightScope)
+		if err != nil {
+			return nil, err
+		}
+		kind := exec.InnerJoin
+		if j.Left {
+			kind = exec.LeftJoin
+		}
+		if len(lk) == 0 {
+			return nil, fmt.Errorf("sql: join requires at least one equi-condition")
+		}
+		op = exec.NewHashJoin(op, tblOp, lk, rk, kind)
+		if residual != nil {
+			if j.Left {
+				return nil, fmt.Errorf("sql: LEFT JOIN supports only equi-conditions")
+			}
+			resExpr, err := compileExpr(residual, &sc)
+			if err != nil {
+				return nil, err
+			}
+			op = exec.NewFilter(op, resExpr)
+		}
+	}
+
+	// Residual WHERE.
+	if len(conjuncts) > 0 {
+		pred := conjuncts[0]
+		for _, c := range conjuncts[1:] {
+			pred = &BinExpr{Op: "AND", L: pred, R: c}
+		}
+		fe, err := compileExpr(pred, &sc)
+		if err != nil {
+			return nil, err
+		}
+		op = exec.NewFilter(op, fe)
+	}
+
+	// Expand stars.
+	items, err := expandStars(st.Items, &sc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregation?
+	aggs := collectAggs(items, st.Having, st.OrderBy)
+	if len(aggs) > 0 || len(st.GroupBy) > 0 {
+		return planAggregate(op, &sc, st, items, aggs)
+	}
+
+	// Plain query: sort → limit → project (fused into TopN when ORDER
+	// BY + LIMIT appear together without OFFSET).
+	if len(st.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(st.OrderBy))
+		for i, oi := range st.OrderBy {
+			ke, err := compileOrderKey(oi.Expr, items, &sc)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = exec.SortKey{E: ke, Desc: oi.Desc}
+		}
+		if st.Limit >= 0 && st.Offset == 0 && !st.Distinct {
+			op = exec.NewTopN(op, keys, st.Limit)
+		} else {
+			op = exec.NewSort(op, keys)
+			if st.Limit >= 0 || st.Offset > 0 {
+				op = exec.NewLimit(op, st.Limit, st.Offset)
+			}
+		}
+	} else if st.Limit >= 0 || st.Offset > 0 {
+		op = exec.NewLimit(op, st.Limit, st.Offset)
+	}
+	exprs := make([]exec.Expr, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		ce, err := compileExpr(it.Expr, &sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ce
+		names[i] = itemName(it)
+	}
+	var out exec.Operator = exec.NewProjection(op, exprs, names)
+	if st.Distinct {
+		out = exec.NewDistinct(out)
+	}
+	return out, nil
+}
+
+// compileOrderKey resolves an ORDER BY expression, allowing references
+// to select-list aliases.
+func compileOrderKey(e AstExpr, items []SelectItem, sc *scope) (exec.Expr, error) {
+	if c, ok := e.(*ColExpr); ok && c.Table == "" {
+		if _, _, err := sc.resolve("", c.Name); err != nil {
+			for _, it := range items {
+				if strings.EqualFold(it.Alias, c.Name) {
+					return compileExpr(it.Expr, sc)
+				}
+			}
+		}
+	}
+	return compileExpr(e, sc)
+}
+
+// planSelectNoFrom handles SELECT <literals>.
+func planSelectNoFrom(st *SelectStmt) (exec.Operator, error) {
+	empty := &types.Schema{}
+	b := types.NewBatch(empty, 1)
+	// One synthetic row so literal projections emit one row.
+	src := exec.NewSource(empty, []*types.Batch{b})
+	_ = src
+	// Build the projection against a one-row dummy input.
+	dummySchema := types.MustSchema([]types.Column{{Name: "one", Type: types.Int64}})
+	db := types.NewBatch(dummySchema, 1)
+	db.AppendRow(types.Row{types.NewInt(1)})
+	in := exec.NewSource(dummySchema, []*types.Batch{db})
+	sc := scope{cols: []scopeCol{{qual: "", name: "one", typ: types.Int64}}}
+	exprs := make([]exec.Expr, len(st.Items))
+	names := make([]string, len(st.Items))
+	for i, it := range st.Items {
+		if it.Star {
+			return nil, fmt.Errorf("sql: SELECT * requires FROM")
+		}
+		ce, err := compileExpr(it.Expr, &sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ce
+		names[i] = itemName(it)
+	}
+	return exec.NewProjection(in, exprs, names), nil
+}
+
+func itemName(it SelectItem) string {
+	if it.Alias != "" {
+		return strings.ToLower(it.Alias)
+	}
+	if c, ok := it.Expr.(*ColExpr); ok {
+		return strings.ToLower(c.Name)
+	}
+	return ""
+}
+
+func expandStars(items []SelectItem, sc *scope) ([]SelectItem, error) {
+	var out []SelectItem
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, c := range sc.cols {
+			out = append(out, SelectItem{
+				Expr:  &ColExpr{Table: c.qual, Name: c.name},
+				Alias: c.name,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql: empty select list")
+	}
+	return out, nil
+}
+
+// collectAggs gathers every distinct aggregate expression appearing in
+// the select list, HAVING, and ORDER BY.
+func collectAggs(items []SelectItem, having AstExpr, order []OrderItem) []*AggExpr {
+	var out []*AggExpr
+	seen := map[string]bool{}
+	var walk func(e AstExpr)
+	walk = func(e AstExpr) {
+		switch v := e.(type) {
+		case *AggExpr:
+			k := renderAst(v)
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, v)
+			}
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		case *NotExpr:
+			walk(v.E)
+		case *IsNullExpr:
+			walk(v.E)
+		case *InExpr:
+			walk(v.E)
+		case *LikeExpr:
+			walk(v.E)
+		}
+	}
+	for _, it := range items {
+		if it.Expr != nil {
+			walk(it.Expr)
+		}
+	}
+	if having != nil {
+		walk(having)
+	}
+	for _, oi := range order {
+		walk(oi.Expr)
+	}
+	return out
+}
+
+// planAggregate lowers GROUP BY + aggregates, then HAVING/ORDER/LIMIT
+// and the final projection against the post-aggregation scope.
+func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectItem, aggs []*AggExpr) (exec.Operator, error) {
+	groupExprs := make([]exec.Expr, len(st.GroupBy))
+	for i, g := range st.GroupBy {
+		ge, err := compileExpr(g, sc)
+		if err != nil {
+			return nil, err
+		}
+		groupExprs[i] = ge
+	}
+	specs := make([]exec.AggSpec, len(aggs))
+	for i, a := range aggs {
+		spec := exec.AggSpec{Name: renderAst(a)}
+		switch a.Func {
+		case "COUNT":
+			if a.Star {
+				spec.Func = exec.AggCountStar
+			} else {
+				spec.Func = exec.AggCount
+			}
+		case "SUM":
+			spec.Func = exec.AggSum
+		case "MIN":
+			spec.Func = exec.AggMin
+		case "MAX":
+			spec.Func = exec.AggMax
+		case "AVG":
+			spec.Func = exec.AggAvg
+		}
+		if !a.Star {
+			ae, err := compileExpr(a.Arg, sc)
+			if err != nil {
+				return nil, err
+			}
+			spec.Arg = ae
+		}
+		specs[i] = spec
+	}
+	agg := exec.NewHashAggregate(op, groupExprs, nil, specs)
+
+	// Post-aggregation scope: group keys (matched structurally by their
+	// scope-resolved rendering) then aggregates.
+	post := map[string]int{}
+	for i, g := range st.GroupBy {
+		post[renderResolved(g, sc)] = i
+	}
+	for i, a := range aggs {
+		post[renderResolved(a, sc)] = len(st.GroupBy) + i
+	}
+	aggSchema := agg.Schema()
+	rewrite := func(e AstExpr) (exec.Expr, error) {
+		return rewritePostAgg(e, post, aggSchema, sc)
+	}
+
+	var out exec.Operator = agg
+	if st.Having != nil {
+		he, err := rewrite(st.Having)
+		if err != nil {
+			return nil, err
+		}
+		out = exec.NewFilter(out, he)
+	}
+	if len(st.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(st.OrderBy))
+		for i, oi := range st.OrderBy {
+			// ORDER BY may reference select aliases.
+			expr := oi.Expr
+			if c, ok := expr.(*ColExpr); ok && c.Table == "" {
+				for _, it := range items {
+					if strings.EqualFold(it.Alias, c.Name) {
+						expr = it.Expr
+						break
+					}
+				}
+			}
+			ke, err := rewrite(expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = exec.SortKey{E: ke, Desc: oi.Desc}
+		}
+		out = exec.NewSort(out, keys)
+	}
+	if st.Limit >= 0 || st.Offset > 0 {
+		out = exec.NewLimit(out, st.Limit, st.Offset)
+	}
+	exprs := make([]exec.Expr, len(items))
+	names := make([]string, len(items))
+	for i, it := range items {
+		ce, err := rewrite(it.Expr)
+		if err != nil {
+			return nil, err
+		}
+		exprs[i] = ce
+		names[i] = itemName(it)
+		if names[i] == "" {
+			names[i] = renderAst(it.Expr)
+		}
+	}
+	var final exec.Operator = exec.NewProjection(out, exprs, names)
+	if st.Distinct {
+		final = exec.NewDistinct(final)
+	}
+	return final, nil
+}
+
+// rewritePostAgg compiles an expression against the aggregate output:
+// sub-expressions matching a group key or aggregate become column refs.
+func rewritePostAgg(e AstExpr, post map[string]int, aggSchema *types.Schema, sc *scope) (exec.Expr, error) {
+	if idx, ok := post[renderResolved(e, sc)]; ok {
+		return &exec.ColRef{Idx: idx, Name: aggSchema.Cols[idx].Name}, nil
+	}
+	switch v := e.(type) {
+	case *LitExpr:
+		return &exec.Const{Val: v.Val}, nil
+	case *BinExpr:
+		l, err := rewritePostAgg(v.L, post, aggSchema, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewritePostAgg(v.R, post, aggSchema, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.BinOp{Kind: binKinds[v.Op], L: l, R: r}, nil
+	case *NotExpr:
+		inner, err := rewritePostAgg(v.E, post, aggSchema, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Not{E: inner}, nil
+	case *IsNullExpr:
+		inner, err := rewritePostAgg(v.E, post, aggSchema, sc)
+		if err != nil {
+			return nil, err
+		}
+		return &exec.IsNull{E: inner, Negate: v.Negate}, nil
+	case *AggExpr:
+		return nil, fmt.Errorf("sql: aggregate not in GROUP BY output: %s", renderAst(e))
+	case *ColExpr:
+		return nil, fmt.Errorf("sql: column %q must appear in GROUP BY or an aggregate", v.Name)
+	default:
+		return nil, fmt.Errorf("sql: cannot rewrite %T after aggregation", e)
+	}
+}
+
+// extractJoinKeys pulls equi-join column pairs out of an ON expression.
+// Returns left/right key positions and any residual condition.
+func extractJoinKeys(on AstExpr, left, right *scope) (lk, rk []int, residual AstExpr, err error) {
+	conjs := splitConjuncts(on, nil)
+	for _, c := range conjs {
+		b, ok := c.(*BinExpr)
+		if ok && b.Op == "=" {
+			lc, lok := b.L.(*ColExpr)
+			rc, rok := b.R.(*ColExpr)
+			if lok && rok {
+				// Try L in left scope, R in right scope; then swapped.
+				if li, _, e1 := left.resolve(lc.Table, lc.Name); e1 == nil {
+					if ri, _, e2 := right.resolve(rc.Table, rc.Name); e2 == nil {
+						lk = append(lk, li)
+						rk = append(rk, ri)
+						continue
+					}
+				}
+				if li, _, e1 := left.resolve(rc.Table, rc.Name); e1 == nil {
+					if ri, _, e2 := right.resolve(lc.Table, lc.Name); e2 == nil {
+						lk = append(lk, li)
+						rk = append(rk, ri)
+						continue
+					}
+				}
+			}
+		}
+		if residual == nil {
+			residual = c
+		} else {
+			residual = &BinExpr{Op: "AND", L: residual, R: c}
+		}
+	}
+	return lk, rk, residual, nil
+}

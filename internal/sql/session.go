@@ -1,0 +1,317 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Schema and Rows are set for SELECT.
+	Schema *types.Schema
+	Rows   []types.Row
+	// Affected counts rows written by INSERT/UPDATE/DELETE.
+	Affected int
+}
+
+// Session executes SQL against an engine, with optional explicit
+// transactions (BEGIN/COMMIT/ROLLBACK); statements outside an explicit
+// transaction auto-commit.
+type Session struct {
+	engine *core.Engine
+	tx     *core.Tx
+}
+
+// NewSession creates a session on the engine.
+func NewSession(e *core.Engine) *Session { return &Session{engine: e} }
+
+// InTxn reports whether an explicit transaction is open.
+func (s *Session) InTxn() bool { return s.tx != nil }
+
+// Exec parses and executes one statement.
+func (s *Session) Exec(query string) (*Result, error) {
+	q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
+	switch strings.ToUpper(q) {
+	case "BEGIN":
+		if s.tx != nil {
+			return nil, fmt.Errorf("sql: transaction already open")
+		}
+		s.tx = s.engine.Begin()
+		return &Result{}, nil
+	case "COMMIT":
+		if s.tx == nil {
+			return nil, fmt.Errorf("sql: no open transaction")
+		}
+		_, err := s.tx.Commit()
+		s.tx = nil
+		return &Result{}, err
+	case "ROLLBACK":
+		if s.tx == nil {
+			return nil, fmt.Errorf("sql: no open transaction")
+		}
+		err := s.tx.Abort()
+		s.tx = nil
+		return &Result{}, err
+	}
+	st, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.execStmt(st)
+}
+
+// execStmt runs a parsed statement inside the session transaction (or
+// an auto-commit transaction).
+func (s *Session) execStmt(st Stmt) (*Result, error) {
+	switch v := st.(type) {
+	case *CreateTableStmt:
+		schema, err := types.NewSchema(v.Cols, v.KeyCols...)
+		if err != nil {
+			return nil, err
+		}
+		if len(schema.Key) == 0 {
+			return nil, fmt.Errorf("sql: CREATE TABLE requires a PRIMARY KEY")
+		}
+		if _, err := s.engine.CreateTable(v.Name, schema); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *MergeStmt:
+		if _, err := s.engine.Merge(v.Table); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		if err := s.engine.CreateIndex(v.Table, v.Name, v.Cols, !v.Hash); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	}
+
+	tx := s.tx
+	auto := false
+	if tx == nil {
+		tx = s.engine.Begin()
+		auto = true
+	}
+	res, err := s.execInTx(tx, st)
+	if auto {
+		if err != nil {
+			tx.Abort()
+			return nil, err
+		}
+		if _, cerr := tx.Commit(); cerr != nil {
+			return nil, cerr
+		}
+		return res, nil
+	}
+	return res, err
+}
+
+func (s *Session) execInTx(tx *core.Tx, st Stmt) (*Result, error) {
+	switch v := st.(type) {
+	case *SelectStmt:
+		op, err := planSelect(tx, s.engine, v)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := exec.Collect(op)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: op.Schema(), Rows: rows}, nil
+	case *InsertStmt:
+		return s.execInsert(tx, v)
+	case *UpdateStmt:
+		return s.execUpdate(tx, v)
+	case *DeleteStmt:
+		return s.execDelete(tx, v)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", st)
+	}
+}
+
+// evalConst evaluates a literal-only expression (INSERT values).
+var constBatch = func() *types.Batch {
+	sc := types.MustSchema([]types.Column{{Name: "one", Type: types.Int64}})
+	b := types.NewBatch(sc, 1)
+	b.AppendRow(types.Row{types.NewInt(1)})
+	return b
+}()
+
+func evalConst(e AstExpr) (types.Value, error) {
+	sc := &scope{cols: []scopeCol{{name: "one", typ: types.Int64}}}
+	ce, err := compileExpr(e, sc)
+	if err != nil {
+		return types.Value{}, err
+	}
+	return ce.Eval(constBatch, 0), nil
+}
+
+func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
+	tbl, err := s.engine.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	// Map the optional column list to schema positions.
+	var colIdx []int
+	if len(st.Cols) > 0 {
+		colIdx = make([]int, len(st.Cols))
+		for i, cn := range st.Cols {
+			ci := schema.ColIndex(cn)
+			if ci < 0 {
+				return nil, fmt.Errorf("sql: unknown column %q in INSERT", cn)
+			}
+			colIdx[i] = ci
+		}
+	}
+	n := 0
+	for _, astRow := range st.Rows {
+		row := make(types.Row, schema.NumCols())
+		for i, c := range schema.Cols {
+			row[i] = types.NewNull(c.Type)
+		}
+		if colIdx == nil {
+			if len(astRow) != schema.NumCols() {
+				return nil, fmt.Errorf("sql: INSERT arity %d, table has %d columns", len(astRow), schema.NumCols())
+			}
+			for i, ae := range astRow {
+				v, err := evalConst(ae)
+				if err != nil {
+					return nil, err
+				}
+				row[i] = coerce(v, schema.Cols[i].Type)
+			}
+		} else {
+			if len(astRow) != len(colIdx) {
+				return nil, fmt.Errorf("sql: INSERT arity mismatch")
+			}
+			for i, ae := range astRow {
+				v, err := evalConst(ae)
+				if err != nil {
+					return nil, err
+				}
+				row[colIdx[i]] = coerce(v, schema.Cols[colIdx[i]].Type)
+			}
+		}
+		if err := tx.Insert(st.Table, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+// coerce adapts numeric literal types to the column type.
+func coerce(v types.Value, t types.Type) types.Value {
+	if v.Null {
+		return types.NewNull(t)
+	}
+	if v.Typ == t {
+		return v
+	}
+	switch {
+	case t == types.Float64 && v.Typ == types.Int64:
+		return types.NewFloat(float64(v.I))
+	case t == types.Int64 && v.Typ == types.Float64:
+		return types.NewInt(int64(v.F))
+	default:
+		return v
+	}
+}
+
+// matchingKeys scans the table for rows matching WHERE and returns
+// their primary keys and rows.
+func (s *Session) matchingKeys(tx *core.Tx, table string, where AstExpr) ([]types.Row, []types.Row, error) {
+	tbl, err := s.engine.Table(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	schema := tbl.Schema()
+	sel := &SelectStmt{
+		Items: []SelectItem{{Star: true}},
+		From:  &TableRef{Table: table, Alias: table},
+		Where: where,
+		Limit: -1,
+	}
+	op, err := planSelect(tx, s.engine, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, nil, err
+	}
+	keys := make([]types.Row, len(rows))
+	for i, r := range rows {
+		keys[i] = schema.KeyOf(r)
+	}
+	return keys, rows, nil
+}
+
+func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
+	tbl, err := s.engine.Table(st.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	keys, rows, err := s.matchingKeys(tx, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	// Compile SET expressions against the table scope.
+	sc := &scope{}
+	alias := strings.ToLower(st.Table)
+	for _, c := range schema.Cols {
+		sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
+	}
+	type setOp struct {
+		ci int
+		e  exec.Expr
+	}
+	sets := make([]setOp, len(st.Set))
+	for i, sclause := range st.Set {
+		ci := schema.ColIndex(sclause.Col)
+		if ci < 0 {
+			return nil, fmt.Errorf("sql: unknown column %q in SET", sclause.Col)
+		}
+		ce, err := compileExpr(sclause.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = setOp{ci: ci, e: ce}
+	}
+	rowSchema := schema
+	n := 0
+	for i, old := range rows {
+		b := types.NewBatch(rowSchema, 1)
+		b.AppendRow(old)
+		newRow := old.Clone()
+		for _, so := range sets {
+			newRow[so.ci] = coerce(so.e.Eval(b, 0), schema.Cols[so.ci].Type)
+		}
+		if err := tx.Update(st.Table, keys[i], newRow); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Affected: n}, nil
+}
+
+func (s *Session) execDelete(tx *core.Tx, st *DeleteStmt) (*Result, error) {
+	keys, _, err := s.matchingKeys(tx, st.Table, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range keys {
+		if err := tx.Delete(st.Table, k); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Affected: len(keys)}, nil
+}

@@ -1,0 +1,361 @@
+package colstore
+
+import (
+	"repro/internal/types"
+)
+
+// Op is a comparison operator for pushed-down predicates.
+type Op uint8
+
+// Predicate operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String names the operator.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Predicate is a single-column comparison pushed into the scan. A scan
+// evaluates the conjunction of its predicates.
+type Predicate struct {
+	Col int
+	Op  Op
+	Val types.Value
+}
+
+// Matches evaluates the predicate against a value (NULL never matches).
+func (p Predicate) Matches(v types.Value) bool {
+	if v.Null || p.Val.Null {
+		return false
+	}
+	c := types.Compare(v, p.Val)
+	switch p.Op {
+	case OpEq:
+		return c == 0
+	case OpNe:
+		return c != 0
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// zoneCanMatch reports whether a zone's [min,max] could contain a value
+// matching p. This is the zone-map prune test (E11).
+func zoneCanMatch(p Predicate, z Zone) bool {
+	if p.Val.Null {
+		return false
+	}
+	if z.Min.Null && z.Max.Null {
+		return false // all-null zone matches no comparison
+	}
+	cMin := types.Compare(z.Min, p.Val)
+	cMax := types.Compare(z.Max, p.Val)
+	switch p.Op {
+	case OpEq:
+		return cMin <= 0 && cMax >= 0
+	case OpNe:
+		return !(cMin == 0 && cMax == 0)
+	case OpLt:
+		return cMin < 0
+	case OpLe:
+		return cMin <= 0
+	case OpGt:
+		return cMax > 0
+	case OpGe:
+		return cMax >= 0
+	default:
+		return true
+	}
+}
+
+// ScanStats reports the pruning behaviour of one scan.
+type ScanStats struct {
+	ZonesTotal    int
+	ZonesPruned   int
+	RowsScanned   int
+	RowsMatched   int
+	RowsConcealed int
+}
+
+// Scan streams the projection proj of rows matching all predicates and
+// visible at (readTS, self), one batch per zone, to fn; fn returning
+// false stops the scan. It returns pruning statistics.
+//
+// Predicates are evaluated column-at-a-time per zone (vectorized in the
+// batch-processing sense the tutorial attributes to HANA/BLU scans):
+// zone maps prune first, then each predicate narrows a selection vector
+// before the next runs, and only surviving rows are materialized.
+func (s *Segment) Scan(readTS, self uint64, proj []int, preds []Predicate, fn func(b *types.Batch) bool) ScanStats {
+	var stats ScanStats
+	if s.n == 0 {
+		return stats
+	}
+	nz := (s.n + ZoneSize - 1) / ZoneSize
+	stats.ZonesTotal = nz
+	projSchema := s.projSchema(proj)
+	sel := make([]int, 0, ZoneSize)
+zones:
+	for z := 0; z < nz; z++ {
+		for _, p := range preds {
+			if !zoneCanMatch(p, s.zones[p.Col][z]) {
+				stats.ZonesPruned++
+				continue zones
+			}
+		}
+		lo, hi := z*ZoneSize, (z+1)*ZoneSize
+		if hi > s.n {
+			hi = s.n
+		}
+		stats.RowsScanned += hi - lo
+		// Visibility filter first (cheap atomic load).
+		sel = sel[:0]
+		for i := lo; i < hi; i++ {
+			if s.RowVisible(i, readTS, self) {
+				sel = append(sel, i)
+			} else {
+				stats.RowsConcealed++
+			}
+		}
+		// Predicate kernels narrow the selection column-at-a-time.
+		for _, p := range preds {
+			if len(sel) == 0 {
+				break
+			}
+			sel = s.filterSel(p, sel)
+		}
+		if len(sel) == 0 {
+			continue
+		}
+		stats.RowsMatched += len(sel)
+		batch := types.NewBatch(projSchema, len(sel))
+		for bi, ci := range proj {
+			fillColumn(batch.Cols[bi], s.cols[ci], sel)
+		}
+		if !fn(batch) {
+			break
+		}
+	}
+	return stats
+}
+
+func (s *Segment) projSchema(proj []int) *types.Schema {
+	cols := make([]types.Column, len(proj))
+	for i, ci := range proj {
+		cols[i] = s.schema.Cols[ci]
+	}
+	return &types.Schema{Cols: cols}
+}
+
+// filterSel narrows sel to rows matching p, using typed kernels to avoid
+// a Value materialization per row.
+func (s *Segment) filterSel(p Predicate, sel []int) []int {
+	out := sel[:0]
+	switch c := s.cols[p.Col].(type) {
+	case *intColumn:
+		if !p.Val.IsNumeric() {
+			return out
+		}
+		// Fast path for int comparison against an int literal.
+		if p.Val.Typ == types.Int64 {
+			v := p.Val.I
+			for _, i := range sel {
+				if c.nulls != nil && c.nulls[i] {
+					continue
+				}
+				if cmpMatch(p.Op, c.enc.Get(i), v) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				continue
+			}
+			if p.Matches(types.NewInt(c.enc.Get(i))) {
+				out = append(out, i)
+			}
+		}
+		return out
+	case *floatColumn:
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				continue
+			}
+			if p.Matches(types.NewFloat(c.vals[i])) {
+				out = append(out, i)
+			}
+		}
+		return out
+	case *stringColumn:
+		if p.Val.Typ != types.String {
+			return out
+		}
+		// Code-domain evaluation via the order-preserving dictionary:
+		// translate the predicate into a code range once, then compare
+		// packed codes — no string materialization.
+		loCode, hiCode, ok := stringPredCodeRange(c.dict, p)
+		if !ok {
+			return out
+		}
+		neCode := int64(-1)
+		if p.Op == OpNe {
+			if code, found := c.dict.Code(p.Val.S); found {
+				neCode = int64(code)
+			} else {
+				// Value absent: every non-null row matches.
+				for _, i := range sel {
+					if c.nulls != nil && c.nulls[i] {
+						continue
+					}
+					out = append(out, i)
+				}
+				return out
+			}
+		}
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				continue
+			}
+			code := c.codes.Get(i)
+			if p.Op == OpNe {
+				if int64(code) != neCode {
+					out = append(out, i)
+				}
+				continue
+			}
+			if code >= loCode && code < hiCode {
+				out = append(out, i)
+			}
+		}
+		return out
+	case *boolColumn:
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				continue
+			}
+			if p.Matches(types.NewBool(c.bits.Get(i) != 0)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	default:
+		for _, i := range sel {
+			if p.Matches(s.cols[p.Col].get(i)) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+}
+
+func cmpMatch(op Op, a, b int64) bool {
+	switch op {
+	case OpEq:
+		return a == b
+	case OpNe:
+		return a != b
+	case OpLt:
+		return a < b
+	case OpLe:
+		return a <= b
+	case OpGt:
+		return a > b
+	case OpGe:
+		return a >= b
+	default:
+		return false
+	}
+}
+
+// stringPredCodeRange converts a string predicate into a half-open code
+// range [lo, hi). For OpNe it returns the full range (the caller handles
+// exclusion). ok is false when no code can match.
+func stringPredCodeRange(dict interface {
+	Size() int
+	LowerBound(string) int
+	UpperBound(string) int
+}, p Predicate) (lo, hi uint64, ok bool) {
+	n := uint64(dict.Size())
+	switch p.Op {
+	case OpEq:
+		l := uint64(dict.LowerBound(p.Val.S))
+		h := uint64(dict.UpperBound(p.Val.S))
+		return l, h, l < h
+	case OpNe:
+		return 0, n, n > 0
+	case OpLt:
+		return 0, uint64(dict.LowerBound(p.Val.S)), dict.LowerBound(p.Val.S) > 0
+	case OpLe:
+		return 0, uint64(dict.UpperBound(p.Val.S)), dict.UpperBound(p.Val.S) > 0
+	case OpGt:
+		l := uint64(dict.UpperBound(p.Val.S))
+		return l, n, l < n
+	case OpGe:
+		l := uint64(dict.LowerBound(p.Val.S))
+		return l, n, l < n
+	default:
+		return 0, 0, false
+	}
+}
+
+func fillColumn(dst *types.Vector, src column, sel []int) {
+	switch c := src.(type) {
+	case *intColumn:
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				dst.Append(types.NewNull(types.Int64))
+				continue
+			}
+			dst.Ints = append(dst.Ints, c.enc.Get(i))
+			if dst.Nulls != nil {
+				dst.Nulls = append(dst.Nulls, false)
+			}
+		}
+	case *floatColumn:
+		for _, i := range sel {
+			if c.nulls != nil && c.nulls[i] {
+				dst.Append(types.NewNull(types.Float64))
+				continue
+			}
+			dst.Floats = append(dst.Floats, c.vals[i])
+			if dst.Nulls != nil {
+				dst.Nulls = append(dst.Nulls, false)
+			}
+		}
+	default:
+		for _, i := range sel {
+			dst.Append(src.get(i))
+		}
+	}
+}

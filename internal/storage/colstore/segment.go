@@ -1,0 +1,377 @@
+// Package colstore implements the read-optimized half of the dual-format
+// architecture: immutable, dictionary-compressed column segments with
+// zone maps ("storage indexes" in Oracle DBIM terms, "synopses" in BLU
+// terms), per-row MVCC delete timestamps, and a key index so the
+// transactional path can invalidate merged rows.
+//
+// A segment is built by the delta-merge at a chosen snapshot (createTS):
+// it contains exactly the rows visible at that snapshot, in primary-key
+// order. Updates and deletes after the merge mark the segment row's
+// delete timestamp and put any replacement row in the row store, so one
+// timestamp domain spans both formats — the tutorial's "both formats
+// simultaneously active and transactionally consistent" (DBIM [22]).
+package colstore
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/compress"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// ZoneSize is the number of rows summarized by one zone-map entry.
+const ZoneSize = 1024
+
+// Zone is the min/max summary of one column over one zone of rows.
+type Zone struct {
+	Min, Max types.Value
+	HasNull  bool
+}
+
+// column is an encoded column of a segment.
+type column interface {
+	// get materializes the value at row i.
+	get(i int) types.Value
+	// sizeBytes is the encoded payload size.
+	sizeBytes() int
+}
+
+// intColumn stores int64s frame-of-reference coded.
+type intColumn struct {
+	enc   *compress.FrameOfReference
+	nulls []bool
+}
+
+func (c *intColumn) get(i int) types.Value {
+	if c.nulls != nil && c.nulls[i] {
+		return types.NewNull(types.Int64)
+	}
+	return types.NewInt(c.enc.Get(i))
+}
+func (c *intColumn) sizeBytes() int { return c.enc.SizeBytes() + len(c.nulls) }
+
+// floatColumn stores float64s raw.
+type floatColumn struct {
+	vals  []float64
+	nulls []bool
+}
+
+func (c *floatColumn) get(i int) types.Value {
+	if c.nulls != nil && c.nulls[i] {
+		return types.NewNull(types.Float64)
+	}
+	return types.NewFloat(c.vals[i])
+}
+func (c *floatColumn) sizeBytes() int { return len(c.vals)*8 + len(c.nulls) }
+
+// stringColumn stores strings as bit-packed codes into an
+// order-preserving dictionary.
+type stringColumn struct {
+	dict  *compress.Dictionary
+	codes *compress.BitPacked
+	nulls []bool
+}
+
+func (c *stringColumn) get(i int) types.Value {
+	if c.nulls != nil && c.nulls[i] {
+		return types.NewNull(types.String)
+	}
+	return types.NewString(c.dict.Value(int(c.codes.Get(i))))
+}
+func (c *stringColumn) sizeBytes() int {
+	sz := c.codes.SizeBytes() + len(c.nulls)
+	for i := 0; i < c.dict.Size(); i++ {
+		sz += len(c.dict.Value(i))
+	}
+	return sz
+}
+
+// boolColumn stores booleans bit-packed.
+type boolColumn struct {
+	bits  *compress.BitPacked
+	nulls []bool
+}
+
+func (c *boolColumn) get(i int) types.Value {
+	if c.nulls != nil && c.nulls[i] {
+		return types.NewNull(types.Bool)
+	}
+	return types.NewBool(c.bits.Get(i) != 0)
+}
+func (c *boolColumn) sizeBytes() int { return c.bits.SizeBytes() + len(c.nulls) }
+
+// Segment is an immutable compressed column segment.
+type Segment struct {
+	schema   *types.Schema
+	createTS uint64
+	n        int
+	cols     []column
+	zones    [][]Zone // zones[col][zone]
+	// insTS[i] is the commit timestamp of the version merged into row i;
+	// it lets snapshots older than the merge evaluate visibility exactly.
+	insTS []uint64
+	// delTS[i] is the MVCC end timestamp of row i (InfTS = live,
+	// txn id = uncommitted delete, committed TS = deleted).
+	delTS []atomic.Uint64
+	// keyIdx maps key-hash -> candidate row indexes.
+	keyIdx map[uint64][]int32
+	// deleted counts committed deletions (merge-compaction heuristic).
+	deleted atomic.Int64
+}
+
+// Builder accumulates rows (in primary-key order) and encodes a Segment.
+type Builder struct {
+	schema   *types.Schema
+	createTS uint64
+	rows     []types.Row
+	insTS    []uint64
+}
+
+// NewBuilder starts a segment build at snapshot createTS.
+func NewBuilder(schema *types.Schema, createTS uint64) *Builder {
+	return &Builder{schema: schema, createTS: createTS}
+}
+
+// Add appends a row whose insert timestamp is the segment's createTS.
+// Rows must arrive in primary-key order (the merge scans the row store
+// in key order, so this holds naturally).
+func (b *Builder) Add(row types.Row) { b.AddVersioned(row, b.createTS) }
+
+// AddVersioned appends a row carrying the commit timestamp of the
+// version it came from, preserving exact visibility for old snapshots.
+func (b *Builder) AddVersioned(row types.Row, insTS uint64) {
+	b.rows = append(b.rows, row)
+	b.insTS = append(b.insTS, insTS)
+}
+
+// Len returns the number of rows added so far.
+func (b *Builder) Len() int { return len(b.rows) }
+
+// Build encodes the segment. The builder must not be reused.
+func (b *Builder) Build() *Segment {
+	n := len(b.rows)
+	s := &Segment{
+		schema:   b.schema,
+		createTS: b.createTS,
+		n:        n,
+		cols:     make([]column, len(b.schema.Cols)),
+		zones:    make([][]Zone, len(b.schema.Cols)),
+		insTS:    append([]uint64(nil), b.insTS...),
+		delTS:    make([]atomic.Uint64, n),
+		keyIdx:   make(map[uint64][]int32, n),
+	}
+	for i := range s.delTS {
+		s.delTS[i].Store(txn.InfTS)
+	}
+	for ci, col := range b.schema.Cols {
+		s.cols[ci] = encodeColumn(col.Type, b.rows, ci)
+		s.zones[ci] = buildZones(b.rows, ci)
+	}
+	for i, row := range b.rows {
+		h := types.HashRow(row, b.schema.Key)
+		s.keyIdx[h] = append(s.keyIdx[h], int32(i))
+	}
+	return s
+}
+
+func encodeColumn(t types.Type, rows []types.Row, ci int) column {
+	n := len(rows)
+	var nulls []bool
+	noteNull := func(i int) {
+		if nulls == nil {
+			nulls = make([]bool, n)
+		}
+		nulls[i] = true
+	}
+	switch t {
+	case types.Int64:
+		vals := make([]int64, n)
+		for i, r := range rows {
+			if r[ci].Null {
+				noteNull(i)
+				continue
+			}
+			vals[i] = r[ci].I
+		}
+		return &intColumn{enc: compress.FOREncode(vals), nulls: nulls}
+	case types.Float64:
+		vals := make([]float64, n)
+		for i, r := range rows {
+			if r[ci].Null {
+				noteNull(i)
+				continue
+			}
+			vals[i] = r[ci].F
+		}
+		return &floatColumn{vals: vals, nulls: nulls}
+	case types.String:
+		raw := make([]string, n)
+		for i, r := range rows {
+			if r[ci].Null {
+				noteNull(i)
+				continue
+			}
+			raw[i] = r[ci].S
+		}
+		dict := compress.BuildDictionary(raw)
+		codes, _ := dict.Encode(raw)
+		maxCode := uint64(0)
+		if dict.Size() > 0 {
+			maxCode = uint64(dict.Size() - 1)
+		}
+		return &stringColumn{dict: dict, codes: compress.Pack(codes, compress.BitWidthFor(maxCode)), nulls: nulls}
+	case types.Bool:
+		vals := make([]uint64, n)
+		for i, r := range rows {
+			if r[ci].Null {
+				noteNull(i)
+				continue
+			}
+			if r[ci].I != 0 {
+				vals[i] = 1
+			}
+		}
+		return &boolColumn{bits: compress.Pack(vals, 1), nulls: nulls}
+	default:
+		panic(fmt.Sprintf("colstore: unsupported type %v", t))
+	}
+}
+
+func buildZones(rows []types.Row, ci int) []Zone {
+	n := len(rows)
+	nz := (n + ZoneSize - 1) / ZoneSize
+	zones := make([]Zone, nz)
+	for z := 0; z < nz; z++ {
+		lo, hi := z*ZoneSize, (z+1)*ZoneSize
+		if hi > n {
+			hi = n
+		}
+		first := true
+		for i := lo; i < hi; i++ {
+			v := rows[i][ci]
+			if v.Null {
+				zones[z].HasNull = true
+				continue
+			}
+			if first {
+				zones[z].Min, zones[z].Max = v, v
+				first = false
+				continue
+			}
+			if types.Compare(v, zones[z].Min) < 0 {
+				zones[z].Min = v
+			}
+			if types.Compare(v, zones[z].Max) > 0 {
+				zones[z].Max = v
+			}
+		}
+		if first { // all-null zone
+			zones[z].Min = types.NewNull(rows[0][ci].Typ)
+			zones[z].Max = zones[z].Min
+		}
+	}
+	return zones
+}
+
+// Schema returns the segment schema.
+func (s *Segment) Schema() *types.Schema { return s.schema }
+
+// CreateTS returns the snapshot the segment was merged at.
+func (s *Segment) CreateTS() uint64 { return s.createTS }
+
+// NumRows returns the physical row count (including deleted rows).
+func (s *Segment) NumRows() int { return s.n }
+
+// DeletedRows returns the committed-deleted row count.
+func (s *Segment) DeletedRows() int { return int(s.deleted.Load()) }
+
+// SizeBytes returns the encoded payload size across all columns.
+func (s *Segment) SizeBytes() int {
+	sz := 0
+	for _, c := range s.cols {
+		sz += c.sizeBytes()
+	}
+	return sz
+}
+
+// Get materializes column ci of row i.
+func (s *Segment) Get(i, ci int) types.Value { return s.cols[ci].get(i) }
+
+// Row materializes row i in full.
+func (s *Segment) Row(i int) types.Row {
+	r := make(types.Row, len(s.cols))
+	for ci := range s.cols {
+		r[ci] = s.cols[ci].get(i)
+	}
+	return r
+}
+
+// RowVisible reports whether row i is visible at (readTS, self): the
+// merged version was committed at or before the snapshot and has not
+// been deleted as of the snapshot. Because each row carries its insert
+// timestamp, this is exact even for snapshots older than the merge.
+func (s *Segment) RowVisible(i int, readTS, self uint64) bool {
+	return txn.Visible(s.insTS[i], s.delTS[i].Load(), readTS, self)
+}
+
+// InsertTS returns row i's insert (commit) timestamp.
+func (s *Segment) InsertTS(i int) uint64 { return s.insTS[i] }
+
+// FindKey returns the segment row index holding key, or -1. Deleted rows
+// are still found (the caller decides based on visibility).
+func (s *Segment) FindKey(key types.Row) int {
+	h := keyHashOf(key)
+	for _, idx := range s.keyIdx[h] {
+		if types.CompareKeys(s.keyRow(int(idx)), key) == 0 {
+			return int(idx)
+		}
+	}
+	return -1
+}
+
+func keyHashOf(key types.Row) uint64 {
+	cols := make([]int, len(key))
+	for i := range cols {
+		cols[i] = i
+	}
+	return types.HashRow(key, cols)
+}
+
+func (s *Segment) keyRow(i int) types.Row {
+	k := make(types.Row, len(s.schema.Key))
+	for j, ci := range s.schema.Key {
+		k[j] = s.cols[ci].get(i)
+	}
+	return k
+}
+
+// MarkDeleted takes the MVCC write lock on row i for transaction t
+// (first-updater-wins) and registers commit/abort hooks. It returns
+// txn.ErrConflict if another transaction holds the row or it was deleted
+// after t's snapshot.
+func (s *Segment) MarkDeleted(t *txn.Txn, i int) error {
+	cur := s.delTS[i].Load()
+	if cur == t.ID {
+		return nil // already marked by us
+	}
+	if txn.IsCommittedTS(cur) {
+		return txn.ErrConflict // already deleted (any committed delete conflicts a writer)
+	}
+	if cur != txn.InfTS {
+		return txn.ErrConflict // another txn's uncommitted delete
+	}
+	if !s.delTS[i].CompareAndSwap(txn.InfTS, t.ID) {
+		return txn.ErrConflict
+	}
+	t.OnCommit(func(ts uint64) {
+		s.delTS[i].Store(ts)
+		s.deleted.Add(1)
+	})
+	t.OnAbort(func() { s.delTS[i].Store(txn.InfTS) })
+	return nil
+}
+
+// DeleteTS returns row i's current delete timestamp.
+func (s *Segment) DeleteTS(i int) uint64 { return s.delTS[i].Load() }

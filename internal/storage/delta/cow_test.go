@@ -1,0 +1,216 @@
+package delta
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func r(i int64) types.Row { return types.Row{types.NewInt(i)} }
+
+func TestAppendGet(t *testing.T) {
+	ps := NewPageStore()
+	for i := 0; i < 1000; i++ {
+		if id := ps.Append(r(int64(i))); id != i {
+			t.Fatalf("Append returned id %d, want %d", id, i)
+		}
+	}
+	if ps.Len() != 1000 {
+		t.Fatalf("Len = %d", ps.Len())
+	}
+	if ps.NumPages() != (1000+PageSize-1)/PageSize {
+		t.Fatalf("NumPages = %d", ps.NumPages())
+	}
+	for i := 0; i < 1000; i++ {
+		row, ok := ps.Get(i)
+		if !ok || row[0].I != int64(i) {
+			t.Fatalf("Get(%d) = %v, %v", i, row, ok)
+		}
+	}
+	if _, ok := ps.Get(-1); ok {
+		t.Fatal("negative id")
+	}
+	if _, ok := ps.Get(1000); ok {
+		t.Fatal("out-of-range id")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	ps := NewPageStore()
+	ps.Append(r(1))
+	ps.Append(r(2))
+	if err := ps.Update(0, r(10)); err != nil {
+		t.Fatal(err)
+	}
+	if row, _ := ps.Get(0); row[0].I != 10 {
+		t.Fatal("update not applied")
+	}
+	if err := ps.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if row, ok := ps.Get(1); !ok || row != nil {
+		t.Fatal("delete should leave a nil slot")
+	}
+	if err := ps.Update(99, r(0)); err == nil {
+		t.Fatal("out-of-range update")
+	}
+	if err := ps.Delete(99); err == nil {
+		t.Fatal("out-of-range delete")
+	}
+	var ids []int
+	ps.Scan(func(id int, row types.Row) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if len(ids) != 1 || ids[0] != 0 {
+		t.Fatalf("scan ids = %v", ids)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	ps := NewPageStore()
+	for i := 0; i < 600; i++ {
+		ps.Append(r(int64(i)))
+	}
+	snap := ps.Snapshot()
+	// Mutate the master heavily.
+	for i := 0; i < 600; i++ {
+		ps.Update(i, r(int64(i+1000)))
+	}
+	for i := 0; i < 100; i++ {
+		ps.Append(r(int64(9000 + i)))
+	}
+	// Snapshot still sees the old world.
+	if snap.Len() != 600 {
+		t.Fatalf("snapshot Len = %d", snap.Len())
+	}
+	for i := 0; i < 600; i++ {
+		row, ok := snap.Get(i)
+		if !ok || row[0].I != int64(i) {
+			t.Fatalf("snapshot Get(%d) = %v", i, row)
+		}
+	}
+	if _, ok := snap.Get(600); ok {
+		t.Fatal("snapshot sees post-snapshot append")
+	}
+	// Master sees the new world.
+	if row, _ := ps.Get(0); row[0].I != 1000 {
+		t.Fatal("master lost its update")
+	}
+	count := 0
+	snap.Scan(func(id int, row types.Row) bool {
+		if row[0].I != int64(id) {
+			t.Fatalf("snapshot scan saw %d at %d", row[0].I, id)
+		}
+		count++
+		return true
+	})
+	if count != 600 {
+		t.Fatalf("snapshot scan count = %d", count)
+	}
+}
+
+func TestCOWCopiesProportionalToDirtyPages(t *testing.T) {
+	ps := NewPageStore()
+	const n = 40 * PageSize
+	for i := 0; i < n; i++ {
+		ps.Append(r(int64(i)))
+	}
+	base := ps.Copies()
+	_ = ps.Snapshot()
+	// Touch rows in only 3 pages.
+	ps.Update(0, r(-1))
+	ps.Update(1, r(-2))             // same page: no extra copy
+	ps.Update(10*PageSize, r(-3))   // second page
+	ps.Update(20*PageSize+5, r(-4)) // third page
+	ps.Update(20*PageSize+6, r(-5)) // same page again
+	if got := ps.Copies() - base; got != 3 {
+		t.Fatalf("COW copies = %d, want 3 (one per dirtied page)", got)
+	}
+}
+
+func TestSnapshotEpochAdvances(t *testing.T) {
+	ps := NewPageStore()
+	ps.Append(r(1))
+	s1 := ps.Snapshot()
+	s2 := ps.Snapshot()
+	if s2.Epoch() <= s1.Epoch() {
+		t.Fatal("epochs must advance")
+	}
+}
+
+func TestMultipleSnapshotsSeeTheirOwnStates(t *testing.T) {
+	ps := NewPageStore()
+	ps.Append(r(1))
+	s1 := ps.Snapshot()
+	ps.Update(0, r(2))
+	s2 := ps.Snapshot()
+	ps.Update(0, r(3))
+	v1, _ := s1.Get(0)
+	v2, _ := s2.Get(0)
+	v3, _ := ps.Get(0)
+	if v1[0].I != 1 || v2[0].I != 2 || v3[0].I != 3 {
+		t.Fatalf("snapshot lineage broken: %d %d %d", v1[0].I, v2[0].I, v3[0].I)
+	}
+}
+
+func TestConcurrentSnapshotReadersAndWriter(t *testing.T) {
+	ps := NewPageStore()
+	const n = 8 * PageSize
+	for i := 0; i < n; i++ {
+		ps.Append(r(int64(i)))
+	}
+	var wg, writerWG sync.WaitGroup
+	stop := make(chan struct{})
+	writerWG.Add(1)
+	go func() { // writer
+		defer writerWG.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ps.Update(i%n, r(int64(-i)))
+			ps.Append(r(int64(i)))
+			i++
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				snap := ps.Snapshot()
+				// A snapshot scan must see an immutable, consistent state.
+				want := snap.Len()
+				seen := 0
+				snap.Scan(func(id int, row types.Row) bool {
+					seen++
+					return true
+				})
+				if seen != want {
+					t.Errorf("snapshot scan saw %d rows, want %d", seen, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writerWG.Wait()
+}
+
+func TestSnapshotGetBounds(t *testing.T) {
+	ps := NewPageStore()
+	ps.Append(r(1))
+	s := ps.Snapshot()
+	if _, ok := s.Get(-1); ok {
+		t.Fatal("negative")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("past end")
+	}
+}

@@ -1,0 +1,396 @@
+// Package rowstore implements the write-optimized half of the
+// dual-format architecture: a skip-list-indexed, multi-versioned
+// in-memory row store in the style the tutorial attributes to MemSQL's
+// DRAM row store [26] and to the row format of Oracle Database
+// In-Memory. It doubles as the *delta store* of the column store:
+// freshly written rows accumulate here until the delta-merge moves them
+// into compressed column segments.
+//
+// Concurrency model (Hekaton-style, matching internal/txn):
+//
+//   - Every key maps to a chain of Versions, newest first.
+//   - A version's begin/end fields hold either a committed timestamp or
+//     the id of the uncommitted transaction that wrote it.
+//   - Writers take a per-version "write lock" by CASing end from InfTS
+//     to their transaction id — first-updater-wins snapshot isolation.
+//   - Readers never block: they walk the chain for the version visible
+//     at their snapshot.
+package rowstore
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/index"
+	"repro/internal/txn"
+	"repro/internal/types"
+)
+
+// Errors returned by row-store operations.
+var (
+	ErrDuplicateKey = errors.New("rowstore: duplicate primary key")
+	ErrNotFound     = errors.New("rowstore: key not found")
+)
+
+// Version is one MVCC version of a row.
+type Version struct {
+	Data types.Row
+	// Next points to the immediately older version.
+	Next *Version
+
+	begin atomic.Uint64
+	end   atomic.Uint64
+}
+
+// Begin returns the version's begin field (commit TS, txn id, or
+// AbortedTS).
+func (v *Version) Begin() uint64 { return v.begin.Load() }
+
+// End returns the version's end field (commit TS, txn id, or InfTS).
+func (v *Version) End() uint64 { return v.end.Load() }
+
+func newVersion(data types.Row, creator uint64, next *Version) *Version {
+	v := &Version{Data: data, Next: next}
+	v.begin.Store(creator)
+	v.end.Store(txn.InfTS)
+	return v
+}
+
+// Store is a multi-versioned row store for one table.
+type Store struct {
+	schema *types.Schema
+	list   *index.SkipList[Version]
+	// live counts versions currently visible to a fresh snapshot
+	// (approximate under concurrency; exact when quiesced).
+	live atomic.Int64
+}
+
+// New creates a row store for the schema. The schema must have a
+// primary key.
+func New(schema *types.Schema) (*Store, error) {
+	if len(schema.Key) == 0 {
+		return nil, fmt.Errorf("rowstore: schema requires a primary key")
+	}
+	return &Store{schema: schema, list: index.NewSkipList[Version]()}, nil
+}
+
+// Schema returns the table schema.
+func (s *Store) Schema() *types.Schema { return s.schema }
+
+// LiveCount returns the approximate number of live rows.
+func (s *Store) LiveCount() int { return int(s.live.Load()) }
+
+// KeyCount returns the number of distinct keys ever inserted (including
+// deleted ones whose chains remain).
+func (s *Store) KeyCount() int { return s.list.Len() }
+
+// firstNonAborted skips versions created by aborted transactions.
+func firstNonAborted(v *Version) *Version {
+	for v != nil && v.Begin() == txn.AbortedTS {
+		v = v.Next
+	}
+	return v
+}
+
+// visibleIn walks the chain for the version visible at (readTS, self).
+func visibleIn(head *Version, readTS, self uint64) *Version {
+	for v := head; v != nil; v = v.Next {
+		b := v.Begin()
+		if b == txn.AbortedTS {
+			continue
+		}
+		if txn.Visible(b, v.End(), readTS, self) {
+			return v
+		}
+		// Chains are newest-first; once we pass a committed version
+		// older than the snapshot, nothing older can match better —
+		// but deleted-old versions still need the end check, so we
+		// simply continue until nil (chains are short).
+	}
+	return nil
+}
+
+// Insert adds a row under transaction t. It validates the row, enforces
+// primary-key uniqueness, and registers commit/abort hooks.
+func (s *Store) Insert(t *txn.Txn, row types.Row) error {
+	if err := s.schema.Validate(row); err != nil {
+		return err
+	}
+	key := s.schema.KeyOf(row)
+	for {
+		v := newVersion(row.Clone(), t.ID, nil)
+		entry, loaded := s.list.GetOrInsert(key, v)
+		if !loaded {
+			s.hookInsert(t, v)
+			return nil
+		}
+		head := entry.Load()
+		writable := firstNonAborted(head)
+		if writable == nil {
+			// Chain is all aborted versions: prepend over it.
+			v.Next = head
+			if entry.CompareAndSwap(head, v) {
+				s.hookInsert(t, v)
+				return nil
+			}
+			continue // raced; retry
+		}
+		e := writable.End()
+		switch {
+		case e == txn.InfTS:
+			// A live version exists.
+			if txn.VisibleBegin(writable.Begin(), t.ReadTS, t.ID) {
+				return ErrDuplicateKey
+			}
+			// Live but invisible: either uncommitted insert by another
+			// txn or committed after our snapshot — conflict either way.
+			return txn.ErrConflict
+		case !txn.IsCommittedTS(e):
+			// Another transaction holds the write lock (pending delete).
+			return txn.ErrConflict
+		case e > t.ReadTS:
+			// Deleted after our snapshot: first-updater-wins says abort.
+			return txn.ErrConflict
+		}
+		// Deleted before our snapshot: re-insert on top.
+		v.Next = head
+		if entry.CompareAndSwap(head, v) {
+			s.hookInsert(t, v)
+			return nil
+		}
+		// Lost a race with a concurrent writer; retry from scratch.
+	}
+}
+
+func (s *Store) hookInsert(t *txn.Txn, v *Version) {
+	t.OnCommit(func(ts uint64) {
+		v.begin.Store(ts)
+		s.live.Add(1)
+	})
+	t.OnAbort(func() { v.begin.Store(txn.AbortedTS) })
+}
+
+// lockForWrite finds the writable version for key and CASes its end to
+// the transaction id, enforcing first-updater-wins. Returns the entry
+// and the locked version.
+func (s *Store) lockForWrite(t *txn.Txn, key types.Row) (*index.Entry[Version], *Version, error) {
+	entry := s.list.GetEntry(key)
+	if entry == nil {
+		return nil, nil, ErrNotFound
+	}
+	head := entry.Load()
+	writable := firstNonAborted(head)
+	if writable == nil {
+		return nil, nil, ErrNotFound
+	}
+	b := writable.Begin()
+	if !txn.IsCommittedTS(b) && b != t.ID {
+		return nil, nil, txn.ErrConflict // uncommitted writer at head
+	}
+	if txn.IsCommittedTS(b) && b > t.ReadTS {
+		return nil, nil, txn.ErrConflict // committed after our snapshot
+	}
+	e := writable.End()
+	if txn.IsCommittedTS(e) {
+		if e <= t.ReadTS {
+			return nil, nil, ErrNotFound // deleted before our snapshot
+		}
+		return nil, nil, txn.ErrConflict // deleted after our snapshot
+	}
+	if e != txn.InfTS {
+		if e == t.ID {
+			return nil, nil, ErrNotFound // we already deleted it ourselves
+		}
+		return nil, nil, txn.ErrConflict // locked by another txn
+	}
+	if !writable.end.CompareAndSwap(txn.InfTS, t.ID) {
+		return nil, nil, txn.ErrConflict
+	}
+	return entry, writable, nil
+}
+
+// Update replaces the row at key with newRow under transaction t.
+// newRow's key projection must equal key (key updates are a delete +
+// insert at the engine layer).
+func (s *Store) Update(t *txn.Txn, key types.Row, newRow types.Row) error {
+	if err := s.schema.Validate(newRow); err != nil {
+		return err
+	}
+	if types.CompareKeys(s.schema.KeyOf(newRow), key) != 0 {
+		return fmt.Errorf("rowstore: update must preserve the primary key")
+	}
+	entry, old, err := s.lockForWrite(t, key)
+	if err != nil {
+		return err
+	}
+	head := entry.Load()
+	v := newVersion(newRow.Clone(), t.ID, head)
+	if !entry.CompareAndSwap(head, v) {
+		// Cannot happen while we hold old's write lock (no other writer
+		// can prepend), but be safe: release the lock and report.
+		old.end.Store(txn.InfTS)
+		return txn.ErrConflict
+	}
+	t.OnCommit(func(ts uint64) {
+		v.begin.Store(ts)
+		old.end.Store(ts)
+	})
+	t.OnAbort(func() {
+		v.begin.Store(txn.AbortedTS)
+		old.end.Store(txn.InfTS)
+	})
+	return nil
+}
+
+// Delete removes the row at key under transaction t.
+func (s *Store) Delete(t *txn.Txn, key types.Row) error {
+	_, old, err := s.lockForWrite(t, key)
+	if err != nil {
+		return err
+	}
+	t.OnCommit(func(ts uint64) {
+		old.end.Store(ts)
+		s.live.Add(-1)
+	})
+	t.OnAbort(func() { old.end.Store(txn.InfTS) })
+	return nil
+}
+
+// Get returns the row visible to transaction t at key.
+func (s *Store) Get(t *txn.Txn, key types.Row) (types.Row, bool) {
+	return s.GetAt(key, t.ReadTS, t.ID)
+}
+
+// GetAt returns the row visible at an explicit snapshot.
+func (s *Store) GetAt(key types.Row, readTS, self uint64) (types.Row, bool) {
+	entry := s.list.GetEntry(key)
+	if entry == nil {
+		return nil, false
+	}
+	if v := visibleIn(entry.Load(), readTS, self); v != nil {
+		return v.Data, true
+	}
+	return nil, false
+}
+
+// Scan calls fn with every row visible at (readTS, self) in primary-key
+// order, stopping early if fn returns false.
+func (s *Store) Scan(readTS, self uint64, fn func(row types.Row) bool) {
+	s.list.Seek(nil, func(key types.Row, e *index.Entry[Version]) bool {
+		if v := visibleIn(e.Load(), readTS, self); v != nil {
+			return fn(v.Data)
+		}
+		return true
+	})
+}
+
+// ScanRange is Scan restricted to from <= key < to (nil bounds open).
+func (s *Store) ScanRange(from, to types.Row, readTS, self uint64, fn func(row types.Row) bool) {
+	s.list.Range(from, to, func(key types.Row, e *index.Entry[Version]) bool {
+		if v := visibleIn(e.Load(), readTS, self); v != nil {
+			return fn(v.Data)
+		}
+		return true
+	})
+}
+
+// CollectAt returns every row visible at snapshot ts, in key order. The
+// delta-merge uses this to build column segments.
+func (s *Store) CollectAt(ts uint64) []types.Row {
+	var out []types.Row
+	s.Scan(ts, 0, func(row types.Row) bool {
+		out = append(out, row)
+		return true
+	})
+	return out
+}
+
+// CollectVersionsAt returns the rows visible at snapshot ts along with
+// each version's commit (begin) timestamp, in key order. The delta-merge
+// uses the timestamps as per-row insert timestamps in the column
+// segment, which lets readers at any snapshot — including ones older
+// than the merge — evaluate segment-row visibility exactly.
+func (s *Store) CollectVersionsAt(ts uint64) ([]types.Row, []uint64) {
+	var rows []types.Row
+	var begins []uint64
+	s.list.Seek(nil, func(key types.Row, e *index.Entry[Version]) bool {
+		if v := visibleIn(e.Load(), ts, 0); v != nil {
+			rows = append(rows, v.Data)
+			begins = append(begins, v.Begin())
+		}
+		return true
+	})
+	return rows, begins
+}
+
+// TruncateMerged removes versions whose data was absorbed by a merge at
+// mergeTS (live committed versions with begin <= mergeTS — readers find
+// them in the segment via per-row insert timestamps), plus garbage:
+// aborted versions and versions dead at or before watermark (invisible
+// to every active and future snapshot).
+//
+// The caller must guarantee write quiescence on the table: no version of
+// this store carries an uncommitted begin or end while TruncateMerged
+// runs (the engine's merge gate provides this).
+func (s *Store) TruncateMerged(mergeTS, watermark uint64) {
+	s.list.Seek(nil, func(key types.Row, e *index.Entry[Version]) bool {
+		for {
+			head := e.Load()
+			newHead := pruneMerged(head, mergeTS, watermark)
+			if newHead == head {
+				return true
+			}
+			if e.CompareAndSwap(head, newHead) {
+				return true
+			}
+		}
+	})
+	s.recount()
+}
+
+// pruneMerged rebuilds the chain without versions fully absorbed by a
+// merge at mergeTS or dead below watermark.
+func pruneMerged(head *Version, mergeTS, watermark uint64) *Version {
+	var keep []*Version
+	changed := false
+	for v := head; v != nil; v = v.Next {
+		b, e := v.Begin(), v.End()
+		switch {
+		case b == txn.AbortedTS:
+			changed = true // drop aborted versions opportunistically
+		case txn.IsCommittedTS(b) && b <= mergeTS && e == txn.InfTS:
+			changed = true // live row absorbed into the segment
+		case txn.IsCommittedTS(b) && txn.IsCommittedTS(e) && e <= watermark:
+			changed = true // dead below the watermark: invisible to all
+		default:
+			keep = append(keep, v)
+		}
+	}
+	if !changed {
+		return head
+	}
+	var newHead *Version
+	for i := len(keep) - 1; i >= 0; i-- {
+		nv := keep[i]
+		// Rebuild Next links over the kept set. Mutating Next is safe
+		// under the merge gate's write quiescence; concurrent readers
+		// racing the CAS re-walk from the (immutable) head they loaded.
+		nv.Next = newHead
+		newHead = nv
+	}
+	return newHead
+}
+
+// recount recomputes the live counter (post-merge housekeeping).
+func (s *Store) recount() {
+	var n int64
+	now := txn.InfTS - 2 // effectively "latest"
+	s.list.Seek(nil, func(key types.Row, e *index.Entry[Version]) bool {
+		if v := visibleIn(e.Load(), now, 0); v != nil {
+			n++
+		}
+		return true
+	})
+	s.live.Store(n)
+}

@@ -1,0 +1,136 @@
+package txn
+
+import (
+	"sort"
+	"sync"
+)
+
+// PartitionedExecutor is an H-Store-style execution engine [38]: the
+// database is pre-partitioned into conflict-free partitions, each owned
+// by a single worker goroutine that runs transactions serially with no
+// latching, no locking, and no versioning. Single-partition transactions
+// are therefore extremely cheap; multi-partition transactions must stall
+// every involved partition for their duration, which is exactly the
+// trade-off E9 measures.
+type PartitionedExecutor struct {
+	parts []chan func()
+	wg    sync.WaitGroup
+	// admit serializes the enqueueing of multi-partition rendezvous
+	// jobs: with all of one transaction's park jobs queued before any of
+	// the next's, every leader's partners are ahead of later work in
+	// each queue, so rendezvous cannot cross-block (no deadlock).
+	admit sync.Mutex
+	// stats
+	mu     sync.Mutex
+	single uint64
+	multi  uint64
+}
+
+// NewPartitionedExecutor starts n partition workers.
+func NewPartitionedExecutor(n int) *PartitionedExecutor {
+	if n < 1 {
+		n = 1
+	}
+	e := &PartitionedExecutor{parts: make([]chan func(), n)}
+	for i := range e.parts {
+		ch := make(chan func(), 128)
+		e.parts[i] = ch
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for job := range ch {
+				job()
+			}
+		}()
+	}
+	return e
+}
+
+// Partitions returns the partition count.
+func (e *PartitionedExecutor) Partitions() int { return len(e.parts) }
+
+// Run executes fn on the worker of every partition in parts: a
+// single-partition transaction runs serially on its owner; a
+// multi-partition transaction rendezvouses all owners (in ascending
+// partition order, so concurrent multi-partition transactions cannot
+// deadlock), runs fn once on the lowest partition's worker while the
+// others stall, then releases them. Run blocks until fn completes.
+func (e *PartitionedExecutor) Run(parts []int, fn func()) {
+	switch len(parts) {
+	case 0:
+		fn()
+		return
+	case 1:
+		done := make(chan struct{})
+		e.parts[parts[0]] <- func() {
+			fn()
+			close(done)
+		}
+		<-done
+		e.mu.Lock()
+		e.single++
+		e.mu.Unlock()
+		return
+	}
+	ps := append([]int(nil), parts...)
+	sort.Ints(ps)
+	ps = dedupe(ps)
+	if len(ps) == 1 {
+		e.Run(ps, fn)
+		return
+	}
+	// Rendezvous: every involved partition parks until the transaction
+	// finishes; the lowest partition executes the body.
+	var ready sync.WaitGroup
+	ready.Add(len(ps))
+	release := make(chan struct{})
+	done := make(chan struct{})
+	e.admit.Lock()
+	for i, p := range ps {
+		leader := i == 0
+		e.parts[p] <- func() {
+			ready.Done()
+			if leader {
+				ready.Wait() // all partitions parked: safe to touch them all
+				fn()
+				close(release)
+			}
+			<-release
+		}
+	}
+	e.admit.Unlock()
+	go func() {
+		ready.Wait()
+		<-release
+		close(done)
+	}()
+	<-done
+	e.mu.Lock()
+	e.multi++
+	e.mu.Unlock()
+}
+
+func dedupe(sorted []int) []int {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stats returns how many single- and multi-partition transactions ran.
+func (e *PartitionedExecutor) Stats() (single, multi uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.single, e.multi
+}
+
+// Close shuts down the workers after draining queued transactions.
+func (e *PartitionedExecutor) Close() {
+	for _, ch := range e.parts {
+		close(ch)
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,366 @@
+// Package types defines the value model shared by every oadms subsystem:
+// scalar types, single values, rows, schemas, and typed column vectors.
+//
+// The design follows the tutorial's column-store lineage: the unit of data
+// movement through the analytic path is a typed Vector (a batch of values
+// of one column), while the transactional path works row-at-a-time with
+// Row. Both representations avoid interface{} on hot paths.
+package types
+
+import (
+	"fmt"
+	"hash/maphash"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Type enumerates the scalar types supported by the engine.
+type Type uint8
+
+const (
+	// Int64 is a 64-bit signed integer. Timestamps are stored as Int64
+	// microseconds since the Unix epoch.
+	Int64 Type = iota
+	// Float64 is an IEEE-754 double.
+	Float64
+	// String is an immutable UTF-8 string.
+	String
+	// Bool is a boolean.
+	Bool
+)
+
+// String returns the SQL-ish name of the type.
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "BIGINT"
+	case Float64:
+		return "DOUBLE"
+	case String:
+		return "VARCHAR"
+	case Bool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// ParseType converts a SQL type name to a Type.
+func ParseType(s string) (Type, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "BIGINT", "INT", "INTEGER", "TIMESTAMP":
+		return Int64, nil
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return Float64, nil
+	case "VARCHAR", "TEXT", "STRING", "CHAR":
+		return String, nil
+	case "BOOLEAN", "BOOL":
+		return Bool, nil
+	default:
+		return 0, fmt.Errorf("types: unknown type %q", s)
+	}
+}
+
+// Value is a single scalar value. The active representation is selected
+// by Typ: Int64 and Bool use I (Bool as 0/1), Float64 uses F, String uses
+// S. Null is represented by the Null flag regardless of Typ.
+type Value struct {
+	S    string
+	I    int64
+	F    float64
+	Typ  Type
+	Null bool
+}
+
+// NewInt returns an Int64 value.
+func NewInt(v int64) Value { return Value{Typ: Int64, I: v} }
+
+// NewFloat returns a Float64 value.
+func NewFloat(v float64) Value { return Value{Typ: Float64, F: v} }
+
+// NewString returns a String value.
+func NewString(v string) Value { return Value{Typ: String, S: v} }
+
+// NewBool returns a Bool value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Typ: Bool, I: i}
+}
+
+// NewNull returns the null value of type t.
+func NewNull(t Type) Value { return Value{Typ: t, Null: true} }
+
+// Bool reports the boolean interpretation of the value.
+func (v Value) Bool() bool { return !v.Null && v.I != 0 }
+
+// IsNumeric reports whether the value is Int64 or Float64.
+func (v Value) IsNumeric() bool { return v.Typ == Int64 || v.Typ == Float64 }
+
+// AsFloat converts a numeric value to float64.
+func (v Value) AsFloat() float64 {
+	if v.Typ == Float64 {
+		return v.F
+	}
+	return float64(v.I)
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	if v.Null {
+		return "NULL"
+	}
+	switch v.Typ {
+	case Int64:
+		return strconv.FormatInt(v.I, 10)
+	case Float64:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case String:
+		return v.S
+	case Bool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values of the same type. NULL sorts before every
+// non-null value; two NULLs compare equal. Comparing values of different
+// types orders by type tag (stable, arbitrary).
+func Compare(a, b Value) int {
+	if a.Null || b.Null {
+		switch {
+		case a.Null && b.Null:
+			return 0
+		case a.Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.Typ != b.Typ {
+		// Numeric cross-type comparison is meaningful; everything else
+		// orders by type tag.
+		if a.IsNumeric() && b.IsNumeric() {
+			return compareFloat(a.AsFloat(), b.AsFloat())
+		}
+		if a.Typ < b.Typ {
+			return -1
+		}
+		return 1
+	}
+	switch a.Typ {
+	case Int64, Bool:
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	case Float64:
+		return compareFloat(a.F, b.F)
+	case String:
+		return strings.Compare(a.S, b.S)
+	default:
+		return 0
+	}
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values are equal under Compare semantics.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// hashSeed is the process-wide seed for value hashing.
+var hashSeed = maphash.MakeSeed()
+
+// Hash returns a stable (per-process) hash of the value, suitable for
+// hash joins and hash aggregation.
+func (v Value) Hash() uint64 {
+	var h maphash.Hash
+	h.SetSeed(hashSeed)
+	if v.Null {
+		_ = h.WriteByte(0xff)
+		return h.Sum64()
+	}
+	_ = h.WriteByte(byte(v.Typ))
+	switch v.Typ {
+	case Int64, Bool:
+		writeUint64(&h, uint64(v.I))
+	case Float64:
+		// Normalize -0.0 to 0.0 so equal floats hash equal.
+		f := v.F
+		if f == 0 {
+			f = 0
+		}
+		writeUint64(&h, math.Float64bits(f))
+	case String:
+		_, _ = h.WriteString(v.S)
+	}
+	return h.Sum64()
+}
+
+func writeUint64(h *maphash.Hash, u uint64) {
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(u >> (8 * i))
+	}
+	_, _ = h.Write(buf[:])
+}
+
+// Row is one tuple in schema column order.
+type Row []Value
+
+// Clone returns a deep-enough copy of the row (strings are immutable).
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// HashRow hashes the projection of r onto the given column indexes.
+func HashRow(r Row, cols []int) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for _, c := range cols {
+		h ^= r[c].Hash()
+		h *= 1099511628211
+	}
+	return h
+}
+
+// String renders the row as a parenthesized tuple.
+func (r Row) String() string {
+	var sb strings.Builder
+	sb.WriteByte('(')
+	for i, v := range r {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(v.String())
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// Column describes one column of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Cols []Column
+	// Key holds the positions of the primary-key columns, in key order.
+	// An empty Key means the table has no primary key.
+	Key []int
+}
+
+// NewSchema builds a schema from columns and primary-key column names.
+func NewSchema(cols []Column, keyNames ...string) (*Schema, error) {
+	s := &Schema{Cols: cols}
+	for _, kn := range keyNames {
+		idx := s.ColIndex(kn)
+		if idx < 0 {
+			return nil, fmt.Errorf("types: key column %q not in schema", kn)
+		}
+		s.Key = append(s.Key, idx)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and fixtures.
+func MustSchema(cols []Column, keyNames ...string) *Schema {
+	s, err := NewSchema(cols, keyNames...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumCols returns the number of columns.
+func (s *Schema) NumCols() int { return len(s.Cols) }
+
+// Validate checks that a row conforms to the schema.
+func (s *Schema) Validate(r Row) error {
+	if len(r) != len(s.Cols) {
+		return fmt.Errorf("types: row has %d values, schema has %d columns", len(r), len(s.Cols))
+	}
+	for i, v := range r {
+		if !v.Null && v.Typ != s.Cols[i].Type {
+			return fmt.Errorf("types: column %q expects %s, got %s", s.Cols[i].Name, s.Cols[i].Type, v.Typ)
+		}
+	}
+	return nil
+}
+
+// KeyOf extracts the primary-key projection of a row.
+func (s *Schema) KeyOf(r Row) Row {
+	k := make(Row, len(s.Key))
+	for i, idx := range s.Key {
+		k[i] = r[idx]
+	}
+	return k
+}
+
+// CompareRows orders two rows lexicographically on the given columns.
+func CompareRows(a, b Row, cols []int) int {
+	for _, c := range cols {
+		if cmp := Compare(a[c], b[c]); cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+// CompareKeys orders two already-projected key rows lexicographically.
+func CompareKeys(a, b Row) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if cmp := Compare(a[i], b[i]); cmp != 0 {
+			return cmp
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,350 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := map[Type]string{Int64: "BIGINT", Float64: "DOUBLE", String: "VARCHAR", Bool: "BOOLEAN"}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Type
+		ok   bool
+	}{
+		{"BIGINT", Int64, true},
+		{"int", Int64, true},
+		{" integer ", Int64, true},
+		{"TIMESTAMP", Int64, true},
+		{"double", Float64, true},
+		{"DECIMAL", Float64, true},
+		{"varchar", String, true},
+		{"TEXT", String, true},
+		{"bool", Bool, true},
+		{"blob", 0, false},
+	} {
+		got, err := ParseType(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParseType(%q) succeeded, want error", tc.in)
+		}
+	}
+}
+
+func TestValueConstructorsAndString(t *testing.T) {
+	if got := NewInt(42).String(); got != "42" {
+		t.Errorf("int: %q", got)
+	}
+	if got := NewFloat(2.5).String(); got != "2.5" {
+		t.Errorf("float: %q", got)
+	}
+	if got := NewString("abc").String(); got != "abc" {
+		t.Errorf("string: %q", got)
+	}
+	if got := NewBool(true).String(); got != "true" {
+		t.Errorf("bool: %q", got)
+	}
+	if got := NewBool(false).String(); got != "false" {
+		t.Errorf("bool: %q", got)
+	}
+	if got := NewNull(Int64).String(); got != "NULL" {
+		t.Errorf("null: %q", got)
+	}
+}
+
+func TestCompareSameType(t *testing.T) {
+	for _, tc := range []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewFloat(2.5), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewBool(true), 0},
+	} {
+		if got := Compare(tc.a, tc.b); got != tc.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareNulls(t *testing.T) {
+	n := NewNull(Int64)
+	if Compare(n, NewInt(-1<<62)) != -1 {
+		t.Error("NULL should sort before any value")
+	}
+	if Compare(NewInt(0), n) != 1 {
+		t.Error("value should sort after NULL")
+	}
+	if Compare(n, NewNull(String)) != 0 {
+		t.Error("NULL == NULL")
+	}
+}
+
+func TestCompareCrossNumeric(t *testing.T) {
+	if Compare(NewInt(2), NewFloat(2.0)) != 0 {
+		t.Error("2 should equal 2.0 across numeric types")
+	}
+	if Compare(NewInt(2), NewFloat(2.5)) != -1 {
+		t.Error("2 < 2.5")
+	}
+	if Compare(NewFloat(3.0), NewInt(2)) != 1 {
+		t.Error("3.0 > 2")
+	}
+}
+
+func TestCompareNaN(t *testing.T) {
+	nan := NewFloat(math.NaN())
+	if Compare(nan, NewFloat(0)) != -1 {
+		t.Error("NaN sorts before numbers")
+	}
+	if Compare(NewFloat(0), nan) != 1 {
+		t.Error("numbers sort after NaN")
+	}
+	if Compare(nan, nan) != 0 {
+		t.Error("NaN == NaN under total order")
+	}
+}
+
+func TestHashEquality(t *testing.T) {
+	if NewInt(7).Hash() != NewInt(7).Hash() {
+		t.Error("equal ints must hash equal")
+	}
+	if NewString("xy").Hash() != NewString("xy").Hash() {
+		t.Error("equal strings must hash equal")
+	}
+	if NewFloat(0.0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("0.0 and -0.0 must hash equal")
+	}
+	if NewInt(7).Hash() == NewString("7").Hash() {
+		t.Error("int 7 and string \"7\" should (almost surely) hash differently")
+	}
+}
+
+func TestHashQuick(t *testing.T) {
+	// Property: equal values hash equal.
+	f := func(x int64) bool { return NewInt(x).Hash() == NewInt(x).Hash() }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(s string) bool { return NewString(s).Hash() == NewString(s).Hash() }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := MustSchema([]Column{{"id", Int64}, {"name", String}, {"score", Float64}}, "id")
+	if s.ColIndex("NAME") != 1 {
+		t.Error("ColIndex should be case-insensitive")
+	}
+	if s.ColIndex("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if s.NumCols() != 3 {
+		t.Error("NumCols")
+	}
+	row := Row{NewInt(1), NewString("a"), NewFloat(9.5)}
+	if err := s.Validate(row); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	bad := Row{NewString("oops"), NewString("a"), NewFloat(9.5)}
+	if err := s.Validate(bad); err == nil {
+		t.Error("Validate should reject type mismatch")
+	}
+	short := Row{NewInt(1)}
+	if err := s.Validate(short); err == nil {
+		t.Error("Validate should reject arity mismatch")
+	}
+	key := s.KeyOf(row)
+	if len(key) != 1 || key[0].I != 1 {
+		t.Errorf("KeyOf = %v", key)
+	}
+}
+
+func TestNewSchemaBadKey(t *testing.T) {
+	_, err := NewSchema([]Column{{"id", Int64}}, "nope")
+	if err == nil {
+		t.Fatal("expected error for unknown key column")
+	}
+}
+
+func TestValidateAllowsNull(t *testing.T) {
+	s := MustSchema([]Column{{"id", Int64}})
+	if err := s.Validate(Row{NewNull(String)}); err != nil {
+		t.Errorf("NULL of any nominal type should validate: %v", err)
+	}
+}
+
+func TestCompareRowsAndKeys(t *testing.T) {
+	a := Row{NewInt(1), NewString("b")}
+	b := Row{NewInt(1), NewString("c")}
+	if CompareRows(a, b, []int{0}) != 0 {
+		t.Error("equal on col 0")
+	}
+	if CompareRows(a, b, []int{0, 1}) != -1 {
+		t.Error("a < b on (0,1)")
+	}
+	if CompareKeys(Row{NewInt(1)}, Row{NewInt(1), NewInt(2)}) != -1 {
+		t.Error("prefix key sorts first")
+	}
+	if CompareKeys(Row{NewInt(2)}, Row{NewInt(1), NewInt(9)}) != 1 {
+		t.Error("higher first component wins")
+	}
+}
+
+func TestRowCloneIndependence(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	c := r.Clone()
+	c[0] = NewInt(99)
+	if r[0].I != 1 {
+		t.Error("Clone must not alias")
+	}
+}
+
+func TestRowString(t *testing.T) {
+	r := Row{NewInt(1), NewString("x")}
+	if got := r.String(); got != "(1, x)" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestHashRowProjection(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("y")}
+	if HashRow(a, []int{0}) != HashRow(b, []int{0}) {
+		t.Error("same projection must hash equal")
+	}
+	if HashRow(a, []int{0, 1}) == HashRow(b, []int{0, 1}) {
+		t.Error("different projections should hash differently (w.h.p.)")
+	}
+}
+
+func TestVectorAppendGet(t *testing.T) {
+	v := NewVector(Int64, 4)
+	v.Append(NewInt(10))
+	v.Append(NewNull(Int64))
+	v.Append(NewInt(30))
+	if v.Len() != 3 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if got := v.Get(0); got.I != 10 || got.Null {
+		t.Errorf("Get(0) = %v", got)
+	}
+	if !v.IsNull(1) {
+		t.Error("position 1 should be null")
+	}
+	if got := v.Get(1); !got.Null {
+		t.Errorf("Get(1) = %v, want NULL", got)
+	}
+	if got := v.Get(2); got.I != 30 {
+		t.Errorf("Get(2) = %v", got)
+	}
+}
+
+func TestVectorAllTypes(t *testing.T) {
+	vs := NewVector(String, 2)
+	vs.Append(NewString("hello"))
+	if vs.Get(0).S != "hello" {
+		t.Error("string vector")
+	}
+	vf := NewVector(Float64, 2)
+	vf.Append(NewFloat(1.25))
+	if vf.Get(0).F != 1.25 {
+		t.Error("float vector")
+	}
+	vb := NewVector(Bool, 2)
+	vb.Append(NewBool(true))
+	if !vb.Get(0).Bool() {
+		t.Error("bool vector")
+	}
+}
+
+func TestVectorReset(t *testing.T) {
+	v := NewVector(Int64, 2)
+	v.Append(NewInt(1))
+	v.Append(NewNull(Int64))
+	v.Reset()
+	if v.Len() != 0 {
+		t.Error("Reset should empty the vector")
+	}
+	v.Append(NewInt(5))
+	if v.IsNull(0) {
+		t.Error("stale null bitmap after Reset")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	s := MustSchema([]Column{{"id", Int64}, {"name", String}})
+	b := NewBatch(s, 8)
+	rows := []Row{
+		{NewInt(1), NewString("a")},
+		{NewInt(2), NewString("b")},
+		{NewInt(3), NewNull(String)},
+	}
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	if b.Len() != 3 || b.PhysLen() != 3 {
+		t.Fatalf("Len = %d PhysLen = %d", b.Len(), b.PhysLen())
+	}
+	for i, want := range rows {
+		got := b.Row(i)
+		if CompareKeys(got, want) != 0 {
+			t.Errorf("Row(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestBatchSelectionAndCompact(t *testing.T) {
+	s := MustSchema([]Column{{"id", Int64}})
+	b := NewBatch(s, 8)
+	for i := 0; i < 6; i++ {
+		b.AppendRow(Row{NewInt(int64(i))})
+	}
+	b.Sel = []int{1, 3, 5}
+	if b.Len() != 3 {
+		t.Fatalf("selected Len = %d", b.Len())
+	}
+	if got := b.Row(0)[0].I; got != 1 {
+		t.Errorf("Row(0) under selection = %d", got)
+	}
+	c := b.Compact()
+	if c.Sel != nil || c.Len() != 3 {
+		t.Fatal("Compact should densify")
+	}
+	if got := c.Row(2)[0].I; got != 5 {
+		t.Errorf("compacted Row(2) = %d", got)
+	}
+	// Compact of a dense batch returns itself.
+	if d := c.Compact(); d != c {
+		t.Error("Compact on dense batch should be identity")
+	}
+}
+
+func TestBatchReset(t *testing.T) {
+	s := MustSchema([]Column{{"id", Int64}})
+	b := NewBatch(s, 2)
+	b.AppendRow(Row{NewInt(1)})
+	b.Sel = []int{0}
+	b.Reset()
+	if b.Len() != 0 || b.Sel != nil {
+		t.Error("Reset should clear rows and selection")
+	}
+}

@@ -1,0 +1,213 @@
+package types
+
+import "fmt"
+
+// Vector is a typed batch of values from a single column. It is the unit
+// of data flow through the vectorized execution engine. Exactly one of
+// the typed slices is active, selected by Typ; Bool piggybacks on Ints
+// (0/1). Nulls, when non-nil, marks null positions.
+type Vector struct {
+	Typ     Type
+	Ints    []int64
+	Floats  []float64
+	Strings []string
+	Nulls   []bool
+}
+
+// NewVector allocates a vector of the given type with capacity cap and
+// length 0.
+func NewVector(t Type, capacity int) *Vector {
+	v := &Vector{Typ: t}
+	switch t {
+	case Int64, Bool:
+		v.Ints = make([]int64, 0, capacity)
+	case Float64:
+		v.Floats = make([]float64, 0, capacity)
+	case String:
+		v.Strings = make([]string, 0, capacity)
+	}
+	return v
+}
+
+// Len returns the number of values in the vector.
+func (v *Vector) Len() int {
+	switch v.Typ {
+	case Int64, Bool:
+		return len(v.Ints)
+	case Float64:
+		return len(v.Floats)
+	case String:
+		return len(v.Strings)
+	default:
+		return 0
+	}
+}
+
+// Reset truncates the vector to length 0, keeping capacity.
+func (v *Vector) Reset() {
+	v.Ints = v.Ints[:0]
+	v.Floats = v.Floats[:0]
+	v.Strings = v.Strings[:0]
+	v.Nulls = v.Nulls[:0]
+}
+
+// Append adds a value. Numeric values are coerced to the vector's type
+// (int ↔ float); other type mismatches append the value's best
+// interpretation of the vector type's zero semantics.
+func (v *Vector) Append(val Value) {
+	if val.Null {
+		v.appendNull()
+		return
+	}
+	v.padNulls(false)
+	switch v.Typ {
+	case Int64, Bool:
+		if val.Typ == Float64 {
+			v.Ints = append(v.Ints, int64(val.F))
+		} else {
+			v.Ints = append(v.Ints, val.I)
+		}
+	case Float64:
+		if val.Typ == Int64 || val.Typ == Bool {
+			v.Floats = append(v.Floats, float64(val.I))
+		} else {
+			v.Floats = append(v.Floats, val.F)
+		}
+	case String:
+		v.Strings = append(v.Strings, val.S)
+	}
+	if v.Nulls != nil {
+		v.Nulls = append(v.Nulls, false)
+	}
+}
+
+func (v *Vector) appendNull() {
+	v.padNulls(true)
+	switch v.Typ {
+	case Int64, Bool:
+		v.Ints = append(v.Ints, 0)
+	case Float64:
+		v.Floats = append(v.Floats, 0)
+	case String:
+		v.Strings = append(v.Strings, "")
+	}
+	v.Nulls = append(v.Nulls, true)
+}
+
+// padNulls lazily materializes the null bitmap the first time a null (or
+// a non-null after nulls exist) is appended.
+func (v *Vector) padNulls(needed bool) {
+	if v.Nulls == nil && needed {
+		v.Nulls = make([]bool, v.Len(), cap(v.Ints)+cap(v.Floats)+cap(v.Strings))
+	}
+}
+
+// IsNull reports whether position i is null.
+func (v *Vector) IsNull(i int) bool {
+	return v.Nulls != nil && i < len(v.Nulls) && v.Nulls[i]
+}
+
+// Get materializes position i as a Value.
+func (v *Vector) Get(i int) Value {
+	if v.IsNull(i) {
+		return NewNull(v.Typ)
+	}
+	switch v.Typ {
+	case Int64:
+		return NewInt(v.Ints[i])
+	case Bool:
+		return NewBool(v.Ints[i] != 0)
+	case Float64:
+		return NewFloat(v.Floats[i])
+	case String:
+		return NewString(v.Strings[i])
+	default:
+		panic(fmt.Sprintf("types: bad vector type %d", v.Typ))
+	}
+}
+
+// Batch is a set of parallel column vectors: the vectorized analog of a
+// slice of rows. All vectors have equal length.
+type Batch struct {
+	Schema *Schema
+	Cols   []*Vector
+	// Sel, when non-nil, is a selection vector: the logical rows of the
+	// batch are Sel[0..n-1] indexes into the physical vectors. Filters
+	// produce selections instead of copying survivors.
+	Sel []int
+}
+
+// NewBatch allocates a batch for the schema with the given per-vector
+// capacity.
+func NewBatch(s *Schema, capacity int) *Batch {
+	b := &Batch{Schema: s, Cols: make([]*Vector, len(s.Cols))}
+	for i, c := range s.Cols {
+		b.Cols[i] = NewVector(c.Type, capacity)
+	}
+	return b
+}
+
+// Len returns the logical row count (respecting the selection vector).
+func (b *Batch) Len() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// PhysLen returns the physical row count ignoring the selection vector.
+func (b *Batch) PhysLen() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return b.Cols[0].Len()
+}
+
+// RowIdx maps a logical row position to a physical vector index.
+func (b *Batch) RowIdx(i int) int {
+	if b.Sel != nil {
+		return b.Sel[i]
+	}
+	return i
+}
+
+// AppendRow adds a row to the batch (invalid if a selection is active).
+func (b *Batch) AppendRow(r Row) {
+	for i, v := range r {
+		b.Cols[i].Append(v)
+	}
+}
+
+// Row materializes logical row i.
+func (b *Batch) Row(i int) Row {
+	phys := b.RowIdx(i)
+	r := make(Row, len(b.Cols))
+	for c, vec := range b.Cols {
+		r[c] = vec.Get(phys)
+	}
+	return r
+}
+
+// Reset truncates all vectors and drops the selection.
+func (b *Batch) Reset() {
+	for _, v := range b.Cols {
+		v.Reset()
+	}
+	b.Sel = nil
+}
+
+// Compact materializes the selection vector: survivors are copied into a
+// fresh dense batch and Sel is cleared.
+func (b *Batch) Compact() *Batch {
+	if b.Sel == nil {
+		return b
+	}
+	out := NewBatch(b.Schema, len(b.Sel))
+	for i := 0; i < len(b.Sel); i++ {
+		out.AppendRow(b.Row(i))
+	}
+	return out
+}
