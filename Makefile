@@ -1,0 +1,25 @@
+# Convenience targets; the source of truth is plain `go build/test/bench`.
+
+.PHONY: build test vet race bench bench-smoke
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test: vet
+	go test ./...
+
+# Race-enabled run of the packages with internal concurrency
+# (morsel-parallel scans, clock scans, txn machinery).
+race:
+	go test -race ./internal/storage/colstore ./internal/exec ./internal/core ./internal/types ./internal/scan ./internal/txn
+
+# Full E-series benchmark baseline (see scripts/bench.sh for knobs).
+bench:
+	scripts/bench.sh
+
+# Quick smoke: the E10 execution scoreboard at minimal iterations.
+bench-smoke:
+	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .

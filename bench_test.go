@@ -515,6 +515,47 @@ func BenchmarkE6_Scans(b *testing.B) {
 			b.ReportMetric(float64(q)/b.Elapsed().Seconds()*float64(b.N), "queries/s")
 		})
 	}
+	// Morsel-parallel segment scan: one query fanned over a worker pool
+	// (zones dealt by an atomic cursor into per-worker batch pools).
+	// Scaling to 4 workers is the ScanParallel scoreboard.
+	seg := e6Segment()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("segment-parallel/workers=%d", workers), func(b *testing.B) {
+			n := seg.NumRows()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var acc int64
+				fn := func(batch *types.Batch) bool {
+					var local int64
+					for _, v := range batch.Cols[0].Ints {
+						local += v
+					}
+					atomic.AddInt64(&acc, local)
+					return true
+				}
+				if workers <= 1 {
+					seg.Scan(100, 0, []int{1}, nil, fn)
+				} else {
+					seg.ScanParallel(100, 0, []int{1}, nil, workers, fn)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+}
+
+// e6Segment builds a 256-zone column segment for the parallel-scan half
+// of E6.
+func e6Segment() *colstore.Segment {
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64}, {Name: "v", Type: types.Int64},
+	}, "id")
+	const n = 256 * colstore.ZoneSize
+	bld := colstore.NewBuilder(schema, 1)
+	for i := 0; i < n; i++ {
+		bld.Add(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i % 4096))})
+	}
+	return bld.Build()
 }
 
 // ---------------------------------------------------------------------

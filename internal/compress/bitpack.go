@@ -76,6 +76,42 @@ func (p *BitPacked) Get(i int) uint64 {
 	return v & mask
 }
 
+// Gather decodes the values at positions sel into dst (allocated if nil
+// or short), hoisting the mask computation out of the per-element loop.
+func (p *BitPacked) Gather(sel []int, dst []uint64) []uint64 {
+	return gatherPacked(p.words, p.width, uint64(0), sel, dst)
+}
+
+// gatherPacked is the shared bulk bit-extraction kernel: it decodes the
+// fixed-width values at positions sel from words into dst, adding base
+// to each (0 for raw codes, the frame minimum for FOR). Generic over
+// the value domain so BitPacked and FrameOfReference share one copy of
+// the word-straddle logic.
+func gatherPacked[T int64 | uint64](words []uint64, width uint, base T, sel []int, dst []T) []T {
+	if cap(dst) < len(sel) {
+		dst = make([]T, len(sel))
+	}
+	dst = dst[:len(sel)]
+	w64 := uint64(width)
+	var mask uint64
+	if width == 64 {
+		mask = ^uint64(0)
+	} else {
+		mask = (1 << width) - 1
+	}
+	for k, i := range sel {
+		bitPos := uint64(i) * w64
+		w := bitPos / 64
+		off := bitPos % 64
+		v := words[w] >> off
+		if off+w64 > 64 {
+			v |= words[w+1] << (64 - off)
+		}
+		dst[k] = base + T(v&mask)
+	}
+	return dst
+}
+
 // Unpack decodes all values into dst (allocated if nil or short).
 func (p *BitPacked) Unpack(dst []uint64) []uint64 {
 	if cap(dst) < p.n {

@@ -42,6 +42,13 @@ func (f *FrameOfReference) Get(i int) int64 {
 	return f.base + int64(f.packed.Get(i))
 }
 
+// Gather decodes the values at positions sel into dst (allocated if nil
+// or short). This is the bulk path segment scans use to materialize a
+// zone's survivors without a per-element virtual call.
+func (f *FrameOfReference) Gather(sel []int, dst []int64) []int64 {
+	return gatherPacked(f.packed.words, f.packed.width, f.base, sel, dst)
+}
+
 // Decode expands all values into dst.
 func (f *FrameOfReference) Decode(dst []int64) []int64 {
 	n := f.packed.Len()

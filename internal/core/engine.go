@@ -54,6 +54,12 @@ type Options struct {
 	// MergeThreshold is the delta live-row count that triggers an
 	// automatic merge when AutoMerge runs (default 64k rows).
 	MergeThreshold int
+	// Parallelism is the worker count for analytic segment scans.
+	// Values <= 1 keep scans single-threaded. When > 1, column-store
+	// scans run morsel-parallel and the batches delivered to Scan
+	// callbacks are pooled: valid only until the callback returns
+	// (retainers must Copy them).
+	Parallelism int
 }
 
 // Engine is the oadms database engine.
@@ -385,6 +391,12 @@ func (t *Tx) Get(table string, key types.Row) (types.Row, bool, error) {
 // Scan streams every visible row of the table: column segments first
 // (vectorized), then the delta, under one consistent snapshot.
 //
+// Batch lifetime: with the default Options.Parallelism (<= 1) every
+// batch handed to fn is freshly allocated and may be retained. When
+// Parallelism > 1 the column-store batches come from worker pools and
+// are valid only until fn returns — callers that retain batches must
+// Batch.Copy them (ScanOperator does this automatically).
+//
 // In 2PL mode the scan takes a shared lock on the whole table (strict
 // S2PL at coarse granularity — the classical behaviour the tutorial's
 // multiversioned systems eliminate): analytic readers block behind
@@ -399,7 +411,7 @@ func (t *Tx) Scan(table string, proj []int, preds []colstore.Predicate, fn func(
 			return colstore.ScanStats{}, err
 		}
 	}
-	return scanTable(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, fn), nil
+	return scanTableN(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, t.engine.opts.Parallelism, fn), nil
 }
 
 // tableLockKey is the pseudo-key used for table-granularity locks in
@@ -408,6 +420,23 @@ var tableLockKey = types.Row{types.NewString("\x00table")}
 
 // scanTable unions the column store and the delta at one snapshot.
 func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) colstore.ScanStats {
+	return scanTableN(tbl, readTS, self, proj, preds, 1, fn)
+}
+
+// scanTableN is scanTable with an explicit worker count for the
+// column-store half; parallelism > 1 delivers pooled (transient)
+// batches to fn, serialized by the scan.
+func scanTableN(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, parallelism int, fn func(b *types.Batch) bool) colstore.ScanStats {
+	return scanTableFn(tbl, readTS, self, proj, preds, parallelism, func(b *types.Batch, pooled bool) bool {
+		return fn(b)
+	})
+}
+
+// scanTableFn is the full-fidelity scan driver: pooled reports whether
+// the delivered batch is transient (owned by a parallel-scan pool and
+// valid only during the callback). Delta batches and serial cold
+// batches are freshly allocated and may be retained.
+func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, parallelism int, fn func(b *types.Batch, pooled bool) bool) colstore.ScanStats {
 	tbl.storageMu.RLock()
 	defer tbl.storageMu.RUnlock()
 	if proj == nil {
@@ -417,13 +446,20 @@ func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Pre
 		}
 	}
 	stop := false
-	stats := tbl.cold.Scan(readTS, self, proj, preds, func(b *types.Batch) bool {
-		if !fn(b) {
+	parallel := parallelism > 1
+	coldFn := func(b *types.Batch) bool {
+		if !fn(b, parallel) {
 			stop = true
 			return false
 		}
 		return true
-	})
+	}
+	var stats colstore.ScanStats
+	if parallel {
+		stats = tbl.cold.ScanParallel(readTS, self, proj, preds, parallelism, coldFn)
+	} else {
+		stats = tbl.cold.Scan(readTS, self, proj, preds, coldFn)
+	}
 	if stop {
 		return stats
 	}
@@ -435,7 +471,7 @@ func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Pre
 		if batch.Len() == 0 {
 			return true
 		}
-		ok := fn(batch)
+		ok := fn(batch, false)
 		batch = types.NewBatch(projSchema, deltaBatch)
 		return ok
 	}

@@ -23,6 +23,7 @@ func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) 
 	}
 	schema := projectSchema(tbl.schema, proj)
 	readTS, self := t.inner.ReadTS, t.inner.ID
+	parallelism := t.engine.opts.Parallelism
 	var batches []*types.Batch
 	loaded := false
 	gen := func(reset bool) (*types.Batch, error) {
@@ -32,7 +33,14 @@ func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) 
 			return nil, nil
 		}
 		if !loaded {
-			scanTable(tbl, readTS, self, proj, preds, func(b *types.Batch) bool {
+			scanTableFn(tbl, readTS, self, proj, preds, parallelism, func(b *types.Batch, pooled bool) bool {
+				if pooled {
+					// Parallel cold scans deliver pooled batches that
+					// are only valid during the callback; detach.
+					// Delta and serial batches are fresh and safe to
+					// retain as-is.
+					b = b.Copy()
+				}
 				batches = append(batches, b)
 				return true
 			})

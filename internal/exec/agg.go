@@ -167,12 +167,19 @@ type aggGroup struct {
 }
 
 // Next implements Operator: it drains the input on first call and emits
-// one batch of results.
+// one batch of results. When the aggregation shape allows it (column-ref
+// arguments over numeric/bool columns, grouping empty or a single
+// int64-domain column), the drain runs through the typed kernel path in
+// agg_typed.go instead of boxing a types.Value per row.
 func (h *HashAggregate) Next() (*types.Batch, error) {
 	if h.done {
 		return nil, nil
 	}
 	h.done = true
+	if out, ok, err := h.typedNext(); ok || err != nil {
+		h.out = out
+		return out, err
+	}
 	tbl := make(map[uint64][]*aggGroup)
 	var order []*aggGroup
 	keyCols := make([]int, len(h.groups))

@@ -1,0 +1,364 @@
+package exec
+
+import (
+	"repro/internal/types"
+)
+
+// This file implements the typed aggregation fast path: when every
+// aggregate argument is a direct column reference of a numeric/bool
+// type and the grouping is empty or a single int64-domain column (plain
+// ints, bools, or dictionary codes), the operator bypasses per-row
+// types.Value boxing entirely. Group lookup uses an open-addressing
+// table keyed on the raw int64 — no map[string] key building — and the
+// aggregates run as whole-vector kernels over gid arrays.
+
+// aggKind selects the kernel family for one aggregate spec.
+type aggKind uint8
+
+const (
+	aggKindCountStar aggKind = iota
+	aggKindCount
+	aggKindSumInt
+	aggKindSumFloat
+	aggKindMinMaxInt
+	aggKindMinMaxFloat
+)
+
+// typedAggSpec is one aggregate compiled for the typed path.
+type typedAggSpec struct {
+	kind    aggKind
+	col     int // input column (unused for COUNT(*))
+	fn      AggFunc
+	argType types.Type
+}
+
+// result converts the accumulated state into the aggregate's output
+// value, preserving the generic path's typing rules.
+func (st *typedAggState) result(f AggFunc, argType types.Type) types.Value {
+	isF := argType == types.Float64
+	switch f {
+	case AggCount, AggCountStar:
+		return types.NewInt(st.count)
+	case AggSum:
+		if st.count == 0 {
+			return types.NewNull(argType)
+		}
+		if isF {
+			return types.NewFloat(st.sumF)
+		}
+		return types.NewInt(st.sumI)
+	case AggMin:
+		if !st.seen {
+			return types.NewNull(argType)
+		}
+		switch argType {
+		case types.Float64:
+			return types.NewFloat(st.minF)
+		case types.Bool:
+			return types.NewBool(st.minI != 0)
+		default:
+			return types.NewInt(st.minI)
+		}
+	case AggMax:
+		if !st.seen {
+			return types.NewNull(argType)
+		}
+		switch argType {
+		case types.Float64:
+			return types.NewFloat(st.maxF)
+		case types.Bool:
+			return types.NewBool(st.maxI != 0)
+		default:
+			return types.NewInt(st.maxI)
+		}
+	case AggAvg:
+		if st.count == 0 {
+			return types.NewNull(types.Float64)
+		}
+		if isF {
+			return types.NewFloat(st.sumF / float64(st.count))
+		}
+		return types.NewFloat(float64(st.sumI) / float64(st.count))
+	default:
+		return types.NewNull(argType)
+	}
+}
+
+// compileTypedAggs maps the aggregate specs onto kernels, or reports
+// that the shape needs the generic path.
+func compileTypedAggs(inS *types.Schema, aggs []AggSpec) ([]typedAggSpec, bool) {
+	out := make([]typedAggSpec, len(aggs))
+	for i, a := range aggs {
+		if a.Func == AggCountStar || a.Arg == nil {
+			out[i] = typedAggSpec{kind: aggKindCountStar, fn: AggCountStar, argType: types.Int64}
+			continue
+		}
+		cr, ok := a.Arg.(*ColRef)
+		if !ok {
+			return nil, false
+		}
+		ct := inS.Cols[cr.Idx].Type
+		sp := typedAggSpec{col: cr.Idx, fn: a.Func, argType: ct}
+		switch a.Func {
+		case AggCount:
+			sp.kind = aggKindCount
+		case AggSum, AggAvg:
+			switch ct {
+			case types.Int64, types.Bool:
+				sp.kind = aggKindSumInt
+			case types.Float64:
+				sp.kind = aggKindSumFloat
+			default:
+				return nil, false
+			}
+		case AggMin, AggMax:
+			switch ct {
+			case types.Int64, types.Bool:
+				sp.kind = aggKindMinMaxInt
+			case types.Float64:
+				sp.kind = aggKindMinMaxFloat
+			default:
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+		out[i] = sp
+	}
+	return out, true
+}
+
+// typedGroupCol reports the input column usable as a typed group key, or
+// ok=false when the grouping shape needs the generic path.
+func typedGroupCol(inS *types.Schema, groups []Expr) (col int, global, ok bool) {
+	switch len(groups) {
+	case 0:
+		return -1, true, true
+	case 1:
+		cr, isRef := groups[0].(*ColRef)
+		if !isRef {
+			return 0, false, false
+		}
+		switch inS.Cols[cr.Idx].Type {
+		case types.Int64, types.Bool:
+			return cr.Idx, false, true
+		default:
+			return 0, false, false
+		}
+	default:
+		return 0, false, false
+	}
+}
+
+// runTypedKernel dispatches one aggregate kernel over a batch (global
+// aggregation).
+func runTypedKernel(sp typedAggSpec, b *types.Batch, st *typedAggState) {
+	switch sp.kind {
+	case aggKindCountStar:
+		st.count += int64(b.Len())
+	case aggKindCount:
+		countKernel(b.Cols[sp.col], b.Sel, b.Len(), st)
+	case aggKindSumInt:
+		sumIntKernel(b.Cols[sp.col], b.Sel, st)
+	case aggKindSumFloat:
+		sumFloatKernel(b.Cols[sp.col], b.Sel, st)
+	case aggKindMinMaxInt:
+		minMaxIntKernel(b.Cols[sp.col], b.Sel, st)
+	case aggKindMinMaxFloat:
+		minMaxFloatKernel(b.Cols[sp.col], b.Sel, st)
+	}
+}
+
+// runTypedGroupedKernel dispatches one aggregate kernel over a batch
+// with per-row group ids.
+func runTypedGroupedKernel(sp typedAggSpec, b *types.Batch, gids []int32, states []typedAggState, stride, off int) {
+	switch sp.kind {
+	case aggKindCountStar:
+		countStarGrouped(gids, states, stride, off)
+	case aggKindCount:
+		countGrouped(b.Cols[sp.col], b.Sel, gids, states, stride, off)
+	case aggKindSumInt:
+		sumIntGrouped(b.Cols[sp.col], b.Sel, gids, states, stride, off)
+	case aggKindSumFloat:
+		sumFloatGrouped(b.Cols[sp.col], b.Sel, gids, states, stride, off)
+	case aggKindMinMaxInt:
+		minMaxIntGrouped(b.Cols[sp.col], b.Sel, gids, states, stride, off)
+	case aggKindMinMaxFloat:
+		minMaxFloatGrouped(b.Cols[sp.col], b.Sel, gids, states, stride, off)
+	}
+}
+
+// intGroupTable is an open-addressing (linear probing) hash table from
+// raw int64 group keys to dense group ids. Slots store gid+1 so the
+// zero value means empty.
+type intGroupTable struct {
+	keys []int64
+	gids []int32
+	mask int
+	n    int
+}
+
+func newIntGroupTable(capacity int) *intGroupTable {
+	c := 16
+	for c < capacity*2 {
+		c *= 2
+	}
+	return &intGroupTable{keys: make([]int64, c), gids: make([]int32, c), mask: c - 1}
+}
+
+func hashInt64(k int64) uint64 {
+	// Fibonacci multiplicative hashing: cheap and well-distributed for
+	// both sequential ids and dictionary codes.
+	return uint64(k) * 0x9E3779B97F4A7C15
+}
+
+// lookupOrInsert returns the dense gid for key, calling addGroup to
+// allocate one on first sight.
+func (t *intGroupTable) lookupOrInsert(key int64, addGroup func(key int64) int32) int32 {
+	if t.n*2 >= len(t.keys) {
+		t.grow()
+	}
+	idx := int(hashInt64(key)) & t.mask
+	for {
+		g := t.gids[idx]
+		if g == 0 {
+			gid := addGroup(key)
+			t.keys[idx] = key
+			t.gids[idx] = gid + 1
+			t.n++
+			return gid
+		}
+		if t.keys[idx] == key {
+			return g - 1
+		}
+		idx = (idx + 1) & t.mask
+	}
+}
+
+func (t *intGroupTable) grow() {
+	oldKeys, oldGids := t.keys, t.gids
+	c := len(oldKeys) * 2
+	t.keys = make([]int64, c)
+	t.gids = make([]int32, c)
+	t.mask = c - 1
+	for i, g := range oldGids {
+		if g == 0 {
+			continue
+		}
+		idx := int(hashInt64(oldKeys[i])) & t.mask
+		for t.gids[idx] != 0 {
+			idx = (idx + 1) & t.mask
+		}
+		t.keys[idx] = oldKeys[i]
+		t.gids[idx] = g
+	}
+}
+
+// typedNext drains the input through the typed path. ok=false means the
+// aggregation shape is not covered and the generic path must run (the
+// input has not been consumed in that case).
+func (h *HashAggregate) typedNext() (*types.Batch, bool, error) {
+	inS := h.in.Schema()
+	plan, ok := compileTypedAggs(inS, h.aggs)
+	if !ok {
+		return nil, false, nil
+	}
+	keyCol, global, ok := typedGroupCol(inS, h.groups)
+	if !ok {
+		return nil, false, nil
+	}
+	if global {
+		out, err := h.typedGlobal(plan)
+		return out, true, err
+	}
+	out, err := h.typedGrouped(keyCol, plan)
+	return out, true, err
+}
+
+func (h *HashAggregate) typedGlobal(plan []typedAggSpec) (*types.Batch, error) {
+	states := make([]typedAggState, len(plan))
+	for {
+		b, err := h.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for ai := range plan {
+			runTypedKernel(plan[ai], b, &states[ai])
+		}
+	}
+	out := types.NewBatch(h.schema, 1)
+	row := make(types.Row, 0, len(h.schema.Cols))
+	for ai, sp := range plan {
+		row = append(row, states[ai].result(h.aggs[ai].Func, sp.argType))
+	}
+	out.AppendRow(row)
+	return out, nil
+}
+
+func (h *HashAggregate) typedGrouped(keyCol int, plan []typedAggSpec) (*types.Batch, error) {
+	nAggs := len(plan)
+	var (
+		keys    []int64
+		states  []typedAggState
+		gidBuf  []int32
+		nullGid int32 = -1
+	)
+	table := newIntGroupTable(64)
+	addGroup := func(k int64) int32 {
+		gid := int32(len(keys))
+		keys = append(keys, k)
+		for i := 0; i < nAggs; i++ {
+			states = append(states, typedAggState{})
+		}
+		return gid
+	}
+	for {
+		b, err := h.in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		kvec := b.Cols[keyCol]
+		kvals := kvec.Ints
+		n := b.Len()
+		gidBuf = gidBuf[:0]
+		if b.Sel == nil && !kvec.HasNulls() {
+			for i := 0; i < n; i++ {
+				gidBuf = append(gidBuf, table.lookupOrInsert(kvals[i], addGroup))
+			}
+		} else {
+			for r := 0; r < n; r++ {
+				i := b.RowIdx(r)
+				if kvec.IsNull(i) {
+					if nullGid < 0 {
+						nullGid = addGroup(0)
+					}
+					gidBuf = append(gidBuf, nullGid)
+					continue
+				}
+				gidBuf = append(gidBuf, table.lookupOrInsert(kvals[i], addGroup))
+			}
+		}
+		for ai := range plan {
+			runTypedGroupedKernel(plan[ai], b, gidBuf, states, nAggs, ai)
+		}
+	}
+	out := types.NewBatch(h.schema, len(keys))
+	var keyNulls *types.NullMask
+	if nullGid >= 0 {
+		keyNulls = types.NewNullMask(len(keys))
+		keyNulls.Set(int(nullGid), true)
+	}
+	out.Cols[0].AppendInts(keys, keyNulls, nil)
+	for g := 0; g < len(keys); g++ {
+		for ai, sp := range plan {
+			out.Cols[1+ai].Append(states[g*nAggs+ai].result(h.aggs[ai].Func, sp.argType))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,280 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// aggTestSchema: g (group key), vi (int values), vf (float values).
+func aggTestSchema() *types.Schema {
+	return types.MustSchema([]types.Column{
+		{Name: "g", Type: types.Int64},
+		{Name: "vi", Type: types.Int64},
+		{Name: "vf", Type: types.Float64},
+	})
+}
+
+// plusZero defeats the typed-path detection (the argument is no longer
+// a bare ColRef) without changing values, so the same aggregation runs
+// through the generic per-row path for comparison.
+func plusZero(idx int) Expr {
+	return &BinOp{Kind: OpAdd, L: &ColRef{Idx: idx}, R: &Const{Val: types.NewInt(0)}}
+}
+
+func runAgg(t *testing.T, src Operator, groups []Expr, aggs []AggSpec) []types.Row {
+	t.Helper()
+	rows, err := Collect(NewHashAggregate(src, groups, nil, aggs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestTypedAggMatchesGeneric runs the same grouped aggregation through
+// the typed kernel path and the generic interpreted path and requires
+// identical results, over data with NULLs in both the key and the
+// arguments.
+func TestTypedAggMatchesGeneric(t *testing.T) {
+	s := aggTestSchema()
+	rng := rand.New(rand.NewSource(42))
+	rows := make([]types.Row, 10_000)
+	for i := range rows {
+		g := types.NewInt(int64(rng.Intn(37)))
+		if rng.Intn(50) == 0 {
+			g = types.NewNull(types.Int64)
+		}
+		vi := types.NewInt(int64(rng.Intn(1000) - 500))
+		if rng.Intn(20) == 0 {
+			vi = types.NewNull(types.Int64)
+		}
+		vf := types.NewFloat(float64(rng.Intn(1000)) / 8)
+		if rng.Intn(20) == 0 {
+			vf = types.NewNull(types.Float64)
+		}
+		rows[i] = types.Row{g, vi, vf}
+	}
+	aggsTyped := []AggSpec{
+		{Func: AggCountStar},
+		{Func: AggCount, Arg: &ColRef{Idx: 1}},
+		{Func: AggSum, Arg: &ColRef{Idx: 1}},
+		{Func: AggMin, Arg: &ColRef{Idx: 1}},
+		{Func: AggMax, Arg: &ColRef{Idx: 2}},
+		{Func: AggAvg, Arg: &ColRef{Idx: 1}},
+		{Func: AggSum, Arg: &ColRef{Idx: 2}},
+	}
+	aggsGeneric := []AggSpec{
+		{Func: AggCountStar},
+		{Func: AggCount, Arg: plusZero(1)},
+		{Func: AggSum, Arg: plusZero(1)},
+		{Func: AggMin, Arg: plusZero(1)},
+		{Func: AggMax, Arg: plusZero(2)},
+		{Func: AggAvg, Arg: plusZero(1)},
+		{Func: AggSum, Arg: plusZero(2)},
+	}
+	typed := runAgg(t, NewSourceFromRows(s, rows, 512), []Expr{&ColRef{Idx: 0}}, aggsTyped)
+	generic := runAgg(t, NewSourceFromRows(s, rows, 512), []Expr{plusZero(0)}, aggsGeneric)
+	if len(typed) != len(generic) {
+		t.Fatalf("typed %d groups, generic %d groups", len(typed), len(generic))
+	}
+	for i := range typed {
+		if types.CompareKeys(typed[i], generic[i]) != 0 {
+			t.Errorf("group %d: typed %v != generic %v", i, typed[i], generic[i])
+		}
+	}
+}
+
+// NULL-only group: every aggregate argument is NULL for one group.
+func TestTypedAggNullOnlyGroup(t *testing.T) {
+	s := aggTestSchema()
+	rows := []types.Row{
+		{types.NewInt(1), types.NewNull(types.Int64), types.NewNull(types.Float64)},
+		{types.NewInt(1), types.NewNull(types.Int64), types.NewNull(types.Float64)},
+		{types.NewInt(2), types.NewInt(7), types.NewFloat(1.5)},
+	}
+	out := runAgg(t, NewSourceFromRows(s, rows, 2), []Expr{&ColRef{Idx: 0}},
+		[]AggSpec{
+			{Func: AggCountStar},
+			{Func: AggCount, Arg: &ColRef{Idx: 1}},
+			{Func: AggSum, Arg: &ColRef{Idx: 1}},
+			{Func: AggMin, Arg: &ColRef{Idx: 1}},
+			{Func: AggAvg, Arg: &ColRef{Idx: 1}},
+		})
+	if len(out) != 2 {
+		t.Fatalf("groups = %d, want 2", len(out))
+	}
+	g1 := out[0] // group key 1, first seen
+	if g1[1].I != 2 {
+		t.Errorf("COUNT(*) = %v, want 2", g1[1])
+	}
+	if g1[2].I != 0 {
+		t.Errorf("COUNT(vi) = %v, want 0", g1[2])
+	}
+	if !g1[3].Null {
+		t.Errorf("SUM over all-NULL group = %v, want NULL", g1[3])
+	}
+	if !g1[4].Null {
+		t.Errorf("MIN over all-NULL group = %v, want NULL", g1[4])
+	}
+	if !g1[5].Null {
+		t.Errorf("AVG over all-NULL group = %v, want NULL", g1[5])
+	}
+}
+
+// Empty input: a global aggregate emits one all-empty row; a grouped
+// aggregate emits no rows.
+func TestTypedAggEmptyInput(t *testing.T) {
+	s := aggTestSchema()
+	aggs := []AggSpec{
+		{Func: AggCountStar},
+		{Func: AggSum, Arg: &ColRef{Idx: 1}},
+		{Func: AggAvg, Arg: &ColRef{Idx: 1}},
+	}
+	global := runAgg(t, NewSourceFromRows(s, nil, 64), nil, aggs)
+	if len(global) != 1 {
+		t.Fatalf("global over empty input: %d rows, want 1", len(global))
+	}
+	if global[0][0].I != 0 || !global[0][1].Null || !global[0][2].Null {
+		t.Errorf("global row = %v, want (0, NULL, NULL)", global[0])
+	}
+	grouped := runAgg(t, NewSourceFromRows(s, nil, 64), []Expr{&ColRef{Idx: 0}}, aggs)
+	if len(grouped) != 0 {
+		t.Fatalf("grouped over empty input: %d rows, want 0", len(grouped))
+	}
+}
+
+// AVG over an int column must produce a float result.
+func TestTypedAggAvgIntColumn(t *testing.T) {
+	s := aggTestSchema()
+	rows := []types.Row{
+		{types.NewInt(1), types.NewInt(1), types.NewFloat(0)},
+		{types.NewInt(1), types.NewInt(2), types.NewFloat(0)},
+		{types.NewInt(1), types.NewInt(4), types.NewFloat(0)},
+	}
+	out := runAgg(t, NewSourceFromRows(s, rows, 2), nil,
+		[]AggSpec{{Func: AggAvg, Arg: &ColRef{Idx: 1}}})
+	v := out[0][0]
+	if v.Typ != types.Float64 || v.Null {
+		t.Fatalf("AVG = %v, want float", v)
+	}
+	if math.Abs(v.F-7.0/3.0) > 1e-12 {
+		t.Errorf("AVG = %v, want %v", v.F, 7.0/3.0)
+	}
+}
+
+// SUM accumulates in int64: summing to exactly MaxInt64 must be exact
+// (no float rounding on the typed int path).
+func TestTypedAggSumNearOverflow(t *testing.T) {
+	s := aggTestSchema()
+	rows := []types.Row{
+		{types.NewInt(1), types.NewInt(math.MaxInt64 - 10), types.NewFloat(0)},
+		{types.NewInt(1), types.NewInt(7), types.NewFloat(0)},
+		{types.NewInt(1), types.NewInt(3), types.NewFloat(0)},
+	}
+	out := runAgg(t, NewSourceFromRows(s, rows, 2), nil,
+		[]AggSpec{{Func: AggSum, Arg: &ColRef{Idx: 1}}})
+	if out[0][0].I != math.MaxInt64 {
+		t.Fatalf("SUM = %v, want %v", out[0][0].I, int64(math.MaxInt64))
+	}
+}
+
+// Enough distinct keys to force the open-addressing table through
+// several growth/rehash cycles, plus a NULL key group.
+func TestTypedAggManyGroupsSpillsTable(t *testing.T) {
+	s := aggTestSchema()
+	const groups = 10_000
+	rows := make([]types.Row, 0, groups*2+3)
+	for rep := 0; rep < 2; rep++ {
+		for g := 0; g < groups; g++ {
+			rows = append(rows, types.Row{
+				types.NewInt(int64(g * 7)), // sparse keys
+				types.NewInt(int64(g)),
+				types.NewFloat(0),
+			})
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rows = append(rows, types.Row{types.NewNull(types.Int64), types.NewInt(1000), types.NewFloat(0)})
+	}
+	out := runAgg(t, NewSourceFromRows(s, rows, 1024), []Expr{&ColRef{Idx: 0}},
+		[]AggSpec{{Func: AggCountStar}, {Func: AggSum, Arg: &ColRef{Idx: 1}}})
+	if len(out) != groups+1 {
+		t.Fatalf("groups = %d, want %d", len(out), groups+1)
+	}
+	seenNull := false
+	for _, r := range out {
+		if r[0].Null {
+			seenNull = true
+			if r[1].I != 3 || r[2].I != 3000 {
+				t.Errorf("NULL group = %v, want COUNT 3 SUM 3000", r)
+			}
+			continue
+		}
+		g := r[0].I / 7
+		if r[1].I != 2 || r[2].I != 2*g {
+			t.Errorf("group %d = %v, want COUNT 2 SUM %d", g, r, 2*g)
+		}
+	}
+	if !seenNull {
+		t.Error("NULL-key group missing from output")
+	}
+}
+
+// Bool columns ride the int64 kernels (code-domain aggregation).
+func TestTypedAggBoolColumn(t *testing.T) {
+	s := types.MustSchema([]types.Column{
+		{Name: "g", Type: types.Int64},
+		{Name: "b", Type: types.Bool},
+	})
+	rows := []types.Row{
+		{types.NewInt(1), types.NewBool(true)},
+		{types.NewInt(1), types.NewBool(false)},
+		{types.NewInt(1), types.NewBool(true)},
+	}
+	out := runAgg(t, NewSourceFromRows(s, rows, 2), []Expr{&ColRef{Idx: 0}},
+		[]AggSpec{
+			{Func: AggSum, Arg: &ColRef{Idx: 1}},
+			{Func: AggMin, Arg: &ColRef{Idx: 1}},
+			{Func: AggMax, Arg: &ColRef{Idx: 1}},
+		})
+	r := out[0]
+	// The output schema types SUM(bool) as Bool, so the sum collapses
+	// to truthiness on the way out (same as the generic path).
+	if !r[1].Bool() {
+		t.Errorf("SUM(bool) = %v, want truthy", r[1])
+	}
+	if r[2].Bool() || !r[3].Bool() {
+		t.Errorf("MIN/MAX(bool) = %v/%v, want false/true", r[2], r[3])
+	}
+}
+
+// Aggregation over a pre-filtered (selection-vector) input must honor
+// the selection.
+func TestTypedAggOverSelection(t *testing.T) {
+	s := aggTestSchema()
+	rows := make([]types.Row, 100)
+	for i := range rows {
+		rows[i] = types.Row{
+			types.NewInt(int64(i % 4)),
+			types.NewInt(int64(i)),
+			types.NewFloat(float64(i)),
+		}
+	}
+	src := NewSourceFromRows(s, rows, 32)
+	filtered := NewVectorFilterInt(src, 1, OpLt, 50)
+	out := runAgg(t, filtered, []Expr{&ColRef{Idx: 0}},
+		[]AggSpec{{Func: AggCountStar}, {Func: AggSum, Arg: &ColRef{Idx: 1}}})
+	if len(out) != 4 {
+		t.Fatalf("groups = %d, want 4", len(out))
+	}
+	totalCount, totalSum := int64(0), int64(0)
+	for _, r := range out {
+		totalCount += r[1].I
+		totalSum += r[2].I
+	}
+	if totalCount != 50 || totalSum != 49*50/2 {
+		t.Fatalf("count %d sum %d, want 50 %d", totalCount, totalSum, 49*50/2)
+	}
+}

@@ -10,11 +10,18 @@ import (
 // the library-level analog of the SIMD scan kernels [42] and of the
 // specialized code paths JIT compilation produces [28,41]. E10 compares
 // the two.
+//
+// The operator owns its selection buffer and output batch header and
+// reuses them across calls: a returned batch is valid only until the
+// next Next or Reset. This is what makes the kernel path O(1)
+// allocations per query instead of O(batches).
 type VectorFilterInt struct {
 	in  Operator
 	col int
 	op  BinOpKind
 	val int64
+	sel []int
+	out types.Batch
 }
 
 // NewVectorFilterInt builds the kernel; op must be a comparison.
@@ -33,69 +40,100 @@ func (f *VectorFilterInt) Next() (*types.Batch, error) {
 			return nil, err
 		}
 		vec := b.Cols[f.col]
-		ints := vec.Ints
-		sel := make([]int, 0, b.Len())
-		if b.Sel == nil && vec.Nulls == nil {
-			// Fully dense, null-free fast path: branch-predictable loop
-			// over the raw array.
-			switch f.op {
-			case OpLt:
-				for i, v := range ints {
-					if v < f.val {
-						sel = append(sel, i)
-					}
-				}
-			case OpLe:
-				for i, v := range ints {
-					if v <= f.val {
-						sel = append(sel, i)
-					}
-				}
-			case OpGt:
-				for i, v := range ints {
-					if v > f.val {
-						sel = append(sel, i)
-					}
-				}
-			case OpGe:
-				for i, v := range ints {
-					if v >= f.val {
-						sel = append(sel, i)
-					}
-				}
-			case OpEq:
-				for i, v := range ints {
-					if v == f.val {
-						sel = append(sel, i)
-					}
-				}
-			case OpNe:
-				for i, v := range ints {
-					if v != f.val {
-						sel = append(sel, i)
-					}
-				}
-			}
-		} else {
-			for i := 0; i < b.Len(); i++ {
-				phys := b.RowIdx(i)
-				if vec.IsNull(phys) {
-					continue
-				}
-				if intCmp(f.op, ints[phys], f.val) {
-					sel = append(sel, phys)
-				}
-			}
+		if cap(f.sel) < len(vec.Ints) {
+			f.sel = make([]int, 0, len(vec.Ints))
 		}
+		sel := filterIntSel(f.op, f.val, vec, b.Sel, f.sel[:0])
+		f.sel = sel[:0]
 		if len(sel) == 0 {
 			continue
 		}
-		return &types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}, nil
+		f.out = types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+		return &f.out, nil
 	}
 }
 
 // Reset implements Operator.
 func (f *VectorFilterInt) Reset() { f.in.Reset() }
+
+// filterIntSel appends to out the physical indexes of vec's rows that
+// satisfy (value op val), visiting only the rows named by inSel when it
+// is non-nil. The result is always a physical selection over vec, so
+// applying it downstream never composes with inSel again.
+func filterIntSel(op BinOpKind, val int64, vec *types.Vector, inSel []int, out []int) []int {
+	ints := vec.Ints
+	if inSel == nil && !vec.HasNulls() {
+		// Fully dense, null-free fast path: branch-predictable loop over
+		// the raw array.
+		switch op {
+		case OpLt:
+			for i, v := range ints {
+				if v < val {
+					out = append(out, i)
+				}
+			}
+		case OpLe:
+			for i, v := range ints {
+				if v <= val {
+					out = append(out, i)
+				}
+			}
+		case OpGt:
+			for i, v := range ints {
+				if v > val {
+					out = append(out, i)
+				}
+			}
+		case OpGe:
+			for i, v := range ints {
+				if v >= val {
+					out = append(out, i)
+				}
+			}
+		case OpEq:
+			for i, v := range ints {
+				if v == val {
+					out = append(out, i)
+				}
+			}
+		case OpNe:
+			for i, v := range ints {
+				if v != val {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	if inSel != nil {
+		if !vec.HasNulls() {
+			for _, phys := range inSel {
+				if intCmp(op, ints[phys], val) {
+					out = append(out, phys)
+				}
+			}
+			return out
+		}
+		for _, phys := range inSel {
+			if vec.IsNull(phys) {
+				continue
+			}
+			if intCmp(op, ints[phys], val) {
+				out = append(out, phys)
+			}
+		}
+		return out
+	}
+	for i, v := range ints {
+		if vec.IsNull(i) {
+			continue
+		}
+		if intCmp(op, v, val) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 func intCmp(op BinOpKind, a, b int64) bool {
 	switch op {
@@ -119,31 +157,15 @@ func intCmp(op BinOpKind, a, b int64) bool {
 // SumInt64 drains op summing column col with a typed kernel (the
 // aggregation half of the E10 pipeline).
 func SumInt64(op Operator, col int) (int64, int, error) {
-	var sum int64
-	n := 0
+	var st typedAggState
 	for {
 		b, err := op.Next()
 		if err != nil {
 			return 0, 0, err
 		}
 		if b == nil {
-			return sum, n, nil
+			return st.sumI, int(st.count), nil
 		}
-		vec := b.Cols[col]
-		if b.Sel == nil && vec.Nulls == nil {
-			for _, v := range vec.Ints {
-				sum += v
-			}
-			n += len(vec.Ints)
-			continue
-		}
-		for i := 0; i < b.Len(); i++ {
-			phys := b.RowIdx(i)
-			if vec.IsNull(phys) {
-				continue
-			}
-			sum += vec.Ints[phys]
-			n++
-		}
+		sumIntKernel(b.Cols[col], b.Sel, &st)
 	}
 }

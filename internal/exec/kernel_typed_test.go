@@ -1,0 +1,120 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// preSelectedBatch builds a batch of 10 physical int rows (id = 0..9,
+// val = id*10) with a selection vector picking only the even rows.
+func preSelectedBatch() *types.Batch {
+	s := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "val", Type: types.Int64},
+	}, "id")
+	b := types.NewBatch(s, 10)
+	for i := 0; i < 10; i++ {
+		b.AppendRow(types.Row{types.NewInt(int64(i)), types.NewInt(int64(i * 10))})
+	}
+	b.Sel = []int{0, 2, 4, 6, 8}
+	return b
+}
+
+// Regression: a filter over an already-selected batch must emit a
+// physical selection over the shared columns — never logical positions
+// that would compose with the input selection a second time downstream.
+func TestVectorFilterIntPreSelectedBatch(t *testing.T) {
+	b := preSelectedBatch()
+	src := NewSource(b.Schema, []*types.Batch{b})
+	// id >= 4 over the selected (even) rows: survivors are 4, 6, 8.
+	f := NewVectorFilterInt(src, 0, OpGe, 4)
+	rows, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for i, want := range []int64{4, 6, 8} {
+		if rows[i][0].I != want || rows[i][1].I != want*10 {
+			t.Errorf("row %d = %v, want id=%d val=%d", i, rows[i], want, want*10)
+		}
+	}
+	// The same pipeline summed by the typed kernel must agree.
+	src.Reset()
+	sum, n, err := SumInt64(NewVectorFilterInt(src, 0, OpGe, 4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || sum != 40+60+80 {
+		t.Fatalf("SumInt64 = (%d, %d), want (180, 3)", sum, n)
+	}
+}
+
+func TestVectorFilterIntNulls(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	b := types.NewBatch(s, 6)
+	for i := 0; i < 6; i++ {
+		if i%2 == 1 {
+			b.AppendRow(types.Row{types.NewNull(types.Int64)})
+			continue
+		}
+		b.AppendRow(types.Row{types.NewInt(int64(i))})
+	}
+	src := NewSource(s, []*types.Batch{b})
+	rows, err := Collect(NewVectorFilterInt(src, 0, OpGe, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // NULLs never match a comparison
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+}
+
+func TestSumInt64SelAndNulls(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	b := types.NewBatch(s, 8)
+	for i := 0; i < 8; i++ {
+		if i == 2 {
+			b.AppendRow(types.Row{types.NewNull(types.Int64)})
+			continue
+		}
+		b.AppendRow(types.Row{types.NewInt(int64(i))})
+	}
+	b.Sel = []int{0, 2, 4, 6} // 0 + NULL + 4 + 6
+	src := NewSource(s, []*types.Batch{b})
+	sum, n, err := SumInt64(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 10 || n != 3 {
+		t.Fatalf("SumInt64 = (%d, %d), want (10, 3)", sum, n)
+	}
+}
+
+// The kernel pipeline must be O(1) allocations per query: operator
+// construction plus a handful of buffer warm-ups, never a fresh sel
+// slice per batch.
+func TestKernelPipelineAllocsConstant(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	rows := make([]types.Row, 64*1024)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i))}
+	}
+	src := NewSourceFromRows(s, rows, 1024) // 64 batches
+	f := NewVectorFilterInt(src, 0, OpLt, 32*1024)
+	// Warm the reusable buffers once.
+	if _, _, err := SumInt64(f, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		src.Reset()
+		if _, _, err := SumInt64(f, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 4 {
+		t.Fatalf("typed pipeline allocated %.0f times per query; want O(1), not O(batches)=64", allocs)
+	}
+}

@@ -88,10 +88,14 @@ func (c *CallbackSource) Next() (*types.Batch, error) { return c.gen(false) }
 func (c *CallbackSource) Reset() { _, _ = c.gen(true) }
 
 // Filter keeps rows whose predicate evaluates to true, producing
-// selection vectors rather than copying survivors.
+// selection vectors rather than copying survivors. The selection buffer
+// and batch header are reused across calls: a returned batch is valid
+// only until the next Next or Reset.
 type Filter struct {
 	in   Operator
 	pred Expr
+	sel  []int
+	out  types.Batch
 }
 
 // NewFilter wraps in with a predicate.
@@ -107,28 +111,32 @@ func (f *Filter) Next() (*types.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		sel := make([]int, 0, b.Len())
+		sel := f.sel[:0]
 		for i := 0; i < b.Len(); i++ {
 			if v := f.pred.Eval(b, i); !v.Null && v.Bool() {
 				sel = append(sel, b.RowIdx(i))
 			}
 		}
+		f.sel = sel[:0]
 		if len(sel) == 0 {
 			continue
 		}
-		out := &types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
-		return out, nil
+		f.out = types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+		return &f.out, nil
 	}
 }
 
 // Reset implements Operator.
 func (f *Filter) Reset() { f.in.Reset() }
 
-// Projection computes output columns from expressions.
+// Projection computes output columns from expressions. The output batch
+// is reused across calls: a returned batch is valid only until the next
+// Next or Reset.
 type Projection struct {
 	in     Operator
 	exprs  []Expr
 	schema *types.Schema
+	out    *types.Batch
 }
 
 // NewProjection builds a projection; names label the output columns.
@@ -156,25 +164,33 @@ func (p *Projection) Next() (*types.Batch, error) {
 	if err != nil || b == nil {
 		return nil, err
 	}
-	out := types.NewBatch(p.schema, b.Len())
+	if p.out == nil {
+		p.out = types.NewBatch(p.schema, b.Len())
+	} else {
+		p.out.Reset()
+	}
 	for i := 0; i < b.Len(); i++ {
 		for c, e := range p.exprs {
-			out.Cols[c].Append(e.Eval(b, i))
+			p.out.Cols[c].Append(e.Eval(b, i))
 		}
 	}
-	return out, nil
+	return p.out, nil
 }
 
 // Reset implements Operator.
 func (p *Projection) Reset() { p.in.Reset() }
 
-// Limit caps the number of rows delivered.
+// Limit caps the number of rows delivered. The selection buffer and
+// batch header are reused across calls: a returned batch is valid only
+// until the next Next or Reset.
 type Limit struct {
 	in        Operator
 	limit     int
 	offset    int
 	skipped   int
 	delivered int
+	sel       []int
+	out       types.Batch
 }
 
 // NewLimit wraps in with LIMIT/OFFSET semantics.
@@ -195,7 +211,7 @@ func (l *Limit) Next() (*types.Batch, error) {
 		if err != nil || b == nil {
 			return nil, err
 		}
-		sel := make([]int, 0, b.Len())
+		sel := l.sel[:0]
 		for i := 0; i < b.Len(); i++ {
 			if l.skipped < l.offset {
 				l.skipped++
@@ -207,10 +223,12 @@ func (l *Limit) Next() (*types.Batch, error) {
 			sel = append(sel, b.RowIdx(i))
 			l.delivered++
 		}
+		l.sel = sel[:0]
 		if len(sel) == 0 {
 			continue
 		}
-		return &types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}, nil
+		l.out = types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+		return &l.out, nil
 	}
 }
 

@@ -52,6 +52,10 @@ type ClockScan struct {
 	queries []*Query
 	pos     int
 	running bool
+	// snap is the scanner's reusable snapshot of queries (only the run
+	// goroutine touches it outside the lock), so the steady-state sweep
+	// allocates nothing per chunk.
+	snap []*Query
 	// stats
 	chunkReads uint64
 	deliveries uint64
@@ -87,6 +91,9 @@ func (c *ClockScan) run() {
 		c.mu.Lock()
 		if len(c.queries) == 0 {
 			c.running = false
+			// Drop the snapshot buffer so finished queries (and the
+			// closures they capture) become collectable while idle.
+			c.snap = nil
 			c.mu.Unlock()
 			return
 		}
@@ -96,7 +103,8 @@ func (c *ClockScan) run() {
 		}
 		pos := c.pos
 		c.pos++
-		queries := append([]*Query(nil), c.queries...)
+		queries := append(c.snap[:0], c.queries...)
+		c.snap = queries
 		c.mu.Unlock()
 
 		// One materialization serves every attached query.

@@ -1,6 +1,9 @@
 package colstore
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/types"
 )
 
@@ -107,6 +110,28 @@ type ScanStats struct {
 	RowsConcealed int
 }
 
+// merge folds o into s (ZonesTotal is set by the scan driver, not
+// accumulated per zone range).
+func (s *ScanStats) merge(o ScanStats) {
+	s.ZonesPruned += o.ZonesPruned
+	s.RowsScanned += o.RowsScanned
+	s.RowsMatched += o.RowsMatched
+	s.RowsConcealed += o.RowsConcealed
+}
+
+// scanScratch holds the reusable buffers of one scanning goroutine:
+// the selection vector the predicate kernels narrow, the gather
+// buffers zone materialization decodes into, and the projected null
+// mask. One scratch serves a whole scan, so steady-state zone
+// materialization allocates nothing.
+type scanScratch struct {
+	sel   []int
+	ints  []int64
+	codes []uint64
+	strs  []string
+	nulls *types.NullMask
+}
+
 // Scan streams the projection proj of rows matching all predicates and
 // visible at (readTS, self), one batch per zone, to fn; fn returning
 // false stops the scan. It returns pruning statistics.
@@ -115,6 +140,9 @@ type ScanStats struct {
 // batch-processing sense the tutorial attributes to HANA/BLU scans):
 // zone maps prune first, then each predicate narrows a selection vector
 // before the next runs, and only surviving rows are materialized.
+//
+// Each delivered batch is freshly allocated and may be retained by fn;
+// the pooled, transient-batch variant is ScanParallel.
 func (s *Segment) Scan(readTS, self uint64, proj []int, preds []Predicate, fn func(b *types.Batch) bool) ScanStats {
 	var stats ScanStats
 	if s.n == 0 {
@@ -123,9 +151,90 @@ func (s *Segment) Scan(readTS, self uint64, proj []int, preds []Predicate, fn fu
 	nz := (s.n + ZoneSize - 1) / ZoneSize
 	stats.ZonesTotal = nz
 	projSchema := s.projSchema(proj)
-	sel := make([]int, 0, ZoneSize)
+	sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
+	emit := func(sel []int) bool {
+		batch := types.NewBatch(projSchema, len(sel))
+		s.fillBatch(batch, proj, sel, sc)
+		return fn(batch)
+	}
+	s.scanZones(0, nz, readTS, self, preds, sc, &stats, emit)
+	return stats
+}
+
+// ScanParallel is the morsel-parallel variant of Scan: zones are dealt
+// to a bounded pool of workers through an atomic cursor, each worker
+// narrows its own selection vector and materializes survivors into
+// batches drawn from a per-worker BatchPool, and fn observes one batch
+// at a time under a mutex (zone order is not preserved). The batch
+// passed to fn is pooled: it is valid only until fn returns, so
+// retainers must Copy it. Stats are merged across workers.
+func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, fn func(b *types.Batch) bool) ScanStats {
+	nz := (s.n + ZoneSize - 1) / ZoneSize
+	if workers > nz {
+		workers = nz
+	}
+	if workers <= 1 {
+		return s.Scan(readTS, self, proj, preds, fn)
+	}
+	projSchema := s.projSchema(proj)
+	var (
+		cursor  atomic.Int64
+		stopped atomic.Bool
+		deliver sync.Mutex
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+		total   ScanStats
+	)
+	total.ZonesTotal = nz
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
+			pool := types.NewBatchPool(projSchema, ZoneSize)
+			var local ScanStats
+			emit := func(sel []int) bool {
+				batch := pool.Get()
+				s.fillBatch(batch, proj, sel, sc)
+				deliver.Lock()
+				ok := true
+				if stopped.Load() {
+					ok = false
+				} else if !fn(batch) {
+					stopped.Store(true)
+					ok = false
+				}
+				deliver.Unlock()
+				pool.Put(batch)
+				return ok
+			}
+			for !stopped.Load() {
+				z := int(cursor.Add(1)) - 1
+				if z >= nz {
+					break
+				}
+				if !s.scanZones(z, z+1, readTS, self, preds, sc, &local, emit) {
+					break
+				}
+			}
+			statsMu.Lock()
+			total.merge(local)
+			statsMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+// scanZones scans zones [zlo, zhi): zone-map pruning, visibility filter,
+// predicate kernels, then emit(sel) with the surviving physical row
+// indexes. It returns false when emit stopped the scan. Stats accumulate
+// everything except ZonesTotal (the driver sets that).
+func (s *Segment) scanZones(zlo, zhi int, readTS, self uint64, preds []Predicate, sc *scanScratch, stats *ScanStats, emit func(sel []int) bool) bool {
+	sel := sc.sel
+	defer func() { sc.sel = sel[:0] }()
 zones:
-	for z := 0; z < nz; z++ {
+	for z := zlo; z < zhi; z++ {
 		for _, p := range preds {
 			if !zoneCanMatch(p, s.zones[p.Col][z]) {
 				stats.ZonesPruned++
@@ -157,15 +266,11 @@ zones:
 			continue
 		}
 		stats.RowsMatched += len(sel)
-		batch := types.NewBatch(projSchema, len(sel))
-		for bi, ci := range proj {
-			fillColumn(batch.Cols[bi], s.cols[ci], sel)
-		}
-		if !fn(batch) {
-			break
+		if !emit(sel) {
+			return false
 		}
 	}
-	return stats
+	return true
 }
 
 func (s *Segment) projSchema(proj []int) *types.Schema {
@@ -189,7 +294,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 		if p.Val.Typ == types.Int64 {
 			v := p.Val.I
 			for _, i := range sel {
-				if c.nulls != nil && c.nulls[i] {
+				if c.nulls.IsNull(i) {
 					continue
 				}
 				if cmpMatch(p.Op, c.enc.Get(i), v) {
@@ -199,7 +304,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 			return out
 		}
 		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
+			if c.nulls.IsNull(i) {
 				continue
 			}
 			if p.Matches(types.NewInt(c.enc.Get(i))) {
@@ -209,7 +314,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 		return out
 	case *floatColumn:
 		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
+			if c.nulls.IsNull(i) {
 				continue
 			}
 			if p.Matches(types.NewFloat(c.vals[i])) {
@@ -235,7 +340,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 			} else {
 				// Value absent: every non-null row matches.
 				for _, i := range sel {
-					if c.nulls != nil && c.nulls[i] {
+					if c.nulls.IsNull(i) {
 						continue
 					}
 					out = append(out, i)
@@ -244,7 +349,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 			}
 		}
 		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
+			if c.nulls.IsNull(i) {
 				continue
 			}
 			code := c.codes.Get(i)
@@ -261,7 +366,7 @@ func (s *Segment) filterSel(p Predicate, sel []int) []int {
 		return out
 	case *boolColumn:
 		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
+			if c.nulls.IsNull(i) {
 				continue
 			}
 			if p.Matches(types.NewBool(c.bits.Get(i) != 0)) {
@@ -329,33 +434,75 @@ func stringPredCodeRange(dict interface {
 	}
 }
 
-func fillColumn(dst *types.Vector, src column, sel []int) {
+// fillBatch materializes the projected survivors of one zone into batch
+// using the typed bulk appenders.
+func (s *Segment) fillBatch(batch *types.Batch, proj []int, sel []int, sc *scanScratch) {
+	for bi, ci := range proj {
+		fillColumn(batch.Cols[bi], s.cols[ci], sel, sc)
+	}
+}
+
+// fillColumn gathers the selected rows of src into dst. Int columns
+// bulk-decode through the frame-of-reference coder, floats gather
+// straight from the raw array, and strings/bools decode into scratch
+// first — in every case the null bits travel as a word-packed mask, not
+// per-row Value boxing.
+func fillColumn(dst *types.Vector, src column, sel []int, sc *scanScratch) {
 	switch c := src.(type) {
 	case *intColumn:
-		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
-				dst.Append(types.NewNull(types.Int64))
-				continue
-			}
-			dst.Ints = append(dst.Ints, c.enc.Get(i))
-			if dst.Nulls != nil {
-				dst.Nulls = append(dst.Nulls, false)
-			}
-		}
+		sc.ints = c.enc.Gather(sel, sc.ints)
+		dst.AppendInts(sc.ints, gatherNulls(c.nulls, sel, sc), nil)
 	case *floatColumn:
-		for _, i := range sel {
-			if c.nulls != nil && c.nulls[i] {
-				dst.Append(types.NewNull(types.Float64))
+		dst.AppendFloats(c.vals, c.nulls, sel)
+	case *stringColumn:
+		if cap(sc.strs) < len(sel) {
+			sc.strs = make([]string, len(sel))
+		}
+		sc.strs = sc.strs[:len(sel)]
+		sc.codes = c.codes.Gather(sel, sc.codes)
+		for k, code := range sc.codes {
+			if c.nulls.IsNull(sel[k]) {
+				sc.strs[k] = ""
 				continue
 			}
-			dst.Floats = append(dst.Floats, c.vals[i])
-			if dst.Nulls != nil {
-				dst.Nulls = append(dst.Nulls, false)
-			}
+			sc.strs[k] = c.dict.Value(int(code))
 		}
+		dst.AppendStrings(sc.strs, gatherNulls(c.nulls, sel, sc), nil)
+	case *boolColumn:
+		sc.codes = c.bits.Gather(sel, sc.codes)
+		if cap(sc.ints) < len(sel) {
+			sc.ints = make([]int64, len(sel))
+		}
+		sc.ints = sc.ints[:len(sel)]
+		for k, b := range sc.codes {
+			sc.ints[k] = int64(b)
+		}
+		dst.AppendInts(sc.ints, gatherNulls(c.nulls, sel, sc), nil)
 	default:
 		for _, i := range sel {
 			dst.Append(src.get(i))
 		}
 	}
+}
+
+// gatherNulls projects the full-domain mask onto sel, reusing the
+// scratch mask; it returns nil when no selected row is null.
+func gatherNulls(m *types.NullMask, sel []int, sc *scanScratch) *types.NullMask {
+	if !m.AnyNull() {
+		return nil
+	}
+	if sc.nulls == nil {
+		sc.nulls = types.NewNullMask(0)
+	}
+	sc.nulls.Reset()
+	any := false
+	for _, i := range sel {
+		null := m.IsNull(i)
+		any = any || null
+		sc.nulls.Append(null)
+	}
+	if !any {
+		return nil
+	}
+	return sc.nulls
 }

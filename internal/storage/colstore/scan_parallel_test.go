@@ -1,0 +1,176 @@
+package colstore
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// buildParallelSegment builds a segment spanning several zones with
+// int/float/string columns and scattered NULLs.
+func buildParallelSegment(n int) *Segment {
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.Int64},
+		{Name: "f", Type: types.Float64},
+		{Name: "s", Type: types.String},
+	}, "id")
+	b := NewBuilder(schema, 1)
+	for i := 0; i < n; i++ {
+		v := types.NewInt(int64(i % 1000))
+		if i%97 == 0 {
+			v = types.NewNull(types.Int64)
+		}
+		f := types.NewFloat(float64(i) / 4)
+		if i%89 == 0 {
+			f = types.NewNull(types.Float64)
+		}
+		b.Add(types.Row{
+			types.NewInt(int64(i)),
+			v,
+			f,
+			types.NewString(fmt.Sprintf("s%02d", i%37)),
+		})
+	}
+	return b.Build()
+}
+
+type scanTotals struct {
+	rows int
+	sumV int64
+	sumF float64
+}
+
+func drain(seg *Segment, workers int, preds []Predicate) (scanTotals, ScanStats) {
+	var tot scanTotals
+	var sumV, rows atomic.Int64
+	fn := func(b *types.Batch) bool {
+		rows.Add(int64(b.Len()))
+		vc := b.Cols[1]
+		for i := 0; i < b.Len(); i++ {
+			phys := b.RowIdx(i)
+			if !vc.IsNull(phys) {
+				sumV.Add(vc.Ints[phys])
+			}
+		}
+		return true
+	}
+	var stats ScanStats
+	if workers <= 1 {
+		stats = seg.Scan(100, 0, []int{0, 1, 2, 3}, preds, fn)
+	} else {
+		stats = seg.ScanParallel(100, 0, []int{0, 1, 2, 3}, preds, workers, fn)
+	}
+	tot.rows = int(rows.Load())
+	tot.sumV = sumV.Load()
+	return tot, stats
+}
+
+func TestScanParallelMatchesSerial(t *testing.T) {
+	seg := buildParallelSegment(8*ZoneSize + 123)
+	for _, preds := range [][]Predicate{
+		nil,
+		{{Col: 1, Op: OpLt, Val: types.NewInt(500)}},
+		{{Col: 0, Op: OpGe, Val: types.NewInt(2000)}, {Col: 0, Op: OpLt, Val: types.NewInt(5000)}},
+		{{Col: 3, Op: OpEq, Val: types.NewString("s05")}},
+	} {
+		serial, serialStats := drain(seg, 1, preds)
+		for _, workers := range []int{2, 4} {
+			par, parStats := drain(seg, workers, preds)
+			if par != serial {
+				t.Errorf("workers=%d preds=%v: parallel %+v != serial %+v", workers, preds, par, serial)
+			}
+			if parStats != serialStats {
+				t.Errorf("workers=%d preds=%v: stats %+v != %+v", workers, preds, parStats, serialStats)
+			}
+		}
+	}
+}
+
+func TestScanParallelVisibility(t *testing.T) {
+	// Rows merged at different versions: only those at or before the
+	// read snapshot are visible, identically in both scan modes.
+	schema := types.MustSchema([]types.Column{{Name: "id", Type: types.Int64}}, "id")
+	b := NewBuilder(schema, 50)
+	const n = 4 * ZoneSize
+	for i := 0; i < n; i++ {
+		b.AddVersioned(types.Row{types.NewInt(int64(i))}, uint64(10+i%20))
+	}
+	seg := b.Build()
+	for _, readTS := range []uint64{9, 15, 40} {
+		count := func(workers int) (int, ScanStats) {
+			got := 0
+			var stats ScanStats
+			fn := func(batch *types.Batch) bool { got += batch.Len(); return true }
+			if workers <= 1 {
+				stats = seg.Scan(readTS, 0, []int{0}, nil, fn)
+			} else {
+				stats = seg.ScanParallel(readTS, 0, []int{0}, nil, workers, fn)
+			}
+			return got, stats
+		}
+		serial, serialStats := count(1)
+		parallel, parStats := count(4)
+		if serial != parallel || serialStats != parStats {
+			t.Errorf("readTS=%d: serial %d/%+v != parallel %d/%+v", readTS, serial, serialStats, parallel, parStats)
+		}
+	}
+}
+
+func TestScanParallelEarlyStop(t *testing.T) {
+	seg := buildParallelSegment(16 * ZoneSize)
+	var delivered atomic.Int64
+	stats := seg.ScanParallel(100, 0, []int{0}, nil, 4, func(b *types.Batch) bool {
+		return delivered.Add(1) < 3
+	})
+	if got := delivered.Load(); got < 3 {
+		t.Fatalf("delivered %d batches before stop, want >= 3", got)
+	}
+	// Early termination must not have scanned everything.
+	if stats.RowsMatched >= 16*ZoneSize {
+		t.Errorf("early stop still matched all %d rows", stats.RowsMatched)
+	}
+}
+
+// TestScanParallelBatchTransient documents the pooled-batch contract:
+// a batch retained beyond the callback is reused, so retainers must
+// Copy. The Copy must survive intact.
+func TestScanParallelBatchTransient(t *testing.T) {
+	seg := buildParallelSegment(6 * ZoneSize)
+	var copies []*types.Batch
+	seg.ScanParallel(100, 0, []int{0, 1}, nil, 2, func(b *types.Batch) bool {
+		copies = append(copies, b.Copy())
+		return true
+	})
+	total := 0
+	var sum int64
+	for _, b := range copies {
+		total += b.Len()
+		c := b.Cols[0]
+		for i := 0; i < b.Len(); i++ {
+			sum += c.Ints[i]
+		}
+	}
+	want := 6 * ZoneSize
+	if total != want {
+		t.Fatalf("copied rows = %d, want %d", total, want)
+	}
+	var wantSum int64
+	for i := 0; i < want; i++ {
+		wantSum += int64(i)
+	}
+	if sum != wantSum {
+		t.Fatalf("sum over copies = %d, want %d", sum, wantSum)
+	}
+}
+
+func TestScanParallelSingleZoneFallsBack(t *testing.T) {
+	seg := buildParallelSegment(100) // one zone: ScanParallel degrades to Scan
+	got, stats := drain(seg, 8, nil)
+	want, wantStats := drain(seg, 1, nil)
+	if got != want || stats != wantStats {
+		t.Fatalf("single-zone parallel %+v/%+v != serial %+v/%+v", got, stats, want, wantStats)
+	}
+}

@@ -41,47 +41,47 @@ type column interface {
 // intColumn stores int64s frame-of-reference coded.
 type intColumn struct {
 	enc   *compress.FrameOfReference
-	nulls []bool
+	nulls *types.NullMask
 }
 
 func (c *intColumn) get(i int) types.Value {
-	if c.nulls != nil && c.nulls[i] {
+	if c.nulls.IsNull(i) {
 		return types.NewNull(types.Int64)
 	}
 	return types.NewInt(c.enc.Get(i))
 }
-func (c *intColumn) sizeBytes() int { return c.enc.SizeBytes() + len(c.nulls) }
+func (c *intColumn) sizeBytes() int { return c.enc.SizeBytes() + c.nulls.SizeBytes() }
 
 // floatColumn stores float64s raw.
 type floatColumn struct {
 	vals  []float64
-	nulls []bool
+	nulls *types.NullMask
 }
 
 func (c *floatColumn) get(i int) types.Value {
-	if c.nulls != nil && c.nulls[i] {
+	if c.nulls.IsNull(i) {
 		return types.NewNull(types.Float64)
 	}
 	return types.NewFloat(c.vals[i])
 }
-func (c *floatColumn) sizeBytes() int { return len(c.vals)*8 + len(c.nulls) }
+func (c *floatColumn) sizeBytes() int { return len(c.vals)*8 + c.nulls.SizeBytes() }
 
 // stringColumn stores strings as bit-packed codes into an
 // order-preserving dictionary.
 type stringColumn struct {
 	dict  *compress.Dictionary
 	codes *compress.BitPacked
-	nulls []bool
+	nulls *types.NullMask
 }
 
 func (c *stringColumn) get(i int) types.Value {
-	if c.nulls != nil && c.nulls[i] {
+	if c.nulls.IsNull(i) {
 		return types.NewNull(types.String)
 	}
 	return types.NewString(c.dict.Value(int(c.codes.Get(i))))
 }
 func (c *stringColumn) sizeBytes() int {
-	sz := c.codes.SizeBytes() + len(c.nulls)
+	sz := c.codes.SizeBytes() + c.nulls.SizeBytes()
 	for i := 0; i < c.dict.Size(); i++ {
 		sz += len(c.dict.Value(i))
 	}
@@ -91,16 +91,16 @@ func (c *stringColumn) sizeBytes() int {
 // boolColumn stores booleans bit-packed.
 type boolColumn struct {
 	bits  *compress.BitPacked
-	nulls []bool
+	nulls *types.NullMask
 }
 
 func (c *boolColumn) get(i int) types.Value {
-	if c.nulls != nil && c.nulls[i] {
+	if c.nulls.IsNull(i) {
 		return types.NewNull(types.Bool)
 	}
 	return types.NewBool(c.bits.Get(i) != 0)
 }
-func (c *boolColumn) sizeBytes() int { return c.bits.SizeBytes() + len(c.nulls) }
+func (c *boolColumn) sizeBytes() int { return c.bits.SizeBytes() + c.nulls.SizeBytes() }
 
 // Segment is an immutable compressed column segment.
 type Segment struct {
@@ -178,12 +178,12 @@ func (b *Builder) Build() *Segment {
 
 func encodeColumn(t types.Type, rows []types.Row, ci int) column {
 	n := len(rows)
-	var nulls []bool
+	var nulls *types.NullMask
 	noteNull := func(i int) {
 		if nulls == nil {
-			nulls = make([]bool, n)
+			nulls = types.NewNullMask(n)
 		}
-		nulls[i] = true
+		nulls.Set(i, true)
 	}
 	switch t {
 	case types.Int64:

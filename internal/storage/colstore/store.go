@@ -70,13 +70,31 @@ func (st *Store) SizeBytes() int {
 // Scan streams matching visible rows from every segment. Stats aggregate
 // across segments.
 func (st *Store) Scan(readTS, self uint64, proj []int, preds []Predicate, fn func(b *types.Batch) bool) ScanStats {
+	return st.scanSegments(fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
+		return s.Scan(readTS, self, proj, preds, segFn)
+	})
+}
+
+// ScanParallel is Scan with each segment scanned morsel-parallel by up
+// to workers goroutines (see Segment.ScanParallel). fn observes one
+// batch at a time, but the batch is pooled and only valid until fn
+// returns.
+func (st *Store) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, fn func(b *types.Batch) bool) ScanStats {
+	return st.scanSegments(fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
+		return s.ScanParallel(readTS, self, proj, preds, workers, segFn)
+	})
+}
+
+// scanSegments drives scanSeg over every segment in order, merging
+// stats and propagating fn's early stop across segments.
+func (st *Store) scanSegments(fn func(b *types.Batch) bool, scanSeg func(s *Segment, segFn func(b *types.Batch) bool) ScanStats) ScanStats {
 	var total ScanStats
 	stop := false
 	for _, s := range st.Segments() {
 		if stop {
 			break
 		}
-		stats := s.Scan(readTS, self, proj, preds, func(b *types.Batch) bool {
+		stats := scanSeg(s, func(b *types.Batch) bool {
 			if !fn(b) {
 				stop = true
 				return false
@@ -84,10 +102,7 @@ func (st *Store) Scan(readTS, self uint64, proj []int, preds []Predicate, fn fun
 			return true
 		})
 		total.ZonesTotal += stats.ZonesTotal
-		total.ZonesPruned += stats.ZonesPruned
-		total.RowsScanned += stats.RowsScanned
-		total.RowsMatched += stats.RowsMatched
-		total.RowsConcealed += stats.RowsConcealed
+		total.merge(stats)
 	}
 	return total
 }

@@ -1,0 +1,139 @@
+package types
+
+// NullMask is a word-packed null bitmap: bit i set means position i is
+// NULL. It replaces the earlier []bool representation so that kernels
+// can test 64 positions per load, and so that the common all-valid case
+// costs one AnyNull check instead of a per-row branch.
+//
+// The mask maintains a running set-bit count, making AnyNull and
+// CountNulls O(1) — scans call them once per zone per column, so they
+// must not rescan the words.
+//
+// All read accessors are safe on a nil receiver (a nil mask means "no
+// nulls"), which lets vectors and columns keep the mask unallocated
+// until the first NULL actually appears.
+type NullMask struct {
+	words []uint64
+	n     int
+	nset  int
+}
+
+// NewNullMask returns a mask tracking n positions, all valid.
+func NewNullMask(n int) *NullMask {
+	return &NullMask{words: make([]uint64, nullWords(n)), n: n}
+}
+
+func nullWords(n int) int { return (n + 63) >> 6 }
+
+// Len returns the number of positions tracked.
+func (m *NullMask) Len() int {
+	if m == nil {
+		return 0
+	}
+	return m.n
+}
+
+// IsNull reports whether position i is null. Positions beyond Len (or a
+// nil mask) read as valid.
+func (m *NullMask) IsNull(i int) bool {
+	if m == nil || i >= m.n {
+		return false
+	}
+	return m.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// AnyNull reports whether any tracked position is null. This is the
+// kernel fast-path test: when false, typed loops skip null handling
+// entirely.
+func (m *NullMask) AnyNull() bool {
+	return m != nil && m.nset > 0
+}
+
+// SizeBytes returns the backing storage size of the mask.
+func (m *NullMask) SizeBytes() int {
+	if m == nil {
+		return 0
+	}
+	return len(m.words) * 8
+}
+
+// CountNulls returns the number of null positions.
+func (m *NullMask) CountNulls() int {
+	if m == nil {
+		return 0
+	}
+	return m.nset
+}
+
+// Set marks position i null or valid, growing the mask if needed.
+func (m *NullMask) Set(i int, null bool) {
+	if i >= m.n {
+		m.grow(i + 1)
+	}
+	bit := uint64(1) << (uint(i) & 63)
+	prev := m.words[i>>6]&bit != 0
+	switch {
+	case null && !prev:
+		m.words[i>>6] |= bit
+		m.nset++
+	case !null && prev:
+		m.words[i>>6] &^= bit
+		m.nset--
+	}
+}
+
+// Append adds one position at the end of the mask.
+func (m *NullMask) Append(null bool) {
+	i := m.n
+	m.grow(i + 1)
+	if null {
+		m.words[i>>6] |= 1 << (uint(i) & 63)
+		m.nset++
+	}
+}
+
+// AppendN adds n positions, all null or all valid.
+func (m *NullMask) AppendN(n int, null bool) {
+	if n <= 0 {
+		return
+	}
+	lo := m.n
+	m.grow(lo + n)
+	if !null {
+		return
+	}
+	for i := lo; i < lo+n; i++ {
+		m.words[i>>6] |= 1 << (uint(i) & 63)
+	}
+	m.nset += n
+}
+
+// Reset truncates the mask to zero positions, keeping word capacity.
+func (m *NullMask) Reset() {
+	if m == nil {
+		return
+	}
+	for i := range m.words {
+		m.words[i] = 0
+	}
+	m.n = 0
+	m.nset = 0
+}
+
+// grow extends the mask to track n positions; new positions are valid.
+func (m *NullMask) grow(n int) {
+	if n <= m.n {
+		return
+	}
+	need := nullWords(n)
+	if need > len(m.words) {
+		if need <= cap(m.words) {
+			m.words = m.words[:need]
+		} else {
+			w := make([]uint64, need, 2*need)
+			copy(w, m.words)
+			m.words = w
+		}
+	}
+	m.n = n
+}

@@ -1,0 +1,49 @@
+package types
+
+// BatchPool recycles batches of one schema so steady-state scans and
+// operators allocate nothing per batch: vectors keep their backing
+// arrays (and null-mask words) across reuse, and Put resets lengths
+// only.
+//
+// A pool is NOT safe for concurrent use; the morsel-parallel scan gives
+// each worker its own pool, which keeps Get/Put free of synchronization
+// on the hot path.
+type BatchPool struct {
+	schema   *Schema
+	capacity int
+	free     []*Batch
+}
+
+// NewBatchPool creates a pool producing batches for schema with the
+// given per-vector capacity.
+func NewBatchPool(schema *Schema, capacity int) *BatchPool {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &BatchPool{schema: schema, capacity: capacity}
+}
+
+// Schema returns the schema of pooled batches.
+func (p *BatchPool) Schema() *Schema { return p.schema }
+
+// Get returns an empty batch, reusing a previously Put one when
+// available.
+func (p *BatchPool) Get() *Batch {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return b
+	}
+	return NewBatch(p.schema, p.capacity)
+}
+
+// Put resets b and returns it to the pool. b must have been produced by
+// this pool (same schema) and must not be used after Put.
+func (p *BatchPool) Put(b *Batch) {
+	if b == nil {
+		return
+	}
+	b.Reset()
+	p.free = append(p.free, b)
+}

@@ -5,13 +5,14 @@ import "fmt"
 // Vector is a typed batch of values from a single column. It is the unit
 // of data flow through the vectorized execution engine. Exactly one of
 // the typed slices is active, selected by Typ; Bool piggybacks on Ints
-// (0/1). Nulls, when non-nil, marks null positions.
+// (0/1). Nulls, when non-nil, marks null positions; a nil mask (or a
+// mask with no set bits) means every value is valid.
 type Vector struct {
 	Typ     Type
 	Ints    []int64
 	Floats  []float64
 	Strings []string
-	Nulls   []bool
+	Nulls   *NullMask
 }
 
 // NewVector allocates a vector of the given type with capacity cap and
@@ -43,13 +44,18 @@ func (v *Vector) Len() int {
 	}
 }
 
-// Reset truncates the vector to length 0, keeping capacity.
+// Reset truncates the vector to length 0, keeping capacity (including
+// the null mask's backing words, so pooled vectors stay allocation-free).
 func (v *Vector) Reset() {
 	v.Ints = v.Ints[:0]
 	v.Floats = v.Floats[:0]
 	v.Strings = v.Strings[:0]
-	v.Nulls = v.Nulls[:0]
+	v.Nulls.Reset()
 }
+
+// HasNulls reports whether any position is null. Kernels branch on this
+// once per vector instead of per row.
+func (v *Vector) HasNulls() bool { return v.Nulls.AnyNull() }
 
 // Append adds a value. Numeric values are coerced to the vector's type
 // (int ↔ float); other type mismatches append the value's best
@@ -59,7 +65,6 @@ func (v *Vector) Append(val Value) {
 		v.appendNull()
 		return
 	}
-	v.padNulls(false)
 	switch v.Typ {
 	case Int64, Bool:
 		if val.Typ == Float64 {
@@ -77,12 +82,12 @@ func (v *Vector) Append(val Value) {
 		v.Strings = append(v.Strings, val.S)
 	}
 	if v.Nulls != nil {
-		v.Nulls = append(v.Nulls, false)
+		v.Nulls.Append(false)
 	}
 }
 
 func (v *Vector) appendNull() {
-	v.padNulls(true)
+	v.ensureNulls()
 	switch v.Typ {
 	case Int64, Bool:
 		v.Ints = append(v.Ints, 0)
@@ -91,21 +96,97 @@ func (v *Vector) appendNull() {
 	case String:
 		v.Strings = append(v.Strings, "")
 	}
-	v.Nulls = append(v.Nulls, true)
+	v.Nulls.Append(true)
 }
 
-// padNulls lazily materializes the null bitmap the first time a null (or
-// a non-null after nulls exist) is appended.
-func (v *Vector) padNulls(needed bool) {
-	if v.Nulls == nil && needed {
-		v.Nulls = make([]bool, v.Len(), cap(v.Ints)+cap(v.Floats)+cap(v.Strings))
+// ensureNulls lazily materializes the null mask the first time a null is
+// appended, padding it to the current length (all valid).
+func (v *Vector) ensureNulls() {
+	if v.Nulls == nil {
+		v.Nulls = NewNullMask(v.Len())
+	} else if v.Nulls.Len() < v.Len() {
+		v.Nulls.AppendN(v.Len()-v.Nulls.Len(), false)
+	}
+}
+
+// AppendInts bulk-appends int64 values. When sel is nil every value of
+// vals is appended; otherwise vals[sel[i]] is gathered for each i. nulls,
+// when non-nil, flags null positions in vals' index domain (the value at
+// a null position is appended as stored and masked out). This is the
+// allocation-free path storage scans and kernels use instead of per-row
+// Append.
+func (v *Vector) AppendInts(vals []int64, nulls *NullMask, sel []int) {
+	if nulls.AnyNull() {
+		v.ensureNulls()
+	}
+	if sel == nil {
+		v.Ints = append(v.Ints, vals...)
+		v.appendNullBits(nulls, nil, len(vals))
+		return
+	}
+	for _, i := range sel {
+		v.Ints = append(v.Ints, vals[i])
+	}
+	v.appendNullBits(nulls, sel, len(sel))
+}
+
+// AppendFloats is AppendInts for float64 vectors.
+func (v *Vector) AppendFloats(vals []float64, nulls *NullMask, sel []int) {
+	if nulls.AnyNull() {
+		v.ensureNulls()
+	}
+	if sel == nil {
+		v.Floats = append(v.Floats, vals...)
+		v.appendNullBits(nulls, nil, len(vals))
+		return
+	}
+	for _, i := range sel {
+		v.Floats = append(v.Floats, vals[i])
+	}
+	v.appendNullBits(nulls, sel, len(sel))
+}
+
+// AppendStrings is AppendInts for string vectors.
+func (v *Vector) AppendStrings(vals []string, nulls *NullMask, sel []int) {
+	if nulls.AnyNull() {
+		v.ensureNulls()
+	}
+	if sel == nil {
+		v.Strings = append(v.Strings, vals...)
+		v.appendNullBits(nulls, nil, len(vals))
+		return
+	}
+	for _, i := range sel {
+		v.Strings = append(v.Strings, vals[i])
+	}
+	v.appendNullBits(nulls, sel, len(sel))
+}
+
+// appendNullBits extends the null mask for n freshly appended values,
+// gathering source bits through sel when non-nil. Callers materialize
+// the mask (ensureNulls) before appending values when the source has
+// nulls; if the vector still has no mask, nothing is tracked.
+func (v *Vector) appendNullBits(nulls *NullMask, sel []int, n int) {
+	if v.Nulls == nil {
+		return
+	}
+	if !nulls.AnyNull() {
+		v.Nulls.AppendN(n, false)
+		return
+	}
+	if sel == nil {
+		for i := 0; i < n; i++ {
+			v.Nulls.Append(nulls.IsNull(i))
+		}
+		return
+	}
+	for _, i := range sel {
+		v.Nulls.Append(nulls.IsNull(i))
 	}
 }
 
 // IsNull reports whether position i is null.
-func (v *Vector) IsNull(i int) bool {
-	return v.Nulls != nil && i < len(v.Nulls) && v.Nulls[i]
-}
+func (v *Vector) IsNull(i int) bool { return v.Nulls.IsNull(i) }
 
 // Get materializes position i as a Value.
 func (v *Vector) Get(i int) Value {
@@ -205,9 +286,30 @@ func (b *Batch) Compact() *Batch {
 	if b.Sel == nil {
 		return b
 	}
-	out := NewBatch(b.Schema, len(b.Sel))
-	for i := 0; i < len(b.Sel); i++ {
-		out.AppendRow(b.Row(i))
-	}
+	return b.Copy()
+}
+
+// Copy deep-copies the batch into a fresh dense batch (the selection, if
+// any, is applied). Consumers that retain batches beyond a scan callback
+// use this to detach from pooled storage.
+func (b *Batch) Copy() *Batch {
+	out := NewBatch(b.Schema, b.Len())
+	out.AppendBatch(b)
 	return out
+}
+
+// AppendBatch appends every logical row of src to b using the typed bulk
+// appenders (no per-value boxing). Schemas must match positionally.
+func (b *Batch) AppendBatch(src *Batch) {
+	for c, vec := range src.Cols {
+		dst := b.Cols[c]
+		switch vec.Typ {
+		case Int64, Bool:
+			dst.AppendInts(vec.Ints, vec.Nulls, src.Sel)
+		case Float64:
+			dst.AppendFloats(vec.Floats, vec.Nulls, src.Sel)
+		case String:
+			dst.AppendStrings(vec.Strings, vec.Nulls, src.Sel)
+		}
+	}
 }

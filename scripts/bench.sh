@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the E-series benchmark suite in a benchstat-friendly way and
+# records a baseline for future perf PRs to compare against.
+#
+#   scripts/bench.sh                 # default: scan/exec experiments, count=5
+#   BENCH='E10' COUNT=10 scripts/bench.sh
+#
+# Outputs:
+#   BENCH_baseline.txt  — plain `go test -bench` output, `benchstat old new`-ready
+#   BENCH_baseline.json — the same run in test2json form for tooling
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+BENCH="${BENCH:-E1_|E2_|E6_|E10_|E11_}"
+OUT_TXT="${OUT_TXT:-BENCH_baseline.txt}"
+OUT_JSON="${OUT_JSON:-BENCH_baseline.json}"
+
+echo "# $(go version) / $(date -u +%FT%TZ)" >"$OUT_TXT"
+go test -run '^$' -bench "$BENCH" -benchmem -count "$COUNT" -timeout 60m . | tee -a "$OUT_TXT"
+go test -run '^$' -bench "$BENCH" -benchmem -count 1 -json -timeout 60m . >"$OUT_JSON"
+echo "wrote $OUT_TXT (feed two of these to benchstat) and $OUT_JSON"
