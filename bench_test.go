@@ -536,7 +536,7 @@ func BenchmarkE6_Scans(b *testing.B) {
 				if workers <= 1 {
 					seg.Scan(100, 0, []int{1}, nil, fn)
 				} else {
-					seg.ScanParallel(100, 0, []int{1}, nil, workers, fn)
+					seg.ScanParallel(100, 0, []int{1}, nil, workers, nil, fn)
 				}
 			}
 			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")

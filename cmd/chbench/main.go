@@ -1,9 +1,13 @@
 // Command chbench drives the CH-benCHmark mixed workload (experiment
 // E4): OLTP worker goroutines run the TPC-C transaction mix while OLAP
 // goroutines cycle through the analytic query suite, all against one
-// dual-format engine. It prints the table EXPERIMENTS.md records:
-// transactional throughput and analytic throughput as the analytic
-// thread count grows, per concurrency mode.
+// dual-format engine. The OLAP side goes through the public db API —
+// each query streams through a db.Rows cursor and repeated statements
+// reuse cached plans — while the OLTP side drives the engine's
+// transactional API directly, exactly the dual-interface deployment the
+// paper's operational-analytics model assumes. It prints the table
+// EXPERIMENTS.md records: transactional throughput and analytic
+// throughput as the analytic thread count grows, per concurrency mode.
 //
 // Usage:
 //
@@ -12,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -22,8 +27,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/db"
 	"repro/internal/bench"
-	"repro/internal/core"
 )
 
 func main() {
@@ -44,14 +49,14 @@ func main() {
 		}
 		olaps = append(olaps, n)
 	}
-	var modes []core.ConcurrencyMode
+	var modes []db.Mode
 	switch strings.ToLower(*mode) {
 	case "mvcc":
-		modes = []core.ConcurrencyMode{core.ModeMVCC}
+		modes = []db.Mode{db.MVCC}
 	case "2pl":
-		modes = []core.ConcurrencyMode{core.Mode2PL}
+		modes = []db.Mode{db.TwoPL}
 	default:
-		modes = []core.ConcurrencyMode{core.ModeMVCC, core.Mode2PL}
+		modes = []db.Mode{db.MVCC, db.TwoPL}
 	}
 
 	fmt.Printf("CH-benCHmark: %d warehouses, %d OLTP workers, %v per cell\n\n",
@@ -66,13 +71,18 @@ func main() {
 }
 
 // runCell measures one (mode, olap-threads) configuration.
-func runCell(mode core.ConcurrencyMode, oltpWorkers, olapThreads, warehouses int, d time.Duration, autoMerge bool) (tps, qps, abortPct float64) {
-	engine, err := core.NewEngine(core.Options{Mode: mode, LockTimeout: 20 * time.Millisecond, MergeThreshold: 20000})
+func runCell(mode db.Mode, oltpWorkers, olapThreads, warehouses int, dur time.Duration, autoMerge bool) (tps, qps, abortPct float64) {
+	opts := db.Options{Mode: mode, LockTimeout: 20 * time.Millisecond, MergeThreshold: 20000}
+	if autoMerge {
+		opts.AutoMergeEvery = 200 * time.Millisecond
+	}
+	d, err := db.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chbench:", err)
 		os.Exit(1)
 	}
-	defer engine.Close()
+	defer d.Close()
+	engine := d.Engine()
 	if err := bench.CreateTables(engine); err != nil {
 		fmt.Fprintln(os.Stderr, "chbench:", err)
 		os.Exit(1)
@@ -83,11 +93,9 @@ func runCell(mode core.ConcurrencyMode, oltpWorkers, olapThreads, warehouses int
 		fmt.Fprintln(os.Stderr, "chbench:", err)
 		os.Exit(1)
 	}
-	stop := make(chan struct{})
-	if autoMerge {
-		engine.StartAutoMerge(200*time.Millisecond, stop)
-	}
 
+	ctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
 	var hist atomic.Int64
 	hist.Store(1 << 20)
 	var committed, aborted, olapDone atomic.Int64
@@ -124,20 +132,40 @@ func runCell(mode core.ConcurrencyMode, oltpWorkers, olapThreads, warehouses int
 					return
 				default:
 				}
-				if _, err := bench.RunQuery(engine, qs[i%len(qs)]); err == nil {
+				if err := runAnalytic(ctx, d, qs[i%len(qs)].SQL); err == nil {
 					olapDone.Add(1)
 				}
 				i++
 			}
 		}(g)
 	}
-	time.Sleep(d)
+	time.Sleep(dur)
 	close(stop)
+	cancel() // unblock any in-flight analytic scan promptly
 	wg.Wait()
-	secs := d.Seconds()
+	secs := dur.Seconds()
 	c, a := float64(committed.Load()), float64(aborted.Load())
 	if c+a > 0 {
 		abortPct = 100 * a / (c + a)
 	}
 	return c / secs, float64(olapDone.Load()) / secs, abortPct
+}
+
+// runAnalytic executes one analytic query through the public API,
+// streaming the result batch-at-a-time.
+func runAnalytic(ctx context.Context, d *db.DB, query string) error {
+	rows, err := d.Query(ctx, query)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+	}
 }

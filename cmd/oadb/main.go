@@ -1,4 +1,7 @@
-// Command oadb is an interactive SQL shell over the oadms engine.
+// Command oadb is an interactive SQL shell over the oadms engine,
+// built on the public db API: SELECTs stream through a db.Rows cursor
+// (large results print as they arrive instead of materializing), and
+// repeated statements hit the plan cache.
 //
 // Usage:
 //
@@ -6,20 +9,20 @@
 //
 // With -demo it pre-loads the CH-benCHmark dataset so you can query
 // immediately. Meta commands: \tables, \stats <table>, \merge <table>,
-// \quit.
+// \cache, \quit.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/db"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/sql"
 )
 
 func main() {
@@ -28,37 +31,42 @@ func main() {
 	demo := flag.Bool("demo", false, "pre-load the CH-benCHmark demo dataset")
 	flag.Parse()
 
-	opts := core.Options{WALPath: *walPath}
+	opts := db.Options{WALPath: *walPath}
 	if strings.EqualFold(*mode, "2pl") {
-		opts.Mode = core.Mode2PL
+		opts.Mode = db.TwoPL
 	}
-	engine, err := core.NewEngine(opts)
+	d, err := db.Open(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "oadb:", err)
 		os.Exit(1)
 	}
-	defer engine.Close()
+	defer d.Close()
 
 	if *demo {
 		fmt.Print("loading CH-benCHmark demo data... ")
 		start := time.Now()
-		if err := bench.CreateTables(engine); err != nil {
+		if err := bench.CreateTables(d.Engine()); err != nil {
 			fmt.Fprintln(os.Stderr, "oadb:", err)
 			os.Exit(1)
 		}
-		if err := bench.Load(engine, bench.DefaultScale(), 1); err != nil {
+		if err := bench.Load(d.Engine(), bench.DefaultScale(), 1); err != nil {
 			fmt.Fprintln(os.Stderr, "oadb:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("done (%v)\n", time.Since(start).Round(time.Millisecond))
 	}
 
-	session := sql.NewSession(engine)
+	ctx := context.Background()
 	fmt.Println("oadb — operational analytics DBMS. \\quit to exit, \\tables to list tables.")
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var tx *db.Tx // open explicit transaction, if any
 	for {
-		fmt.Print("oadb> ")
+		if tx != nil {
+			fmt.Print("oadb*> ")
+		} else {
+			fmt.Print("oadb> ")
+		}
 		if !in.Scan() {
 			return
 		}
@@ -67,23 +75,83 @@ func main() {
 			continue
 		}
 		if strings.HasPrefix(line, "\\") {
-			if runMeta(engine, line) {
+			if runMeta(d, line) {
 				return
 			}
 			continue
 		}
+		// Explicit transactions are a shell concern: BEGIN opens a
+		// db.Tx and later statements run inside it.
+		switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
+		case "BEGIN":
+			if tx != nil {
+				fmt.Println("error: transaction already open")
+				continue
+			}
+			var err error
+			if tx, err = d.Begin(ctx); err != nil {
+				fmt.Println("error:", err)
+			}
+			continue
+		case "COMMIT":
+			if tx == nil {
+				fmt.Println("error: no open transaction")
+				continue
+			}
+			if err := tx.Commit(); err != nil {
+				fmt.Println("error:", err)
+			}
+			tx = nil
+			continue
+		case "ROLLBACK":
+			if tx == nil {
+				fmt.Println("error: no open transaction")
+				continue
+			}
+			if err := tx.Rollback(); err != nil {
+				fmt.Println("error:", err)
+			}
+			tx = nil
+			continue
+		}
 		start := time.Now()
-		res, err := session.Exec(line)
+		if isQuery(line) {
+			var rows *db.Rows
+			var err error
+			if tx != nil {
+				rows, err = tx.Query(ctx, line)
+			} else {
+				rows, err = d.Query(ctx, line)
+			}
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printRows(rows, time.Since(start))
+			continue
+		}
+		var res db.Result
+		var err error
+		if tx != nil {
+			res, err = tx.Exec(ctx, line)
+		} else {
+			res, err = d.Exec(ctx, line)
+		}
 		if err != nil {
 			fmt.Println("error:", err)
 			continue
 		}
-		printResult(res, time.Since(start))
+		fmt.Printf("ok (%d rows affected, %v)\n", res.RowsAffected, time.Since(start).Round(time.Microsecond))
 	}
 }
 
+func isQuery(line string) bool {
+	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(line)), "SELECT")
+}
+
 // runMeta handles \-commands; returns true to quit.
-func runMeta(engine *core.Engine, line string) bool {
+func runMeta(d *db.DB, line string) bool {
+	engine := d.Engine()
 	fields := strings.Fields(line)
 	switch fields[0] {
 	case "\\quit", "\\q":
@@ -117,37 +185,51 @@ func runMeta(engine *core.Engine, line string) bool {
 			return false
 		}
 		fmt.Printf("  merged %d rows at ts %d (waited %v)\n", res.Merged, res.MergeTS, res.Waited)
+	case "\\cache":
+		st := d.Stats()
+		fmt.Printf("  plan cache: %d hits, %d misses, %d plans compiled\n",
+			st.PlanCacheHits, st.PlanCacheMisses, st.PlansCompiled)
 	default:
-		fmt.Println("unknown meta command; available: \\tables \\stats \\merge \\quit")
+		fmt.Println("unknown meta command; available: \\tables \\stats \\merge \\cache \\quit")
 	}
 	return false
 }
 
-func printResult(res *sql.Result, elapsed time.Duration) {
-	if res.Schema == nil {
-		fmt.Printf("ok (%d rows affected, %v)\n", res.Affected, elapsed.Round(time.Microsecond))
+// printRows streams the cursor to stdout, printing at most maxPrint
+// rows but draining (and counting) the rest.
+func printRows(rows *db.Rows, bindTime time.Duration) {
+	defer rows.Close()
+	header := strings.Join(rows.Columns(), " | ")
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	const maxPrint = 50
+	n := 0
+	start := time.Now()
+	for rows.Next() {
+		if n < maxPrint {
+			row := make([]any, len(rows.Columns()))
+			dests := make([]any, len(row))
+			for i := range row {
+				dests[i] = &row[i]
+			}
+			if err := rows.Scan(dests...); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
 		return
 	}
-	var header []string
-	for _, c := range res.Schema.Cols {
-		header = append(header, c.Name)
+	if n > maxPrint {
+		fmt.Printf("... (%d more rows)\n", n-maxPrint)
 	}
-	fmt.Println(strings.Join(header, " | "))
-	fmt.Println(strings.Repeat("-", len(strings.Join(header, " | "))))
-	limit := len(res.Rows)
-	const maxPrint = 50
-	if limit > maxPrint {
-		limit = maxPrint
-	}
-	for _, row := range res.Rows[:limit] {
-		var cells []string
-		for _, v := range row {
-			cells = append(cells, v.String())
-		}
-		fmt.Println(strings.Join(cells, " | "))
-	}
-	if len(res.Rows) > maxPrint {
-		fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxPrint)
-	}
-	fmt.Printf("(%d rows, %v)\n", len(res.Rows), elapsed.Round(time.Microsecond))
+	fmt.Printf("(%d rows, %v)\n", n, (bindTime + time.Since(start)).Round(time.Microsecond))
 }

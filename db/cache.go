@@ -1,0 +1,139 @@
+package db
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/sql"
+)
+
+// maxFreeInstances bounds the compiled-plan instances retained per
+// statement text (beyond this, instances returned by finished
+// executions are dropped).
+const maxFreeInstances = 4
+
+// cachedPlan is one statement text's entry in the plan cache: the
+// parsed AST plus a pool of compiled instances. An instance (operator
+// tree + binding slots) runs one execution at a time, so concurrent
+// executions of the same text check out distinct instances; sequential
+// executions reuse one, which is what makes "executed N times, planned
+// once" hold.
+type cachedPlan struct {
+	text    string
+	ast     sql.Stmt
+	nParams int
+
+	mu   sync.Mutex
+	free []*sql.Prepared
+
+	compiles *atomic.Uint64 // shared with the cache's global counter
+}
+
+// acquire checks out an instance, compiling a fresh one when the pool
+// is empty.
+func (c *cachedPlan) acquire(e *core.Engine) (*sql.Prepared, error) {
+	c.mu.Lock()
+	if n := len(c.free); n > 0 {
+		inst := c.free[n-1]
+		c.free = c.free[:n-1]
+		c.mu.Unlock()
+		return inst, nil
+	}
+	c.mu.Unlock()
+	inst, err := sql.PrepareParsed(e, c.text, c.ast, c.nParams)
+	if err != nil {
+		return nil, err
+	}
+	if inst.IsQuery() {
+		// Only SELECTs compile an operator tree; DML instances are just
+		// a binder over the shared AST.
+		c.compiles.Add(1)
+	}
+	return inst, nil
+}
+
+// release returns an instance to the pool.
+func (c *cachedPlan) release(inst *sql.Prepared) {
+	if inst == nil {
+		return
+	}
+	inst.CloseCursor()
+	c.mu.Lock()
+	if len(c.free) < maxFreeInstances {
+		c.free = append(c.free, inst)
+	}
+	c.mu.Unlock()
+}
+
+// planCache maps statement text to cachedPlan with LRU eviction.
+type planCache struct {
+	mu    sync.Mutex
+	m     map[string]*cachedPlan
+	order []string // least recently used first
+
+	max      int
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	compiles atomic.Uint64
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{m: make(map[string]*cachedPlan), max: max}
+}
+
+// lookup returns the cached plan for text, parsing it on a miss.
+func (pc *planCache) lookup(e *core.Engine, text string) (*cachedPlan, error) {
+	if pc.max > 0 {
+		pc.mu.Lock()
+		if plan, ok := pc.m[text]; ok {
+			pc.touch(text)
+			pc.mu.Unlock()
+			pc.hits.Add(1)
+			return plan, nil
+		}
+		pc.mu.Unlock()
+	}
+	pc.misses.Add(1)
+	ast, nParams, err := sql.ParseWithParams(text)
+	if err != nil {
+		return nil, err
+	}
+	plan := &cachedPlan{text: text, ast: ast, nParams: nParams, compiles: &pc.compiles}
+	if pc.max > 0 {
+		pc.mu.Lock()
+		if winner, ok := pc.m[text]; ok {
+			// Lost a race with a concurrent parse; keep the winner.
+			plan = winner
+			pc.touch(text)
+		} else {
+			pc.m[text] = plan
+			pc.order = append(pc.order, text)
+			for len(pc.m) > pc.max {
+				evict := pc.order[0]
+				pc.order = pc.order[1:]
+				delete(pc.m, evict)
+			}
+		}
+		pc.mu.Unlock()
+	}
+	return plan, nil
+}
+
+// touch moves text to the most-recently-used end. Caller holds mu.
+func (pc *planCache) touch(text string) {
+	for i, t := range pc.order {
+		if t == text {
+			pc.order = append(append(pc.order[:i:i], pc.order[i+1:]...), text)
+			return
+		}
+	}
+}
+
+func (pc *planCache) stats() Stats {
+	return Stats{
+		PlanCacheHits:   pc.hits.Load(),
+		PlanCacheMisses: pc.misses.Load(),
+		PlansCompiled:   pc.compiles.Load(),
+	}
+}

@@ -1,0 +1,165 @@
+package db_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/db"
+)
+
+// ExampleOpen shows the end-to-end shape: open, write with
+// placeholders, stream a query, close.
+func ExampleOpen() {
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+
+	if _, err := d.Exec(ctx, `CREATE TABLE orders (id BIGINT, region VARCHAR, amount DOUBLE, PRIMARY KEY (id))`); err != nil {
+		log.Fatal(err)
+	}
+	for i, amount := range []float64{120, 80, 200} {
+		if _, err := d.Exec(ctx, `INSERT INTO orders VALUES (?, ?, ?)`, i, "EU", amount); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var n int64
+	var total float64
+	if err := d.QueryRow(ctx, `SELECT COUNT(*), SUM(amount) FROM orders`).Scan(&n, &total); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d orders, %.0f total\n", n, total)
+	// Output: 3 orders, 400 total
+}
+
+// ExampleDB_Query streams a result row-at-a-time.
+func ExampleDB_Query() {
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	d.Exec(ctx, `CREATE TABLE t (id BIGINT, name VARCHAR, PRIMARY KEY (id))`)
+	d.Exec(ctx, `INSERT INTO t VALUES (1, 'ada'), (2, 'bob')`)
+
+	rows, err := d.Query(ctx, `SELECT id, name FROM t ORDER BY id`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var id int64
+		var name string
+		if err := rows.Scan(&id, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(id, name)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 1 ada
+	// 2 bob
+}
+
+// ExampleDB_Prepare compiles a statement once and rebinds it per
+// execution.
+func ExampleDB_Prepare() {
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	d.Exec(ctx, `CREATE TABLE t (id BIGINT, grp VARCHAR, PRIMARY KEY (id))`)
+	d.Exec(ctx, `INSERT INTO t VALUES (1, 'a'), (2, 'a'), (3, 'b')`)
+
+	stmt, err := d.Prepare(ctx, `SELECT COUNT(*) FROM t WHERE grp = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, grp := range []string{"a", "b"} {
+		var n int64
+		if err := stmt.QueryRow(ctx, grp).Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d\n", grp, n)
+	}
+	fmt.Println("plans compiled:", d.Stats().PlansCompiled)
+	// Output:
+	// a: 2
+	// b: 1
+	// plans compiled: 1
+}
+
+// ExampleRows_NextBatch consumes a result vectorized,
+// batch-at-a-time — the analytic fast path.
+func ExampleRows_NextBatch() {
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	d.Exec(ctx, `CREATE TABLE m (id BIGINT, v BIGINT, PRIMARY KEY (id))`)
+	d.Exec(ctx, `INSERT INTO m VALUES (1, 10), (2, 20), (3, 30)`)
+
+	rows, err := d.Query(ctx, `SELECT v FROM m`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	var sum int64
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		col := b.Cols[0] // batch is valid until the next NextBatch call
+		for i := 0; i < b.Len(); i++ {
+			sum += col.Ints[b.RowIdx(i)]
+		}
+	}
+	fmt.Println("sum:", sum)
+	// Output: sum: 60
+}
+
+// ExampleDB_Begin shows explicit transactions: invisible until commit.
+func ExampleDB_Begin() {
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	d.Exec(ctx, `CREATE TABLE acct (id BIGINT, bal BIGINT, PRIMARY KEY (id))`)
+	d.Exec(ctx, `INSERT INTO acct VALUES (1, 100)`)
+
+	tx, err := d.Begin(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Exec(ctx, `UPDATE acct SET bal = bal - ? WHERE id = ?`, 40, 1); err != nil {
+		log.Fatal(err)
+	}
+	var outside int64
+	d.QueryRow(ctx, `SELECT bal FROM acct WHERE id = 1`).Scan(&outside)
+	fmt.Println("outside before commit:", outside)
+	if err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+	d.QueryRow(ctx, `SELECT bal FROM acct WHERE id = 1`).Scan(&outside)
+	fmt.Println("outside after commit:", outside)
+	// Output:
+	// outside before commit: 100
+	// outside after commit: 60
+}

@@ -1,0 +1,280 @@
+package db
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// Rows is a streaming cursor over a query result. It offers two
+// consumption styles:
+//
+//   - Row-at-a-time: for rows.Next() { rows.Scan(&a, &b) } — the
+//     familiar OLTP shape.
+//   - Batch-at-a-time: for { b, err := rows.NextBatch(); ... } — the
+//     vectorized shape; analytic consumers keep column batches
+//     end-to-end with no per-row materialization.
+//
+// Batches returned by NextBatch are valid only until the next
+// NextBatch/Next call (the execution pipeline reuses buffers); retain
+// with Batch.Copy. Do not interleave the two styles.
+//
+// Rows must be closed (Close is idempotent; full iteration to the end
+// followed by Close is the canonical pattern). An open Rows pins the
+// query's snapshot transaction, the scan producers, and — while a scan
+// is in flight — the table's storage read-latch, so long-idle open
+// cursors delay delta-merges.
+type Rows struct {
+	inst *sql.Prepared
+	op   exec.Operator
+	ctx  context.Context
+
+	tx         *core.Tx
+	autoCommit bool
+	onClose    func()
+
+	cur    *types.Batch
+	idx    int
+	err    error
+	closed bool
+}
+
+// newRows binds one execution of inst in tx and wraps it in a cursor.
+func newRows(ctx context.Context, inst *sql.Prepared, tx *core.Tx, autoCommit bool, args []types.Value, onClose func()) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	op, err := inst.BindQuery(ctx, tx, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{inst: inst, op: op, ctx: ctx, tx: tx, autoCommit: autoCommit, onClose: onClose}, nil
+}
+
+// Schema describes the result columns.
+func (r *Rows) Schema() *types.Schema { return r.op.Schema() }
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string {
+	s := r.op.Schema()
+	names := make([]string, len(s.Cols))
+	for i, c := range s.Cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// NextBatch returns the next vectorized batch, or nil at end of stream
+// (after which Err is nil) or on error (Err set; context cancellation
+// surfaces as ctx.Err()). The batch is valid until the next
+// NextBatch/Next call.
+func (r *Rows) NextBatch() (*types.Batch, error) {
+	if r.closed || r.err != nil {
+		return nil, r.err
+	}
+	if err := r.ctx.Err(); err != nil {
+		r.fail(err)
+		return nil, err
+	}
+	b, err := r.op.Next()
+	if err != nil {
+		r.fail(err)
+		return nil, err
+	}
+	if b == nil {
+		r.Close()
+	}
+	return b, nil
+}
+
+// Next advances the row cursor, reporting whether a row is available
+// for Scan. After Close (or an error) it always reports false.
+func (r *Rows) Next() bool {
+	if r.closed || r.err != nil {
+		return false
+	}
+	if r.cur != nil {
+		r.idx++
+	}
+	for r.cur == nil || r.idx >= r.cur.Len() {
+		if r.closed || r.err != nil {
+			return false
+		}
+		b, err := r.NextBatch()
+		if err != nil || b == nil {
+			return false
+		}
+		r.cur, r.idx = b, 0
+	}
+	return true
+}
+
+// Scan copies the current row's columns into dest, which must hold one
+// pointer per column: *int64, *int, *float64, *string, *bool,
+// *types.Value, or *any. NULLs scan as the zero value into typed
+// destinations and as a Null types.Value / nil any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.closed {
+		return fmt.Errorf("db: Scan called after Close")
+	}
+	if r.cur == nil || r.idx >= r.cur.Len() {
+		return fmt.Errorf("db: Scan called without a successful Next")
+	}
+	n := len(r.cur.Cols)
+	if len(dest) != n {
+		return fmt.Errorf("db: Scan got %d destinations for %d columns", len(dest), n)
+	}
+	ri := r.cur.RowIdx(r.idx)
+	for i := 0; i < n; i++ {
+		if err := scanValue(r.cur.Cols[i].Get(ri), dest[i]); err != nil {
+			return fmt.Errorf("db: column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any. It is nil
+// after a complete, successful iteration.
+func (r *Rows) Err() error { return r.err }
+
+// fail records err and releases resources, aborting an auto-commit
+// snapshot.
+func (r *Rows) fail(err error) {
+	r.err = err
+	r.release(false)
+}
+
+// Close terminates the query, releasing the scan producers, the plan
+// instance, and the auto-commit snapshot transaction. Closing after an
+// error keeps Err; closing mid-stream discards unread rows. Idempotent.
+func (r *Rows) Close() error {
+	r.release(r.err == nil)
+	return r.err
+}
+
+func (r *Rows) release(commit bool) {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	// Stop scan producers (and their morsel workers) before ending the
+	// snapshot they read under.
+	r.inst.CloseCursor()
+	if r.autoCommit {
+		if commit {
+			if _, err := r.tx.Commit(); err != nil && r.err == nil {
+				r.err = err
+			}
+		} else {
+			r.tx.Abort()
+		}
+	}
+	if r.onClose != nil {
+		r.onClose()
+		r.onClose = nil
+	}
+}
+
+// Row is the result of QueryRow: a query expected to return at most
+// one row, with errors deferred to Scan.
+type Row struct {
+	rows *Rows
+	err  error
+}
+
+// Scan copies the single result row into dest (see Rows.Scan), closing
+// the underlying cursor. It returns ErrNoRows if the query matched
+// nothing.
+func (row *Row) Scan(dest ...any) error {
+	if row.err != nil {
+		return row.err
+	}
+	defer row.rows.Close()
+	if !row.rows.Next() {
+		if err := row.rows.Err(); err != nil {
+			return err
+		}
+		return ErrNoRows
+	}
+	return row.rows.Scan(dest...)
+}
+
+// scanValue converts one engine value into a Go destination pointer.
+func scanValue(v types.Value, dest any) error {
+	switch d := dest.(type) {
+	case *types.Value:
+		*d = v
+	case *any:
+		if v.Null {
+			*d = nil
+			return nil
+		}
+		switch v.Typ {
+		case types.Int64:
+			*d = v.I
+		case types.Float64:
+			*d = v.F
+		case types.String:
+			*d = v.S
+		case types.Bool:
+			*d = v.I != 0
+		}
+	case *int64:
+		if v.Null {
+			*d = 0
+			return nil
+		}
+		switch v.Typ {
+		case types.Int64, types.Bool:
+			*d = v.I
+		case types.Float64:
+			*d = int64(v.F)
+		default:
+			return fmt.Errorf("cannot scan %s into *int64", v.Typ)
+		}
+	case *int:
+		var x int64
+		if err := scanValue(v, &x); err != nil {
+			return fmt.Errorf("cannot scan %s into *int", v.Typ)
+		}
+		*d = int(x)
+	case *float64:
+		if v.Null {
+			*d = 0
+			return nil
+		}
+		switch v.Typ {
+		case types.Float64:
+			*d = v.F
+		case types.Int64:
+			*d = float64(v.I)
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", v.Typ)
+		}
+	case *string:
+		if v.Null {
+			*d = ""
+			return nil
+		}
+		if v.Typ != types.String {
+			return fmt.Errorf("cannot scan %s into *string", v.Typ)
+		}
+		*d = v.S
+	case *bool:
+		if v.Null {
+			*d = false
+			return nil
+		}
+		if v.Typ != types.Bool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Typ)
+		}
+		*d = v.I != 0
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return nil
+}

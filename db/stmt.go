@@ -1,0 +1,111 @@
+package db
+
+import (
+	"context"
+)
+
+// Stmt is a prepared statement: parsed and planned once, executed many
+// times with fresh arguments. Statements are backed by the DB's plan
+// cache, so a Stmt is cheap and two Stmts for the same text share
+// compiled plans. Safe for concurrent use (concurrent executions check
+// out distinct plan instances).
+//
+// Outside a transaction each execution auto-commits; to execute inside
+// an explicit transaction use Tx.Exec / Tx.Query with the same text —
+// the plan cache makes that equally parse-free.
+type Stmt struct {
+	db   *DB
+	plan *cachedPlan
+	text string
+}
+
+// Text returns the statement text.
+func (s *Stmt) Text() string { return s.text }
+
+// NumParams returns the number of `?` placeholders.
+func (s *Stmt) NumParams() int { return s.plan.nParams }
+
+// Exec runs the statement with args in an auto-commit transaction.
+func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {
+	return s.exec(ctx, nil, args)
+}
+
+// Query runs a prepared SELECT with args, returning a streaming cursor
+// the caller must Close (or drain).
+func (s *Stmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	return s.query(ctx, nil, args)
+}
+
+// QueryRow runs a prepared SELECT expected to return at most one row.
+func (s *Stmt) QueryRow(ctx context.Context, args ...any) *Row {
+	rows, err := s.Query(ctx, args...)
+	return &Row{rows: rows, err: err}
+}
+
+// Close releases the statement handle. The compiled plan stays in the
+// DB's cache for future use.
+func (s *Stmt) Close() error { return nil }
+
+// exec runs in tx when non-nil, else auto-commits.
+func (s *Stmt) exec(ctx context.Context, tx *Tx, args []any) (Result, error) {
+	if s.db.isClosed() {
+		return Result{}, ErrClosed
+	}
+	vals, err := toValues(args)
+	if err != nil {
+		return Result{}, err
+	}
+	inst, err := s.plan.acquire(s.db.engine)
+	if err != nil {
+		return Result{}, err
+	}
+	defer s.plan.release(inst)
+	if tx != nil {
+		res, err := inst.ExecTx(ctx, tx.tx, vals)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{RowsAffected: res.Affected}, nil
+	}
+	auto := s.db.engine.Begin()
+	res, err := inst.ExecTx(ctx, auto, vals)
+	if err != nil {
+		auto.Abort()
+		return Result{}, err
+	}
+	if _, err := auto.Commit(); err != nil {
+		return Result{}, err
+	}
+	return Result{RowsAffected: res.Affected}, nil
+}
+
+// query runs in tx when non-nil, else under an auto-commit snapshot.
+func (s *Stmt) query(ctx context.Context, tx *Tx, args []any) (*Rows, error) {
+	if s.db.isClosed() {
+		return nil, ErrClosed
+	}
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := s.plan.acquire(s.db.engine)
+	if err != nil {
+		return nil, err
+	}
+	if tx != nil {
+		rows, err := newRows(ctx, inst, tx.tx, false, vals, func() { s.plan.release(inst) })
+		if err != nil {
+			s.plan.release(inst)
+			return nil, err
+		}
+		return rows, nil
+	}
+	auto := s.db.engine.Begin()
+	rows, err := newRows(ctx, inst, auto, true, vals, func() { s.plan.release(inst) })
+	if err != nil {
+		auto.Abort()
+		s.plan.release(inst)
+		return nil, err
+	}
+	return rows, nil
+}

@@ -1,0 +1,103 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrTxDone is returned by operations on a committed or rolled-back
+// transaction.
+var ErrTxDone = errors.New("db: transaction has already been committed or rolled back")
+
+// Tx is an explicit transaction. Statements executed through it see the
+// transaction's snapshot and its own uncommitted writes; nothing is
+// visible to other sessions until Commit. A Tx is not safe for
+// concurrent use.
+type Tx struct {
+	db   *DB
+	tx   *core.Tx
+	done bool
+}
+
+// Exec executes a statement inside the transaction. Statement plans
+// come from the DB's plan cache, so repeating a text (e.g. a
+// parameterized INSERT in a load loop) parses and plans once.
+func (t *Tx) Exec(ctx context.Context, query string, args ...any) (Result, error) {
+	if t.done {
+		return Result{}, ErrTxDone
+	}
+	s, err := t.db.stmtFor(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.exec(ctx, t, args)
+}
+
+// Query runs a SELECT inside the transaction, seeing its uncommitted
+// writes. The returned Rows must be closed before Commit or Rollback.
+func (t *Tx) Query(ctx context.Context, query string, args ...any) (*Rows, error) {
+	if t.done {
+		return nil, ErrTxDone
+	}
+	s, err := t.db.stmtFor(query)
+	if err != nil {
+		return nil, err
+	}
+	return s.query(ctx, t, args)
+}
+
+// QueryRow runs a SELECT expected to return at most one row.
+func (t *Tx) QueryRow(ctx context.Context, query string, args ...any) *Row {
+	rows, err := t.Query(ctx, query, args...)
+	return &Row{rows: rows, err: err}
+}
+
+// Stmt executes a DB-prepared statement inside this transaction.
+func (t *Tx) Stmt(s *Stmt) *TxStmt { return &TxStmt{tx: t, stmt: s} }
+
+// Commit publishes the transaction's writes.
+func (t *Tx) Commit() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	if _, err := t.tx.Commit(); err != nil {
+		return fmt.Errorf("db: commit: %w", err)
+	}
+	return nil
+}
+
+// Rollback discards the transaction's writes. Rolling back a finished
+// transaction returns ErrTxDone.
+func (t *Tx) Rollback() error {
+	if t.done {
+		return ErrTxDone
+	}
+	t.done = true
+	return t.tx.Abort()
+}
+
+// TxStmt is a prepared statement bound to a transaction.
+type TxStmt struct {
+	tx   *Tx
+	stmt *Stmt
+}
+
+// Exec runs the statement in the bound transaction.
+func (ts *TxStmt) Exec(ctx context.Context, args ...any) (Result, error) {
+	if ts.tx.done {
+		return Result{}, ErrTxDone
+	}
+	return ts.stmt.exec(ctx, ts.tx, args)
+}
+
+// Query runs a prepared SELECT in the bound transaction.
+func (ts *TxStmt) Query(ctx context.Context, args ...any) (*Rows, error) {
+	if ts.tx.done {
+		return nil, ErrTxDone
+	}
+	return ts.stmt.query(ctx, ts.tx, args)
+}

@@ -1,38 +1,40 @@
 // Machine-data analytics — the tutorial's first motivating workload
 // (§1): a data center streams telemetry while operators run ad-hoc
 // analytic queries over the data as it arrives. This example ingests a
-// live metric stream with concurrent writers, runs real-time queries
-// against fresh data, and shows the delta-merge keeping scans fast as
-// volume accumulates.
+// live metric stream with concurrent writers (bulk loading through the
+// engine layer), runs real-time queries through the public db API
+// against fresh data — with plan-cached prepared statements — and shows
+// the delta-merge daemon keeping scans fast as volume accumulates.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
 	"time"
 
+	"repro/db"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/sql"
 )
 
 func main() {
-	engine, err := core.NewEngine(core.Options{MergeThreshold: 20000})
+	ctx := context.Background()
+
+	// AutoMergeEvery runs the delta-merge daemon, as a production
+	// deployment would; Close stops and awaits it.
+	d, err := db.Open(db.Options{MergeThreshold: 20000, AutoMergeEvery: 100 * time.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer d.Close()
+	engine := d.Engine()
 	if _, err := engine.CreateTable("metrics", bench.MetricsSchema()); err != nil {
 		log.Fatal(err)
 	}
 
-	// Background merge daemon, as a production deployment would run.
-	stop := make(chan struct{})
-	engine.StartAutoMerge(100*time.Millisecond, stop)
-	defer close(stop)
-
-	// 4 ingest workers streaming telemetry from 200 hosts.
+	// 4 ingest workers streaming telemetry from 200 hosts through the
+	// low-level engine API (the write-optimized path).
 	const workers, perWorker = 4, 10_000
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -59,24 +61,37 @@ func main() {
 		}(w)
 	}
 
-	// Meanwhile: real-time ad-hoc queries against in-flight data.
-	session := sql.NewSession(engine)
-	queries := []string{
-		`SELECT metric, COUNT(*) AS n, AVG(value) AS avg_v, MAX(value) AS max_v
-		 FROM metrics GROUP BY metric ORDER BY metric`,
-		`SELECT host, COUNT(*) AS n FROM metrics GROUP BY host ORDER BY n DESC LIMIT 5`,
-		`SELECT COUNT(*) FROM metrics WHERE metric = 'lat_p99' AND value > 30`,
+	// Meanwhile: real-time ad-hoc queries against in-flight data,
+	// through the public API. Repeated texts hit the plan cache, and
+	// results stream through cursors.
+	type liveQuery struct {
+		sql  string
+		args []any
+	}
+	queries := []liveQuery{
+		{sql: `SELECT metric, COUNT(*) AS n, AVG(value) AS avg_v, MAX(value) AS max_v
+		       FROM metrics GROUP BY metric ORDER BY metric`},
+		{sql: `SELECT host, COUNT(*) AS n FROM metrics GROUP BY host ORDER BY n DESC LIMIT 5`},
+		{sql: `SELECT COUNT(*) FROM metrics WHERE metric = ? AND value > ?`, args: []any{"lat_p99", 30}},
 	}
 	for round := 1; round <= 3; round++ {
 		time.Sleep(150 * time.Millisecond)
 		fmt.Printf("--- live query round %d ---\n", round)
 		for _, q := range queries {
 			t0 := time.Now()
-			res, err := session.Exec(q)
+			rows, err := d.Query(ctx, q.sql, q.args...)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  %3d rows in %8v   %.60s...\n", len(res.Rows), time.Since(t0).Round(time.Microsecond), q)
+			n := 0
+			for rows.Next() {
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				log.Fatal(err)
+			}
+			rows.Close()
+			fmt.Printf("  %3d rows in %8v   %.60s...\n", n, time.Since(t0).Round(time.Microsecond), q.sql)
 		}
 	}
 	wg.Wait()
@@ -85,20 +100,32 @@ func main() {
 	fmt.Printf("\ningested ~%d readings in %v\n", workers*perWorker, time.Since(start).Round(time.Millisecond))
 	fmt.Printf("storage: %d rows in delta, %d rows in %d column segments (%d merges ran)\n",
 		tbl.DeltaRows(), tbl.ColdRows(), tbl.Cold().NumSegments(), tbl.Merges())
+	st := d.Stats()
+	fmt.Printf("plan cache: %d hits, %d misses, %d plans compiled\n",
+		st.PlanCacheHits, st.PlanCacheMisses, st.PlansCompiled)
 
 	// Final analytic pass over everything, with a hot-host drill-down.
-	res, err := session.Exec(`
+	rows, err := d.Query(ctx, `
 		SELECT host, AVG(value) AS avg_cpu
 		FROM metrics
-		WHERE metric = 'cpu'
+		WHERE metric = ?
 		GROUP BY host
 		ORDER BY avg_cpu DESC
-		LIMIT 3`)
+		LIMIT 3`, "cpu")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	fmt.Println("\nhottest hosts by average cpu:")
-	for _, row := range res.Rows {
-		fmt.Printf("  %s  %.1f%%\n", row[0], row[1].F)
+	for rows.Next() {
+		var host string
+		var avg float64
+		if err := rows.Scan(&host, &avg); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s  %.1f%%\n", host, avg)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

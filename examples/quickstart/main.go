@@ -1,31 +1,31 @@
-// Quickstart: create a dual-format table, write transactionally, query
-// it with SQL, trigger a delta-merge, and confirm queries are unchanged
-// while scans now run on compressed column segments.
+// Quickstart for the public db API: open a database, write
+// transactionally, query it with streaming and prepared statements,
+// trigger a delta-merge, and confirm queries are unchanged while scans
+// now run on compressed column segments.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/sql"
+	"repro/db"
 )
 
 func main() {
-	// 1. Start an engine (MVCC snapshot isolation by default).
-	engine, err := core.NewEngine(core.Options{})
+	ctx := context.Background()
+
+	// 1. Open a database (MVCC snapshot isolation by default).
+	d, err := db.Open(db.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
-	session := sql.NewSession(engine)
+	defer d.Close()
 
-	exec := func(q string) *sql.Result {
-		res, err := session.Exec(q)
-		if err != nil {
+	exec := func(q string, args ...any) {
+		if _, err := d.Exec(ctx, q, args...); err != nil {
 			log.Fatalf("%s: %v", q, err)
 		}
-		return res
 	}
 
 	// 2. DDL + transactional writes.
@@ -39,38 +39,77 @@ func main() {
 	      (5, 'erin',  'APAC', 95.0)`)
 
 	// Explicit transactions with rollback.
-	exec(`BEGIN`)
-	exec(`UPDATE orders SET amount = amount + 1000 WHERE region = 'EU'`)
-	exec(`ROLLBACK`)
-
-	// 3. Analytics over the freshly written data — no ETL, no lag.
-	res := exec(`SELECT region, COUNT(*) AS n, SUM(amount) AS revenue
-	             FROM orders GROUP BY region ORDER BY revenue DESC`)
-	fmt.Println("revenue by region (delta/row store):")
-	for _, row := range res.Rows {
-		fmt.Printf("  %-5s n=%s revenue=%s\n", row[0], row[1], row[2])
-	}
-
-	// 4. Delta-merge: move rows into compressed column segments.
-	mergeRes, err := engine.Merge("orders")
+	tx, err := d.Begin(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tbl, _ := engine.Table("orders")
+	if _, err := tx.Exec(ctx, `UPDATE orders SET amount = amount + 1000 WHERE region = ?`, "EU"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Analytics over the freshly written data — no ETL, no lag. The
+	// cursor streams; Scan gives row-at-a-time access.
+	report := func(header string) {
+		rows, err := d.Query(ctx, `SELECT region, COUNT(*) AS n, SUM(amount) AS revenue
+		                           FROM orders GROUP BY region ORDER BY revenue DESC`)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rows.Close()
+		fmt.Println(header)
+		for rows.Next() {
+			var region string
+			var n int64
+			var revenue float64
+			if err := rows.Scan(&region, &n, &revenue); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-5s n=%d revenue=%.1f\n", region, n, revenue)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report("revenue by region (delta/row store):")
+
+	// 4. Delta-merge: move rows into compressed column segments.
+	mergeRes, err := d.Engine().Merge("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl, _ := d.Engine().Table("orders")
 	fmt.Printf("\nmerged %d rows; column store now holds %d rows in %d segment(s), %d bytes encoded\n",
 		mergeRes.Merged, tbl.ColdRows(), tbl.Cold().NumSegments(), tbl.Cold().SizeBytes())
 
 	// 5. Same query, same answer — now served by the column store.
-	res2 := exec(`SELECT region, COUNT(*) AS n, SUM(amount) AS revenue
-	              FROM orders GROUP BY region ORDER BY revenue DESC`)
-	fmt.Println("revenue by region (column store):")
-	for _, row := range res2.Rows {
-		fmt.Printf("  %-5s n=%s revenue=%s\n", row[0], row[1], row[2])
-	}
+	report("revenue by region (column store):")
 
-	// 6. Writes keep flowing after the merge (dual format stays live).
-	exec(`INSERT INTO orders VALUES (6, 'fred', 'EU', 70.0)`)
-	exec(`DELETE FROM orders WHERE id = 4`)
-	res3 := exec(`SELECT COUNT(*) FROM orders`)
-	fmt.Printf("\nrows after post-merge writes: %s (expected 5)\n", res3.Rows[0][0])
+	// 6. Prepared statements: parsed and planned once, rebound per
+	// execution with `?` arguments.
+	byRegion, err := d.Prepare(ctx, `SELECT COUNT(*) FROM orders WHERE region = ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\norder counts via one prepared plan:")
+	for _, region := range []string{"EU", "US", "APAC"} {
+		var n int64
+		if err := byRegion.QueryRow(ctx, region).Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s %d\n", region, n)
+	}
+	st := d.Stats()
+	fmt.Printf("plan cache: %d hits, %d plans compiled\n", st.PlanCacheHits, st.PlansCompiled)
+
+	// 7. Writes keep flowing after the merge (dual format stays live).
+	exec(`INSERT INTO orders VALUES (?, ?, ?, ?)`, 6, "fred", "EU", 70.0)
+	exec(`DELETE FROM orders WHERE id = ?`, 4)
+	var n int64
+	if err := d.QueryRow(ctx, `SELECT COUNT(*) FROM orders`).Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrows after post-merge writes: %d (expected 5)\n", n)
 }

@@ -2,29 +2,31 @@
 // (§1): retail event streams with social-media-driven interest surges,
 // where the business value is detecting the surge *while it happens*.
 // This example ingests a normal traffic phase, then a surge phase, and
-// shows a trend query catching the surging product from live data.
+// shows a trend query catching the surging product from live data. All
+// SQL goes through the public db API: the trend query is a prepared
+// statement rebound per window, and results stream through cursors.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"repro/db"
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/sql"
-	"repro/internal/types"
 )
 
 func main() {
-	engine, err := core.NewEngine(core.Options{})
+	ctx := context.Background()
+	d, err := db.Open(db.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer engine.Close()
+	defer d.Close()
+	engine := d.Engine()
 	if _, err := engine.CreateTable("events", bench.RetailSchema()); err != nil {
 		log.Fatal(err)
 	}
-	session := sql.NewSession(engine)
 	gen := bench.NewRetailGen(500, 7)
 
 	ingest := func(n int, surging bool) {
@@ -43,25 +45,48 @@ func main() {
 		}
 	}
 
-	trending := func(sinceID int64) []types.Row {
-		res, err := session.Exec(fmt.Sprintf(`
-			SELECT product, COUNT(*) AS hits, SUM(amount) AS revenue
-			FROM events
-			WHERE event_id > %d
-			GROUP BY product
-			ORDER BY hits DESC
-			LIMIT 5`, sinceID))
+	// The trend query is prepared once; each window rebinds the event-id
+	// cutoff (no re-parse, no re-plan).
+	type trendRow struct {
+		product string
+		hits    int64
+		revenue float64
+	}
+	trendStmt, err := d.Prepare(ctx, `
+		SELECT product, COUNT(*) AS hits, SUM(amount) AS revenue
+		FROM events
+		WHERE event_id > ?
+		GROUP BY product
+		ORDER BY hits DESC
+		LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trending := func(sinceID int64) []trendRow {
+		rows, err := trendStmt.Query(ctx, sinceID)
 		if err != nil {
 			log.Fatal(err)
 		}
-		return res.Rows
+		defer rows.Close()
+		var out []trendRow
+		for rows.Next() {
+			var tr trendRow
+			if err := rows.Scan(&tr.product, &tr.hits, &tr.revenue); err != nil {
+				log.Fatal(err)
+			}
+			out = append(out, tr)
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		return out
 	}
 
 	// Phase 1: baseline traffic.
 	ingest(20_000, false)
 	fmt.Println("top products during baseline traffic:")
-	for _, row := range trending(0) {
-		fmt.Printf("  %-14s hits=%-5s revenue=%.2f\n", row[0], row[1], row[2].F)
+	for _, tr := range trending(0) {
+		fmt.Printf("  %-14s hits=%-5d revenue=%.2f\n", tr.product, tr.hits, tr.revenue)
 	}
 
 	// Merge the baseline into the column store (historical data at
@@ -74,12 +99,12 @@ func main() {
 	// Phase 2: a social surge hits one product.
 	ingest(20_000, true)
 	fmt.Printf("\ntop products during the surge window (events > %d):\n", cutoff)
-	rows := trending(cutoff)
-	for _, row := range rows {
-		fmt.Printf("  %-14s hits=%-5s revenue=%.2f\n", row[0], row[1], row[2].F)
+	surge := trending(cutoff)
+	for _, tr := range surge {
+		fmt.Printf("  %-14s hits=%-5d revenue=%.2f\n", tr.product, tr.hits, tr.revenue)
 	}
 	fmt.Printf("\nground truth surging product: %s\n", gen.SurgeProduct)
-	if len(rows) > 0 && rows[0][0].S == gen.SurgeProduct {
+	if len(surge) > 0 && surge[0].product == gen.SurgeProduct {
 		fmt.Println("=> trend query detected the surge from live operational data")
 	} else {
 		fmt.Println("=> WARNING: surge not at rank 1 (try more events)")
@@ -87,17 +112,26 @@ func main() {
 
 	// Conversion funnel on the surging product, spanning merged
 	// (baseline) and hot (surge) data in one consistent snapshot.
-	res, err := session.Exec(fmt.Sprintf(`
+	rows, err := d.Query(ctx, `
 		SELECT action, COUNT(*) AS n
 		FROM events
-		WHERE product = '%s'
+		WHERE product = ?
 		GROUP BY action
-		ORDER BY n DESC`, gen.SurgeProduct))
+		ORDER BY n DESC`, gen.SurgeProduct)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer rows.Close()
 	fmt.Println("\nconversion funnel for the surging product (all time):")
-	for _, row := range res.Rows {
-		fmt.Printf("  %-5s %s\n", row[0], row[1])
+	for rows.Next() {
+		var action string
+		var n int64
+		if err := rows.Scan(&action, &n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-5s %d\n", action, n)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -75,6 +76,14 @@ type Engine struct {
 	// mergeMu serializes merges across tables (prevents cross-table
 	// writer/merge cycles).
 	mergeMu sync.Mutex
+
+	// closeOnce makes Close idempotent; daemons tracks background
+	// goroutines (auto-merge) that Close stops and awaits.
+	closeOnce  sync.Once
+	closeErr   error
+	daemonMu   sync.Mutex
+	daemonStop []chan struct{}
+	daemonWG   sync.WaitGroup
 }
 
 // NewEngine creates an engine.
@@ -101,12 +110,24 @@ func NewEngine(opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases engine resources.
+// Close releases engine resources: it stops and awaits any background
+// auto-merge daemon, then closes the WAL. Close is idempotent — second
+// and later calls return the first call's error without re-closing
+// anything.
 func (e *Engine) Close() error {
-	if e.wal != nil {
-		return e.wal.Close()
-	}
-	return nil
+	e.closeOnce.Do(func() {
+		e.daemonMu.Lock()
+		for _, stop := range e.daemonStop {
+			close(stop)
+		}
+		e.daemonStop = nil
+		e.daemonMu.Unlock()
+		e.daemonWG.Wait()
+		if e.wal != nil {
+			e.closeErr = e.wal.Close()
+		}
+	})
+	return e.closeErr
 }
 
 // Oracle exposes the timestamp oracle.
@@ -402,16 +423,42 @@ func (t *Tx) Get(table string, key types.Row) (types.Row, bool, error) {
 // multiversioned systems eliminate): analytic readers block behind
 // writers and vice versa, which is exactly what E4/E5 measure.
 func (t *Tx) Scan(table string, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) (colstore.ScanStats, error) {
+	return t.ScanCtx(context.Background(), table, proj, preds, fn)
+}
+
+// ScanCtx is Scan with cancellation: when ctx is cancelled the scan
+// stops within one batch/zone boundary — morsel workers observe
+// ctx.Done() between zones and exit before ScanCtx returns — and the
+// error is ctx.Err(). Locks held by the transaction (2PL mode) are NOT
+// released here; abort or commit the transaction to release them.
+func (t *Tx) ScanCtx(ctx context.Context, table string, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) (colstore.ScanStats, error) {
 	tbl, err := t.engine.Table(table)
 	if err != nil {
 		return colstore.ScanStats{}, err
 	}
-	if t.engine.opts.Mode == Mode2PL {
-		if err := t.engine.locks.LockShared(t.inner, tbl.name, tableLockKey); err != nil {
-			return colstore.ScanStats{}, err
-		}
+	if err := t.lockTableShared(tbl); err != nil {
+		return colstore.ScanStats{}, err
 	}
-	return scanTableN(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, t.engine.opts.Parallelism, fn), nil
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	stats := scanTableFn(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, t.engine.opts.Parallelism, done, func(b *types.Batch, pooled bool) bool {
+		return fn(b)
+	})
+	if ctx != nil && ctx.Err() != nil {
+		return stats, ctx.Err()
+	}
+	return stats, nil
+}
+
+// lockTableShared takes the 2PL table-granularity shared lock (no-op in
+// MVCC mode).
+func (t *Tx) lockTableShared(tbl *Table) error {
+	if t.engine.opts.Mode != Mode2PL {
+		return nil
+	}
+	return t.engine.locks.LockShared(t.inner, tbl.name, tableLockKey)
 }
 
 // tableLockKey is the pseudo-key used for table-granularity locks in
@@ -420,14 +467,7 @@ var tableLockKey = types.Row{types.NewString("\x00table")}
 
 // scanTable unions the column store and the delta at one snapshot.
 func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) colstore.ScanStats {
-	return scanTableN(tbl, readTS, self, proj, preds, 1, fn)
-}
-
-// scanTableN is scanTable with an explicit worker count for the
-// column-store half; parallelism > 1 delivers pooled (transient)
-// batches to fn, serialized by the scan.
-func scanTableN(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, parallelism int, fn func(b *types.Batch) bool) colstore.ScanStats {
-	return scanTableFn(tbl, readTS, self, proj, preds, parallelism, func(b *types.Batch, pooled bool) bool {
+	return scanTableFn(tbl, readTS, self, proj, preds, 1, nil, func(b *types.Batch, pooled bool) bool {
 		return fn(b)
 	})
 }
@@ -436,7 +476,11 @@ func scanTableN(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Pr
 // the delivered batch is transient (owned by a parallel-scan pool and
 // valid only during the callback). Delta batches and serial cold
 // batches are freshly allocated and may be retained.
-func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, parallelism int, fn func(b *types.Batch, pooled bool) bool) colstore.ScanStats {
+//
+// done, when non-nil, cancels the scan: the column-store half checks it
+// between zones (morsel workers exit before their segment scan returns)
+// and the delta half checks it between batches.
+func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, parallelism int, done <-chan struct{}, fn func(b *types.Batch, pooled bool) bool) colstore.ScanStats {
 	tbl.storageMu.RLock()
 	defer tbl.storageMu.RUnlock()
 	if proj == nil {
@@ -445,10 +489,11 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 			proj[i] = i
 		}
 	}
+	cancelled := func() bool { return colstore.IsDone(done) }
 	stop := false
 	parallel := parallelism > 1
 	coldFn := func(b *types.Batch) bool {
-		if !fn(b, parallel) {
+		if cancelled() || !fn(b, parallel) {
 			stop = true
 			return false
 		}
@@ -456,11 +501,11 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 	}
 	var stats colstore.ScanStats
 	if parallel {
-		stats = tbl.cold.ScanParallel(readTS, self, proj, preds, parallelism, coldFn)
+		stats = tbl.cold.ScanParallel(readTS, self, proj, preds, parallelism, done, coldFn)
 	} else {
 		stats = tbl.cold.Scan(readTS, self, proj, preds, coldFn)
 	}
-	if stop {
+	if stop || cancelled() {
 		return stats
 	}
 	// Delta rows stream in primary-key order, batched.
@@ -470,6 +515,9 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 	flush := func() bool {
 		if batch.Len() == 0 {
 			return true
+		}
+		if cancelled() {
+			return false
 		}
 		ok := fn(batch, false)
 		batch = types.NewBatch(projSchema, deltaBatch)

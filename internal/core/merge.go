@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/storage/colstore"
@@ -107,18 +108,42 @@ func (e *Engine) AutoMergeAll() int {
 	return merged
 }
 
-// StartAutoMerge runs AutoMergeAll on an interval until stop is closed.
-func (e *Engine) StartAutoMerge(interval time.Duration, stop <-chan struct{}) {
+// StartAutoMerge runs AutoMergeAll on an interval in a background
+// daemon. The returned stop function halts the daemon and waits for an
+// in-flight merge pass to finish; it is idempotent. Engine.Close also
+// stops and awaits every auto-merge daemon, so callers that close the
+// engine need not call stop themselves.
+func (e *Engine) StartAutoMerge(interval time.Duration) (stop func()) {
+	ch := make(chan struct{})
+	e.daemonMu.Lock()
+	e.daemonStop = append(e.daemonStop, ch)
+	e.daemonMu.Unlock()
+	e.daemonWG.Add(1)
 	go func() {
+		defer e.daemonWG.Done()
 		ticker := time.NewTicker(interval)
 		defer ticker.Stop()
 		for {
 			select {
-			case <-stop:
+			case <-ch:
 				return
 			case <-ticker.C:
 				e.AutoMergeAll()
 			}
 		}
 	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			e.daemonMu.Lock()
+			for i, s := range e.daemonStop {
+				if s == ch {
+					e.daemonStop = append(e.daemonStop[:i], e.daemonStop[i+1:]...)
+					close(ch)
+					break
+				}
+			}
+			e.daemonMu.Unlock()
+		})
+	}
 }

@@ -1,17 +1,65 @@
 package core
 
 import (
-	"repro/internal/exec"
+	"context"
+	"fmt"
+	"sync"
+
 	"repro/internal/storage/colstore"
 	"repro/internal/types"
 )
 
-// ScanOperator returns an exec.Operator streaming the visible rows of a
-// table at this transaction's snapshot, with optional projection and
-// pushed-down predicates. It bridges storage into the vectorized
-// pipeline (and, through it, into the SQL layer).
-func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) (exec.Operator, error) {
-	tbl, err := t.engine.Table(table)
+// TableScan is the streaming bridge from storage into the vectorized
+// pipeline: an exec.Operator that delivers the visible rows of one
+// table batch-at-a-time from a producer goroutine, instead of
+// materializing the whole scan up front.
+//
+// A TableScan is compiled once (table, projection, predicate shape) and
+// rebound per execution: Bind attaches the transaction snapshot and a
+// context, SetPred fills parameter-valued predicates. This is what lets
+// a prepared statement reuse one operator tree across executions.
+//
+// Lifecycle: Next starts the producer lazily on first call. The
+// producer holds the table's storage read-latch for the duration of the
+// scan, so consumers that stop early (LIMIT, cancelled context,
+// abandoned cursor) MUST call Close (or Reset) to release it; draining
+// to end-of-stream also releases it. Close is idempotent and waits for
+// the producer — and any morsel workers under it — to exit.
+//
+// Cancellation: when the bound context is cancelled, Next returns
+// ctx.Err() within one batch boundary and the producer unwinds (morsel
+// workers observe the same signal between zones).
+type TableScan struct {
+	engine *Engine
+	tbl    *Table
+	proj   []int
+	schema *types.Schema
+	preds  []colstore.Predicate
+
+	tx  *Tx
+	ctx context.Context
+
+	run *scanRun
+	err error
+	// Stats holds the pruning statistics of the last completed scan.
+	Stats colstore.ScanStats
+}
+
+// scanRun is the per-execution state of one producer goroutine.
+type scanRun struct {
+	ch       chan *types.Batch
+	errc     chan error
+	done     chan struct{} // closed to cancel the producer
+	finished chan struct{} // closed when the producer has exited
+	once     sync.Once
+}
+
+func (r *scanRun) cancel() { r.once.Do(func() { close(r.done) }) }
+
+// NewTableScan compiles a scan leaf for the named table. The returned
+// operator is unbound: call Bind before Next.
+func NewTableScan(e *Engine, table string, proj []int, preds []colstore.Predicate) (*TableScan, error) {
+	tbl, err := e.Table(table)
 	if err != nil {
 		return nil, err
 	}
@@ -21,37 +69,165 @@ func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) 
 			proj[i] = i
 		}
 	}
-	schema := projectSchema(tbl.schema, proj)
-	readTS, self := t.inner.ReadTS, t.inner.ID
-	parallelism := t.engine.opts.Parallelism
-	var batches []*types.Batch
-	loaded := false
-	gen := func(reset bool) (*types.Batch, error) {
-		if reset {
-			batches = nil
-			loaded = false
-			return nil, nil
+	return &TableScan{
+		engine: e,
+		tbl:    tbl,
+		proj:   proj,
+		schema: projectSchema(tbl.schema, proj),
+		preds:  preds,
+	}, nil
+}
+
+// Bind attaches the transaction whose snapshot the scan reads and the
+// context that cancels it. It resets any previous execution.
+func (t *TableScan) Bind(tx *Tx, ctx context.Context) {
+	t.Reset()
+	t.tx = tx
+	t.ctx = ctx
+}
+
+// SetPred overwrites the value of pushed-down predicate i (parameter
+// rebinding for prepared statements).
+func (t *TableScan) SetPred(i int, v types.Value) { t.preds[i].Val = v }
+
+// NumPreds returns the number of pushed-down predicates.
+func (t *TableScan) NumPreds() int { return len(t.preds) }
+
+// Schema implements exec.Operator.
+func (t *TableScan) Schema() *types.Schema { return t.schema }
+
+// Next implements exec.Operator: it returns the next batch of visible
+// rows, nil at end of stream, or the context's error after
+// cancellation. The returned batch is owned by the caller until the
+// next call to Next.
+func (t *TableScan) Next() (*types.Batch, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if t.run == nil {
+		if t.tx == nil {
+			t.err = fmt.Errorf("core: TableScan on %q is not bound to a transaction", t.tbl.name)
+			return nil, t.err
 		}
-		if !loaded {
-			scanTableFn(tbl, readTS, self, proj, preds, parallelism, func(b *types.Batch, pooled bool) bool {
+		t.start()
+	}
+	var ctxDone <-chan struct{}
+	if t.ctx != nil {
+		ctxDone = t.ctx.Done()
+	}
+	select {
+	case b, ok := <-t.run.ch:
+		if ok {
+			return b, nil
+		}
+		// Producer finished: surface a scan error (2PL lock timeout) or
+		// the cancellation that stopped it.
+		select {
+		case err := <-t.run.errc:
+			t.err = err
+			return nil, err
+		default:
+		}
+		if t.ctx != nil && t.ctx.Err() != nil {
+			t.err = t.ctx.Err()
+			return nil, t.err
+		}
+		return nil, nil
+	case <-ctxDone:
+		t.stopRun()
+		t.err = t.ctx.Err()
+		return nil, t.err
+	}
+}
+
+// start launches the producer goroutine for one execution.
+func (t *TableScan) start() {
+	run := &scanRun{
+		ch:       make(chan *types.Batch, 1),
+		errc:     make(chan error, 1),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	t.run = run
+	tx, ctx := t.tx, t.ctx
+	var ctxDone <-chan struct{}
+	if ctx != nil {
+		ctxDone = ctx.Done()
+	}
+	// Funnel context cancellation into the run's done channel so the
+	// storage layer watches a single signal.
+	if ctxDone != nil {
+		go func() {
+			select {
+			case <-ctxDone:
+				run.cancel()
+			case <-run.finished:
+			}
+		}()
+	}
+	go func() {
+		defer close(run.ch)
+		defer close(run.finished)
+		if err := tx.lockTableShared(t.tbl); err != nil {
+			run.errc <- err
+			return
+		}
+		stats := scanTableFn(t.tbl, tx.inner.ReadTS, tx.inner.ID, t.proj, t.preds,
+			t.engine.opts.Parallelism, run.done,
+			func(b *types.Batch, pooled bool) bool {
 				if pooled {
-					// Parallel cold scans deliver pooled batches that
-					// are only valid during the callback; detach.
-					// Delta and serial batches are fresh and safe to
-					// retain as-is.
+					// Pooled parallel-scan batches are only valid during
+					// the callback; detach before crossing the channel.
 					b = b.Copy()
 				}
-				batches = append(batches, b)
-				return true
+				select {
+				case run.ch <- b:
+					return true
+				case <-run.done:
+					return false
+				}
 			})
-			loaded = true
-		}
-		if len(batches) == 0 {
-			return nil, nil
-		}
-		b := batches[0]
-		batches = batches[1:]
-		return b, nil
+		t.Stats = stats
+	}()
+}
+
+// stopRun cancels the in-flight producer (if any) and waits for it and
+// its morsel workers to exit, draining undelivered batches.
+func (t *TableScan) stopRun() {
+	if t.run == nil {
+		return
 	}
-	return exec.NewCallbackSource(schema, gen), nil
+	t.run.cancel()
+	for range t.run.ch {
+	}
+	<-t.run.finished
+	t.run = nil
+}
+
+// Close releases the scan's resources: it cancels the producer, waits
+// for its workers to exit, and drops the execution state. Idempotent.
+// It implements the optional closer interface the cursor layer uses.
+func (t *TableScan) Close() error {
+	t.stopRun()
+	return nil
+}
+
+// Reset implements exec.Operator: it terminates any in-flight execution
+// so the scan can run again against its bound transaction.
+func (t *TableScan) Reset() {
+	t.stopRun()
+	t.err = nil
+}
+
+// ScanOperator returns an exec.Operator streaming the visible rows of a
+// table at this transaction's snapshot, with optional projection and
+// pushed-down predicates — a TableScan pre-bound to t with a background
+// context. Callers that do not drain it to end-of-stream must Close it.
+func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) (*TableScan, error) {
+	ts, err := NewTableScan(t.engine, table, proj, preds)
+	if err != nil {
+		return nil, err
+	}
+	ts.Bind(t, context.Background())
+	return ts, nil
 }

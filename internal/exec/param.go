@@ -1,0 +1,31 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Param is a statement placeholder (`?`): a scalar expression whose
+// value lives in a binding slot shared with the prepared plan. The
+// planner allocates one slot per placeholder; rebinding a prepared
+// statement writes new argument values into the slots, so the compiled
+// operator tree is reused as-is across executions.
+type Param struct {
+	// Idx is the 0-based placeholder position in the statement.
+	Idx int
+	// Val points at the plan's binding slot for this placeholder.
+	Val *types.Value
+}
+
+// Eval returns the currently bound argument.
+func (p *Param) Eval(b *types.Batch, i int) types.Value { return *p.Val }
+
+// Type reports the type of the currently bound argument. Placeholders
+// are only legal where the result type is not needed at plan time
+// (comparisons, INSERT values) — the planner enforces that — so the
+// pre-bind zero value here is harmless.
+func (p *Param) Type(s *types.Schema) types.Type { return p.Val.Typ }
+
+// String renders the placeholder 1-based, the way users count them.
+func (p *Param) String() string { return fmt.Sprintf("?%d", p.Idx+1) }

@@ -111,6 +111,10 @@ type ColExpr struct {
 // LitExpr is a literal.
 type LitExpr struct{ Val types.Value }
 
+// ParamExpr is a `?` placeholder; Idx is its 0-based position in the
+// statement (placeholders are purely positional).
+type ParamExpr struct{ Idx int }
+
 // BinExpr is a binary operation (arith, comparison, AND/OR).
 type BinExpr struct {
 	Op   string // "+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "AND", "OR"
@@ -147,6 +151,7 @@ type AggExpr struct {
 
 func (*ColExpr) expr()    {}
 func (*LitExpr) expr()    {}
+func (*ParamExpr) expr()  {}
 func (*BinExpr) expr()    {}
 func (*NotExpr) expr()    {}
 func (*IsNullExpr) expr() {}

@@ -103,7 +103,7 @@ func Lex(input string) ([]Token, error) {
 				return nil, fmt.Errorf("sql: unterminated string at %d", i)
 			}
 			toks = append(toks, Token{Kind: TokString, Text: sb.String(), Pos: i})
-		case strings.ContainsRune("(),*=+-/%.;", rune(c)):
+		case strings.ContainsRune("(),*=+-/%.;?", rune(c)):
 			toks = append(toks, Token{Kind: TokSymbol, Text: string(c), Pos: i})
 			i++
 		case c == '<':

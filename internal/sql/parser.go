@@ -10,26 +10,35 @@ import (
 
 // Parser is a recursive-descent parser over a token stream.
 type Parser struct {
-	toks []Token
-	pos  int
+	toks    []Token
+	pos     int
+	nParams int
 }
 
 // Parse parses one statement (a trailing semicolon is allowed).
 func Parse(input string) (Stmt, error) {
+	st, _, err := ParseWithParams(input)
+	return st, err
+}
+
+// ParseWithParams parses one statement and additionally reports how
+// many `?` placeholders it contains (placeholders are positional:
+// the i-th `?` is parameter i).
+func ParseWithParams(input string) (Stmt, int, error) {
 	toks, err := Lex(input)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p := &Parser{toks: toks}
 	st, err := p.parseStmt()
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.accept(TokSymbol, ";")
 	if !p.at(TokEOF, "") {
-		return nil, fmt.Errorf("sql: trailing input at %q", p.cur().Text)
+		return nil, 0, fmt.Errorf("sql: trailing input at %q", p.cur().Text)
 	}
-	return st, nil
+	return st, p.nParams, nil
 }
 
 func (p *Parser) cur() Token { return p.toks[p.pos] }
@@ -725,6 +734,11 @@ func (p *Parser) parsePrimary() (AstExpr, error) {
 			return nil, err
 		}
 		return &LitExpr{Val: v}, nil
+	}
+	if p.accept(TokSymbol, "?") {
+		e := &ParamExpr{Idx: p.nParams}
+		p.nParams++
+		return e, nil
 	}
 	if p.accept(TokSymbol, "(") {
 		e, err := p.parseExpr()

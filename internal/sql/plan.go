@@ -17,9 +17,57 @@ type scopeCol struct {
 	typ  types.Type
 }
 
-// scope resolves column references to operator output positions.
+// scope resolves column references to operator output positions. pc,
+// when non-nil, supplies the plan context `?` placeholders bind
+// through; a nil pc rejects placeholders.
 type scope struct {
 	cols []scopeCol
+	pc   *planCtx
+}
+
+// planCtx carries the state one statement compilation accumulates: the
+// parameter binder placeholders point into and the scan leaves later
+// executions rebind (transaction snapshot, context, parameter-valued
+// predicates).
+type planCtx struct {
+	engine *core.Engine
+	binder *paramBinder
+	scans  []*scanBinding
+}
+
+// paramBinder owns the binding slots for a statement's placeholders.
+// exec.Param expressions hold pointers into slots, so the backing array
+// must never be reallocated after compilation.
+type paramBinder struct {
+	slots []types.Value
+}
+
+func newParamBinder(n int) *paramBinder {
+	return &paramBinder{slots: make([]types.Value, n)}
+}
+
+// bindArgs installs one execution's arguments.
+func (pb *paramBinder) bindArgs(args []types.Value) error {
+	if len(args) != len(pb.slots) {
+		return fmt.Errorf("sql: statement has %d parameters, got %d arguments", len(pb.slots), len(args))
+	}
+	copy(pb.slots, args)
+	return nil
+}
+
+// scanBinding pairs a scan leaf with the parameter-valued predicates
+// that must be re-coerced into it on every bind.
+type scanBinding struct {
+	scan       *core.TableScan
+	predParams []predParamSlot
+}
+
+// predParamSlot says: predicate predIdx of the scan takes parameter
+// paramIdx, coerced to colType.
+type predParamSlot struct {
+	predIdx  int
+	paramIdx int
+	colType  types.Type
 }
 
 func (sc *scope) resolve(q, name string) (int, types.Type, error) {
@@ -99,6 +147,8 @@ func renderAst(e AstExpr) string {
 		return strings.ToLower(v.Table) + "." + strings.ToLower(v.Name)
 	case *LitExpr:
 		return "lit:" + v.Val.String()
+	case *ParamExpr:
+		return fmt.Sprintf("param:%d", v.Idx)
 	case *BinExpr:
 		return "(" + renderAst(v.L) + v.Op + renderAst(v.R) + ")"
 	case *NotExpr:
@@ -135,6 +185,11 @@ func compileExpr(e AstExpr, sc *scope) (exec.Expr, error) {
 		return &exec.ColRef{Idx: idx, Name: strings.ToLower(v.Name)}, nil
 	case *LitExpr:
 		return &exec.Const{Val: v.Val}, nil
+	case *ParamExpr:
+		if sc.pc == nil || sc.pc.binder == nil {
+			return nil, fmt.Errorf("sql: `?` placeholder is not allowed here")
+		}
+		return &exec.Param{Idx: v.Idx, Val: &sc.pc.binder.slots[v.Idx]}, nil
 	case *BinExpr:
 		l, err := compileExpr(v.L, sc)
 		if err != nil {
@@ -206,10 +261,13 @@ type tableMeta struct {
 	schema *types.Schema
 }
 
-// pushdown extracts `col op literal` conjuncts for a specific table.
-// Returns the storage predicates and the remaining conjuncts.
-func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.Predicate, []AstExpr) {
+// pushdown extracts `col op literal` and `col op ?` conjuncts for a
+// specific table. Returns the storage predicates (parameter-valued ones
+// carry an empty Value filled at bind time), the predicate/parameter
+// slots, and the remaining conjuncts.
+func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.Predicate, []predParamSlot, []AstExpr) {
 	var preds []colstore.Predicate
+	var pps []predParamSlot
 	var rest []AstExpr
 	alias := strings.ToLower(tm.ref.Alias)
 	for _, c := range conjuncts {
@@ -223,7 +281,7 @@ func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.P
 			rest = append(rest, c)
 			continue
 		}
-		colE, lit, flipped := extractColLit(b)
+		colE, lit, param, flipped := extractColLit(b)
 		if colE == nil {
 			rest = append(rest, c)
 			continue
@@ -244,9 +302,16 @@ func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.P
 		if flipped {
 			op = flipOp(op)
 		}
+		colT := tm.schema.Cols[ci].Type
+		if param != nil {
+			// Parameter-valued predicate: the value is installed (and
+			// type-checked against colT) on every bind.
+			preds = append(preds, colstore.Predicate{Col: ci, Op: op})
+			pps = append(pps, predParamSlot{predIdx: len(preds) - 1, paramIdx: param.Idx, colType: colT})
+			continue
+		}
 		// Coerce int literals for float columns and vice versa where safe.
 		val := lit
-		colT := tm.schema.Cols[ci].Type
 		if colT == types.Float64 && val.Typ == types.Int64 {
 			val = types.NewFloat(float64(val.I))
 		}
@@ -258,22 +323,29 @@ func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.P
 		}
 		preds = append(preds, colstore.Predicate{Col: ci, Op: op, Val: val})
 	}
-	return preds, rest
+	return preds, pps, rest
 }
 
-// extractColLit matches col-op-lit or lit-op-col.
-func extractColLit(b *BinExpr) (*ColExpr, types.Value, bool) {
+// extractColLit matches col-op-lit, lit-op-col, col-op-?, or ?-op-col.
+// Exactly one of the value return and the param return is set.
+func extractColLit(b *BinExpr) (*ColExpr, types.Value, *ParamExpr, bool) {
 	if c, ok := b.L.(*ColExpr); ok {
 		if l, ok := b.R.(*LitExpr); ok && !l.Val.Null {
-			return c, l.Val, false
+			return c, l.Val, nil, false
+		}
+		if p, ok := b.R.(*ParamExpr); ok {
+			return c, types.Value{}, p, false
 		}
 	}
 	if c, ok := b.R.(*ColExpr); ok {
 		if l, ok := b.L.(*LitExpr); ok && !l.Val.Null {
-			return c, l.Val, true
+			return c, l.Val, nil, true
+		}
+		if p, ok := b.L.(*ParamExpr); ok {
+			return c, types.Value{}, p, true
 		}
 	}
-	return nil, types.Value{}, false
+	return nil, types.Value{}, nil, false
 }
 
 func flipOp(op colstore.Op) colstore.Op {
@@ -291,12 +363,15 @@ func flipOp(op colstore.Op) colstore.Op {
 	}
 }
 
-// planSelect compiles a SELECT into an operator tree.
-func planSelect(tx *core.Tx, e *core.Engine, st *SelectStmt) (exec.Operator, error) {
+// planSelect compiles a SELECT into an operator tree with unbound
+// TableScan leaves registered in pc (the caller binds them to a
+// transaction before execution).
+func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 	if st.From == nil {
-		return planSelectNoFrom(st)
+		return planSelectNoFrom(pc, st)
 	}
 	// Resolve base table and joins.
+	e := pc.engine
 	metas := make([]tableMeta, 0, 1+len(st.Joins))
 	base, err := e.Table(st.From.Table)
 	if err != nil {
@@ -322,14 +397,15 @@ func planSelect(tx *core.Tx, e *core.Engine, st *SelectStmt) (exec.Operator, err
 	// applied only for single-table scans to keep join resolution
 	// simple).
 	var op exec.Operator
-	var sc scope
+	sc := scope{pc: pc}
 	for i, tm := range metas {
-		preds, rest := pushdown(conjuncts, tm, singleTable)
+		preds, pps, rest := pushdown(conjuncts, tm, singleTable)
 		conjuncts = rest
-		tblOp, err := tx.ScanOperator(tm.ref.Table, nil, preds)
+		tblOp, err := core.NewTableScan(e, tm.ref.Table, nil, preds)
 		if err != nil {
 			return nil, err
 		}
+		pc.scans = append(pc.scans, &scanBinding{scan: tblOp, predParams: pps})
 		alias := strings.ToLower(tm.ref.Alias)
 		for _, c := range tm.schema.Cols {
 			sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
@@ -449,7 +525,7 @@ func compileOrderKey(e AstExpr, items []SelectItem, sc *scope) (exec.Expr, error
 }
 
 // planSelectNoFrom handles SELECT <literals>.
-func planSelectNoFrom(st *SelectStmt) (exec.Operator, error) {
+func planSelectNoFrom(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 	empty := &types.Schema{}
 	b := types.NewBatch(empty, 1)
 	// One synthetic row so literal projections emit one row.
@@ -460,12 +536,15 @@ func planSelectNoFrom(st *SelectStmt) (exec.Operator, error) {
 	db := types.NewBatch(dummySchema, 1)
 	db.AppendRow(types.Row{types.NewInt(1)})
 	in := exec.NewSource(dummySchema, []*types.Batch{db})
-	sc := scope{cols: []scopeCol{{qual: "", name: "one", typ: types.Int64}}}
+	sc := scope{cols: []scopeCol{{qual: "", name: "one", typ: types.Int64}}, pc: pc}
 	exprs := make([]exec.Expr, len(st.Items))
 	names := make([]string, len(st.Items))
 	for i, it := range st.Items {
 		if it.Star {
 			return nil, fmt.Errorf("sql: SELECT * requires FROM")
+		}
+		if containsParam(it.Expr) {
+			return nil, fmt.Errorf("sql: `?` in the select list has no inferable type at plan time; bind it in a comparison or INSERT/SET instead")
 		}
 		ce, err := compileExpr(it.Expr, &sc)
 		if err != nil {
@@ -504,7 +583,36 @@ func expandStars(items []SelectItem, sc *scope) ([]SelectItem, error) {
 	if len(out) == 0 {
 		return nil, fmt.Errorf("sql: empty select list")
 	}
+	for _, it := range out {
+		// Select-list output types are fixed at plan time, and an
+		// unbound `?` has none — a later float binding would silently
+		// truncate through the typed projection vectors.
+		if containsParam(it.Expr) {
+			return nil, fmt.Errorf("sql: `?` in the select list has no inferable type at plan time; bind it in a comparison or INSERT/SET instead")
+		}
+	}
 	return out, nil
+}
+
+// containsParam reports whether e contains a `?` placeholder anywhere.
+func containsParam(e AstExpr) bool {
+	switch v := e.(type) {
+	case *ParamExpr:
+		return true
+	case *BinExpr:
+		return containsParam(v.L) || containsParam(v.R)
+	case *NotExpr:
+		return containsParam(v.E)
+	case *IsNullExpr:
+		return containsParam(v.E)
+	case *InExpr:
+		return containsParam(v.E)
+	case *LikeExpr:
+		return containsParam(v.E)
+	case *AggExpr:
+		return !v.Star && containsParam(v.Arg)
+	}
+	return false
 }
 
 // collectAggs gathers every distinct aggregate expression appearing in
@@ -553,6 +661,11 @@ func collectAggs(items []SelectItem, having AstExpr, order []OrderItem) []*AggEx
 func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectItem, aggs []*AggExpr) (exec.Operator, error) {
 	groupExprs := make([]exec.Expr, len(st.GroupBy))
 	for i, g := range st.GroupBy {
+		// Group-key and aggregate output types are fixed at plan time;
+		// an unbound `?` has none (see expandStars).
+		if containsParam(g) {
+			return nil, fmt.Errorf("sql: `?` in GROUP BY has no inferable type at plan time")
+		}
 		ge, err := compileExpr(g, sc)
 		if err != nil {
 			return nil, err
@@ -561,6 +674,9 @@ func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectIt
 	}
 	specs := make([]exec.AggSpec, len(aggs))
 	for i, a := range aggs {
+		if !a.Star && containsParam(a.Arg) {
+			return nil, fmt.Errorf("sql: `?` in an aggregate argument has no inferable type at plan time")
+		}
 		spec := exec.AggSpec{Name: renderAst(a)}
 		switch a.Func {
 		case "COUNT":
@@ -664,6 +780,11 @@ func rewritePostAgg(e AstExpr, post map[string]int, aggSchema *types.Schema, sc 
 	switch v := e.(type) {
 	case *LitExpr:
 		return &exec.Const{Val: v.Val}, nil
+	case *ParamExpr:
+		if sc.pc == nil || sc.pc.binder == nil {
+			return nil, fmt.Errorf("sql: `?` placeholder is not allowed here")
+		}
+		return &exec.Param{Idx: v.Idx, Val: &sc.pc.binder.slots[v.Idx]}, nil
 	case *BinExpr:
 		l, err := rewritePostAgg(v.L, post, aggSchema, sc)
 		if err != nil {

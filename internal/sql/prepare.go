@@ -1,0 +1,204 @@
+package sql
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// child derives a planCtx that shares the binder (placeholder slots)
+// but accumulates its own scan leaves — used for plans compiled as part
+// of executing another statement (the read half of UPDATE/DELETE).
+func (pc *planCtx) child() *planCtx {
+	return &planCtx{engine: pc.engine, binder: pc.binder}
+}
+
+// bind attaches every scan leaf to tx/ctx and installs the current
+// parameter values into parameter-valued pushed-down predicates,
+// type-checked against the column.
+func (pc *planCtx) bind(tx *core.Tx, ctx context.Context) error {
+	for _, sb := range pc.scans {
+		for _, pp := range sb.predParams {
+			v, err := coercePred(pc.binder.slots[pp.paramIdx], pp.colType, pp.paramIdx)
+			if err != nil {
+				return err
+			}
+			sb.scan.SetPred(pp.predIdx, v)
+		}
+		sb.scan.Bind(tx, ctx)
+	}
+	return nil
+}
+
+// close releases every scan leaf (terminating producer goroutines of
+// executions that stopped early).
+func (pc *planCtx) close() {
+	for _, sb := range pc.scans {
+		sb.scan.Close()
+	}
+}
+
+// coercePred adapts a parameter value for comparison against a column
+// of type t. Unlike storage coercion, a float parameter compared with
+// an int column keeps its float value (cross-type numeric comparison is
+// exact); disjoint types are a typed error.
+func coercePred(v types.Value, t types.Type, paramIdx int) (types.Value, error) {
+	if v.Null || v.Typ == t {
+		return v, nil
+	}
+	if t == types.Float64 && v.Typ == types.Int64 {
+		return types.NewFloat(float64(v.I)), nil
+	}
+	if t == types.Int64 && v.Typ == types.Float64 {
+		return v, nil
+	}
+	return types.Value{}, fmt.Errorf("%w: parameter %d is %s, column is %s", ErrTypeMismatch, paramIdx+1, v.Typ, t)
+}
+
+// CompiledSelect is a SELECT compiled once — lexed, parsed, planned,
+// expressions lowered, predicates pushed down — and rebindable per
+// execution: Bind installs a transaction snapshot, a context, and
+// argument values without touching the operator tree.
+//
+// A CompiledSelect runs one execution at a time (the operator tree is
+// stateful); callers needing concurrency compile one instance per
+// in-flight execution.
+type CompiledSelect struct {
+	root exec.Operator
+	pc   *planCtx
+}
+
+func compileSelect(e *core.Engine, st *SelectStmt, nParams int) (*CompiledSelect, error) {
+	pc := &planCtx{engine: e, binder: newParamBinder(nParams)}
+	root, err := planSelect(pc, st)
+	if err != nil {
+		return nil, err
+	}
+	return &CompiledSelect{root: root, pc: pc}, nil
+}
+
+// Schema describes the result columns.
+func (c *CompiledSelect) Schema() *types.Schema { return c.root.Schema() }
+
+// Bind prepares one execution: it rebinds the scan leaves to tx and
+// ctx, installs args into the placeholder slots, and resets the
+// operator tree. The previous execution, if still open, is terminated.
+func (c *CompiledSelect) Bind(ctx context.Context, tx *core.Tx, args []types.Value) error {
+	if err := c.pc.binder.bindArgs(args); err != nil {
+		return err
+	}
+	if err := c.pc.bind(tx, ctx); err != nil {
+		return err
+	}
+	c.root.Reset()
+	return nil
+}
+
+// Next streams the next batch of the bound execution (nil at end of
+// stream). The batch is valid until the following Next call.
+func (c *CompiledSelect) Next() (*types.Batch, error) { return c.root.Next() }
+
+// Close terminates the current execution, releasing scan producers and
+// their morsel workers. The CompiledSelect stays usable: Bind starts a
+// fresh execution. Close is idempotent.
+func (c *CompiledSelect) Close() { c.pc.close() }
+
+// Prepared is a statement prepared against an engine: parsed once and,
+// for SELECT, planned once. It is not safe for concurrent use; the db
+// package layers instance pooling and locking on top.
+type Prepared struct {
+	// Text is the original statement text.
+	Text string
+
+	engine  *core.Engine
+	stmt    Stmt
+	nParams int
+	sel     *CompiledSelect // non-nil iff the statement is a SELECT
+	pc      *planCtx        // binder for DML executions
+}
+
+// Prepare parses text and compiles it for repeated execution.
+func Prepare(e *core.Engine, text string) (*Prepared, error) {
+	st, nParams, err := ParseWithParams(text)
+	if err != nil {
+		return nil, err
+	}
+	return PrepareParsed(e, text, st, nParams)
+}
+
+// PrepareParsed is Prepare for an already-parsed statement (the db
+// layer's plan cache keeps ASTs and compiles instances on demand).
+func PrepareParsed(e *core.Engine, text string, st Stmt, nParams int) (*Prepared, error) {
+	p := &Prepared{Text: text, engine: e, stmt: st, nParams: nParams}
+	if sel, ok := st.(*SelectStmt); ok {
+		cs, err := compileSelect(e, sel, nParams)
+		if err != nil {
+			return nil, err
+		}
+		p.sel = cs
+		p.pc = cs.pc
+	} else {
+		p.pc = &planCtx{engine: e, binder: newParamBinder(nParams)}
+	}
+	return p, nil
+}
+
+// NumParams returns the number of `?` placeholders.
+func (p *Prepared) NumParams() int { return p.nParams }
+
+// IsQuery reports whether the statement is a SELECT.
+func (p *Prepared) IsQuery() bool { return p.sel != nil }
+
+// Schema describes the result columns of a SELECT (nil otherwise).
+func (p *Prepared) Schema() *types.Schema {
+	if p.sel == nil {
+		return nil
+	}
+	return p.sel.Schema()
+}
+
+// BindQuery binds one streaming execution of a prepared SELECT in tx
+// and returns the operator to pull batches from. Callers must drain it
+// or call CloseCursor before the next BindQuery.
+func (p *Prepared) BindQuery(ctx context.Context, tx *core.Tx, args []types.Value) (exec.Operator, error) {
+	if p.sel == nil {
+		return nil, fmt.Errorf("sql: statement is not a query: %s", p.Text)
+	}
+	if err := p.sel.Bind(ctx, tx, args); err != nil {
+		return nil, err
+	}
+	return p.sel.root, nil
+}
+
+// CloseCursor terminates the in-flight streaming execution (idempotent).
+func (p *Prepared) CloseCursor() {
+	if p.sel != nil {
+		p.sel.Close()
+	}
+}
+
+// ExecTx executes the statement in tx with args, materializing the
+// result (SELECT included). DDL statements ignore tx.
+func (p *Prepared) ExecTx(ctx context.Context, tx *core.Tx, args []types.Value) (*Result, error) {
+	if res, handled, err := execDDL(p.engine, p.stmt); handled {
+		return res, err
+	}
+	if p.sel != nil {
+		if err := p.sel.Bind(ctx, tx, args); err != nil {
+			return nil, err
+		}
+		rows, err := exec.Collect(p.sel.root)
+		p.sel.Close()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Schema: p.sel.Schema(), Rows: rows}, nil
+	}
+	if err := p.pc.binder.bindArgs(args); err != nil {
+		return nil, err
+	}
+	return execStmtInTx(ctx, p.engine, tx, p.stmt, p.pc)
+}

@@ -1,6 +1,8 @@
 package sql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -18,9 +20,16 @@ type Result struct {
 	Affected int
 }
 
+// ErrTypeMismatch is wrapped by errors arising from a value whose type
+// does not fit the target column (e.g. a string literal bound to a
+// BIGINT column). Use errors.Is to detect it.
+var ErrTypeMismatch = errors.New("sql: type mismatch")
+
 // Session executes SQL against an engine, with optional explicit
 // transactions (BEGIN/COMMIT/ROLLBACK); statements outside an explicit
-// transaction auto-commit.
+// transaction auto-commit. Session materializes every SELECT; the
+// public streaming/prepared front door is the top-level db package,
+// which treats Session as an implementation detail.
 type Session struct {
 	engine *core.Engine
 	tx     *core.Tx
@@ -29,10 +38,14 @@ type Session struct {
 // NewSession creates a session on the engine.
 func NewSession(e *core.Engine) *Session { return &Session{engine: e} }
 
+// Engine returns the underlying engine.
+func (s *Session) Engine() *core.Engine { return s.engine }
+
 // InTxn reports whether an explicit transaction is open.
 func (s *Session) InTxn() bool { return s.tx != nil }
 
-// Exec parses and executes one statement.
+// Exec parses and executes one statement. Statements with `?`
+// placeholders are rejected here — prepare them and supply arguments.
 func (s *Session) Exec(query string) (*Result, error) {
 	q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
 	switch strings.ToUpper(q) {
@@ -57,9 +70,12 @@ func (s *Session) Exec(query string) (*Result, error) {
 		s.tx = nil
 		return &Result{}, err
 	}
-	st, err := Parse(query)
+	st, nParams, err := ParseWithParams(query)
 	if err != nil {
 		return nil, err
+	}
+	if nParams > 0 {
+		return nil, fmt.Errorf("sql: statement has %d parameter(s); prepare it and supply arguments", nParams)
 	}
 	return s.execStmt(st)
 }
@@ -67,38 +83,17 @@ func (s *Session) Exec(query string) (*Result, error) {
 // execStmt runs a parsed statement inside the session transaction (or
 // an auto-commit transaction).
 func (s *Session) execStmt(st Stmt) (*Result, error) {
-	switch v := st.(type) {
-	case *CreateTableStmt:
-		schema, err := types.NewSchema(v.Cols, v.KeyCols...)
-		if err != nil {
-			return nil, err
-		}
-		if len(schema.Key) == 0 {
-			return nil, fmt.Errorf("sql: CREATE TABLE requires a PRIMARY KEY")
-		}
-		if _, err := s.engine.CreateTable(v.Name, schema); err != nil {
-			return nil, err
-		}
-		return &Result{}, nil
-	case *MergeStmt:
-		if _, err := s.engine.Merge(v.Table); err != nil {
-			return nil, err
-		}
-		return &Result{}, nil
-	case *CreateIndexStmt:
-		if err := s.engine.CreateIndex(v.Table, v.Name, v.Cols, !v.Hash); err != nil {
-			return nil, err
-		}
-		return &Result{}, nil
+	if res, handled, err := execDDL(s.engine, st); handled {
+		return res, err
 	}
-
 	tx := s.tx
 	auto := false
 	if tx == nil {
 		tx = s.engine.Begin()
 		auto = true
 	}
-	res, err := s.execInTx(tx, st)
+	pc := &planCtx{engine: s.engine, binder: newParamBinder(0)}
+	res, err := execStmtInTx(context.Background(), s.engine, tx, st, pc)
 	if auto {
 		if err != nil {
 			tx.Abort()
@@ -112,30 +107,71 @@ func (s *Session) execStmt(st Stmt) (*Result, error) {
 	return res, err
 }
 
-func (s *Session) execInTx(tx *core.Tx, st Stmt) (*Result, error) {
+// execDDL handles the statements that bypass transactions (DDL and
+// MERGE). handled reports whether st was one of them.
+func execDDL(e *core.Engine, st Stmt) (res *Result, handled bool, err error) {
+	switch v := st.(type) {
+	case *CreateTableStmt:
+		schema, err := types.NewSchema(v.Cols, v.KeyCols...)
+		if err != nil {
+			return nil, true, err
+		}
+		if len(schema.Key) == 0 {
+			return nil, true, fmt.Errorf("sql: CREATE TABLE requires a PRIMARY KEY")
+		}
+		if _, err := e.CreateTable(v.Name, schema); err != nil {
+			return nil, true, err
+		}
+		return &Result{}, true, nil
+	case *MergeStmt:
+		if _, err := e.Merge(v.Table); err != nil {
+			return nil, true, err
+		}
+		return &Result{}, true, nil
+	case *CreateIndexStmt:
+		if err := e.CreateIndex(v.Table, v.Name, v.Cols, !v.Hash); err != nil {
+			return nil, true, err
+		}
+		return &Result{}, true, nil
+	}
+	return nil, false, nil
+}
+
+// execStmtInTx runs one DML or SELECT statement in tx, resolving `?`
+// placeholders through pc's binder (already loaded with arguments).
+func execStmtInTx(ctx context.Context, e *core.Engine, tx *core.Tx, st Stmt, pc *planCtx) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch v := st.(type) {
 	case *SelectStmt:
-		op, err := planSelect(tx, s.engine, v)
+		cpc := pc.child()
+		root, err := planSelect(cpc, v)
 		if err != nil {
 			return nil, err
 		}
-		rows, err := exec.Collect(op)
+		if err := cpc.bind(tx, ctx); err != nil {
+			return nil, err
+		}
+		rows, err := exec.Collect(root)
+		cpc.close()
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Schema: op.Schema(), Rows: rows}, nil
+		return &Result{Schema: root.Schema(), Rows: rows}, nil
 	case *InsertStmt:
-		return s.execInsert(tx, v)
+		return execInsert(ctx, e, tx, v, pc)
 	case *UpdateStmt:
-		return s.execUpdate(tx, v)
+		return execUpdate(ctx, e, tx, v, pc)
 	case *DeleteStmt:
-		return s.execDelete(tx, v)
+		return execDelete(ctx, e, tx, v, pc)
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", st)
 	}
 }
 
-// evalConst evaluates a literal-only expression (INSERT values).
+// evalConst evaluates a literal/parameter-only expression (INSERT
+// values).
 var constBatch = func() *types.Batch {
 	sc := types.MustSchema([]types.Column{{Name: "one", Type: types.Int64}})
 	b := types.NewBatch(sc, 1)
@@ -143,8 +179,8 @@ var constBatch = func() *types.Batch {
 	return b
 }()
 
-func evalConst(e AstExpr) (types.Value, error) {
-	sc := &scope{cols: []scopeCol{{name: "one", typ: types.Int64}}}
+func evalConst(e AstExpr, pc *planCtx) (types.Value, error) {
+	sc := &scope{cols: []scopeCol{{name: "one", typ: types.Int64}}, pc: pc}
 	ce, err := compileExpr(e, sc)
 	if err != nil {
 		return types.Value{}, err
@@ -152,8 +188,8 @@ func evalConst(e AstExpr) (types.Value, error) {
 	return ce.Eval(constBatch, 0), nil
 }
 
-func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
-	tbl, err := s.engine.Table(st.Table)
+func execInsert(ctx context.Context, e *core.Engine, tx *core.Tx, st *InsertStmt, pc *planCtx) (*Result, error) {
+	tbl, err := e.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -172,6 +208,9 @@ func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
 	}
 	n := 0
 	for _, astRow := range st.Rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make(types.Row, schema.NumCols())
 		for i, c := range schema.Cols {
 			row[i] = types.NewNull(c.Type)
@@ -181,22 +220,27 @@ func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
 				return nil, fmt.Errorf("sql: INSERT arity %d, table has %d columns", len(astRow), schema.NumCols())
 			}
 			for i, ae := range astRow {
-				v, err := evalConst(ae)
+				v, err := evalConst(ae, pc)
 				if err != nil {
 					return nil, err
 				}
-				row[i] = coerce(v, schema.Cols[i].Type)
+				if row[i], err = coerce(v, schema.Cols[i].Type, schema.Cols[i].Name); err != nil {
+					return nil, err
+				}
 			}
 		} else {
 			if len(astRow) != len(colIdx) {
 				return nil, fmt.Errorf("sql: INSERT arity mismatch")
 			}
 			for i, ae := range astRow {
-				v, err := evalConst(ae)
+				v, err := evalConst(ae, pc)
 				if err != nil {
 					return nil, err
 				}
-				row[colIdx[i]] = coerce(v, schema.Cols[colIdx[i]].Type)
+				ci := colIdx[i]
+				if row[ci], err = coerce(v, schema.Cols[ci].Type, schema.Cols[ci].Name); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if err := tx.Insert(st.Table, row); err != nil {
@@ -207,28 +251,29 @@ func (s *Session) execInsert(tx *core.Tx, st *InsertStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-// coerce adapts numeric literal types to the column type.
-func coerce(v types.Value, t types.Type) types.Value {
+// coerce adapts numeric value types to the column type; any other
+// cross-type assignment is a typed error (wrapping ErrTypeMismatch)
+// instead of a silently bogus value.
+func coerce(v types.Value, t types.Type, col string) (types.Value, error) {
 	if v.Null {
-		return types.NewNull(t)
+		return types.NewNull(t), nil
 	}
 	if v.Typ == t {
-		return v
+		return v, nil
 	}
 	switch {
 	case t == types.Float64 && v.Typ == types.Int64:
-		return types.NewFloat(float64(v.I))
+		return types.NewFloat(float64(v.I)), nil
 	case t == types.Int64 && v.Typ == types.Float64:
-		return types.NewInt(int64(v.F))
-	default:
-		return v
+		return types.NewInt(int64(v.F)), nil
 	}
+	return types.Value{}, fmt.Errorf("%w: %s value cannot be assigned to %s column %q", ErrTypeMismatch, v.Typ, t, col)
 }
 
 // matchingKeys scans the table for rows matching WHERE and returns
-// their primary keys and rows.
-func (s *Session) matchingKeys(tx *core.Tx, table string, where AstExpr) ([]types.Row, []types.Row, error) {
-	tbl, err := s.engine.Table(table)
+// their primary keys and rows (the read half of UPDATE/DELETE).
+func matchingKeys(ctx context.Context, e *core.Engine, tx *core.Tx, pc *planCtx, table string, where AstExpr) ([]types.Row, []types.Row, error) {
+	tbl, err := e.Table(table)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -239,11 +284,16 @@ func (s *Session) matchingKeys(tx *core.Tx, table string, where AstExpr) ([]type
 		Where: where,
 		Limit: -1,
 	}
-	op, err := planSelect(tx, s.engine, sel)
+	cpc := pc.child()
+	root, err := planSelect(cpc, sel)
 	if err != nil {
 		return nil, nil, err
 	}
-	rows, err := exec.Collect(op)
+	if err := cpc.bind(tx, ctx); err != nil {
+		return nil, nil, err
+	}
+	rows, err := exec.Collect(root)
+	cpc.close()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -254,18 +304,18 @@ func (s *Session) matchingKeys(tx *core.Tx, table string, where AstExpr) ([]type
 	return keys, rows, nil
 }
 
-func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
-	tbl, err := s.engine.Table(st.Table)
+func execUpdate(ctx context.Context, e *core.Engine, tx *core.Tx, st *UpdateStmt, pc *planCtx) (*Result, error) {
+	tbl, err := e.Table(st.Table)
 	if err != nil {
 		return nil, err
 	}
 	schema := tbl.Schema()
-	keys, rows, err := s.matchingKeys(tx, st.Table, st.Where)
+	keys, rows, err := matchingKeys(ctx, e, tx, pc, st.Table, st.Where)
 	if err != nil {
 		return nil, err
 	}
 	// Compile SET expressions against the table scope.
-	sc := &scope{}
+	sc := &scope{pc: pc}
 	alias := strings.ToLower(st.Table)
 	for _, c := range schema.Cols {
 		sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
@@ -286,14 +336,20 @@ func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
 		}
 		sets[i] = setOp{ci: ci, e: ce}
 	}
-	rowSchema := schema
 	n := 0
 	for i, old := range rows {
-		b := types.NewBatch(rowSchema, 1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := types.NewBatch(schema, 1)
 		b.AppendRow(old)
 		newRow := old.Clone()
 		for _, so := range sets {
-			newRow[so.ci] = coerce(so.e.Eval(b, 0), schema.Cols[so.ci].Type)
+			v, err := coerce(so.e.Eval(b, 0), schema.Cols[so.ci].Type, schema.Cols[so.ci].Name)
+			if err != nil {
+				return nil, err
+			}
+			newRow[so.ci] = v
 		}
 		if err := tx.Update(st.Table, keys[i], newRow); err != nil {
 			return nil, err
@@ -303,12 +359,15 @@ func (s *Session) execUpdate(tx *core.Tx, st *UpdateStmt) (*Result, error) {
 	return &Result{Affected: n}, nil
 }
 
-func (s *Session) execDelete(tx *core.Tx, st *DeleteStmt) (*Result, error) {
-	keys, _, err := s.matchingKeys(tx, st.Table, st.Where)
+func execDelete(ctx context.Context, e *core.Engine, tx *core.Tx, st *DeleteStmt, pc *planCtx) (*Result, error) {
+	keys, _, err := matchingKeys(ctx, e, tx, pc, st.Table, st.Where)
 	if err != nil {
 		return nil, err
 	}
 	for _, k := range keys {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := tx.Delete(st.Table, k); err != nil {
 			return nil, err
 		}

@@ -101,6 +101,21 @@ func zoneCanMatch(p Predicate, z Zone) bool {
 	}
 }
 
+// IsDone reports (without blocking) whether the cancellation channel is
+// closed; a nil channel never cancels. Scan drivers poll it between
+// zones/batches.
+func IsDone(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // ScanStats reports the pruning behaviour of one scan.
 type ScanStats struct {
 	ZonesTotal    int
@@ -168,14 +183,30 @@ func (s *Segment) Scan(readTS, self uint64, proj []int, preds []Predicate, fn fu
 // at a time under a mutex (zone order is not preserved). The batch
 // passed to fn is pooled: it is valid only until fn returns, so
 // retainers must Copy it. Stats are merged across workers.
-func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, fn func(b *types.Batch) bool) ScanStats {
+//
+// done, when non-nil, cancels the scan: workers check it between zones
+// (and before delivering a batch) and exit promptly once it is closed,
+// so a cancelled query releases its morsel workers within one zone's
+// worth of work. A nil done never cancels.
+func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(b *types.Batch) bool) ScanStats {
 	nz := (s.n + ZoneSize - 1) / ZoneSize
 	if workers > nz {
 		workers = nz
 	}
 	if workers <= 1 {
-		return s.Scan(readTS, self, proj, preds, fn)
+		if done == nil {
+			return s.Scan(readTS, self, proj, preds, fn)
+		}
+		return s.Scan(readTS, self, proj, preds, func(b *types.Batch) bool {
+			select {
+			case <-done:
+				return false
+			default:
+			}
+			return fn(b)
+		})
 	}
+	cancelled := func() bool { return IsDone(done) }
 	projSchema := s.projSchema(proj)
 	var (
 		cursor  atomic.Int64
@@ -194,11 +225,14 @@ func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicat
 			pool := types.NewBatchPool(projSchema, ZoneSize)
 			var local ScanStats
 			emit := func(sel []int) bool {
+				if cancelled() {
+					return false
+				}
 				batch := pool.Get()
 				s.fillBatch(batch, proj, sel, sc)
 				deliver.Lock()
 				ok := true
-				if stopped.Load() {
+				if stopped.Load() || cancelled() {
 					ok = false
 				} else if !fn(batch) {
 					stopped.Store(true)
@@ -208,7 +242,7 @@ func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicat
 				pool.Put(batch)
 				return ok
 			}
-			for !stopped.Load() {
+			for !stopped.Load() && !cancelled() {
 				z := int(cursor.Add(1)) - 1
 				if z >= nz {
 					break

@@ -61,7 +61,7 @@ func drain(seg *Segment, workers int, preds []Predicate) (scanTotals, ScanStats)
 	if workers <= 1 {
 		stats = seg.Scan(100, 0, []int{0, 1, 2, 3}, preds, fn)
 	} else {
-		stats = seg.ScanParallel(100, 0, []int{0, 1, 2, 3}, preds, workers, fn)
+		stats = seg.ScanParallel(100, 0, []int{0, 1, 2, 3}, preds, workers, nil, fn)
 	}
 	tot.rows = int(rows.Load())
 	tot.sumV = sumV.Load()
@@ -107,7 +107,7 @@ func TestScanParallelVisibility(t *testing.T) {
 			if workers <= 1 {
 				stats = seg.Scan(readTS, 0, []int{0}, nil, fn)
 			} else {
-				stats = seg.ScanParallel(readTS, 0, []int{0}, nil, workers, fn)
+				stats = seg.ScanParallel(readTS, 0, []int{0}, nil, workers, nil, fn)
 			}
 			return got, stats
 		}
@@ -122,7 +122,7 @@ func TestScanParallelVisibility(t *testing.T) {
 func TestScanParallelEarlyStop(t *testing.T) {
 	seg := buildParallelSegment(16 * ZoneSize)
 	var delivered atomic.Int64
-	stats := seg.ScanParallel(100, 0, []int{0}, nil, 4, func(b *types.Batch) bool {
+	stats := seg.ScanParallel(100, 0, []int{0}, nil, 4, nil, func(b *types.Batch) bool {
 		return delivered.Add(1) < 3
 	})
 	if got := delivered.Load(); got < 3 {
@@ -140,7 +140,7 @@ func TestScanParallelEarlyStop(t *testing.T) {
 func TestScanParallelBatchTransient(t *testing.T) {
 	seg := buildParallelSegment(6 * ZoneSize)
 	var copies []*types.Batch
-	seg.ScanParallel(100, 0, []int{0, 1}, nil, 2, func(b *types.Batch) bool {
+	seg.ScanParallel(100, 0, []int{0, 1}, nil, 2, nil, func(b *types.Batch) bool {
 		copies = append(copies, b.Copy())
 		return true
 	})

@@ -70,7 +70,7 @@ func (st *Store) SizeBytes() int {
 // Scan streams matching visible rows from every segment. Stats aggregate
 // across segments.
 func (st *Store) Scan(readTS, self uint64, proj []int, preds []Predicate, fn func(b *types.Batch) bool) ScanStats {
-	return st.scanSegments(fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
+	return st.scanSegments(nil, fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
 		return s.Scan(readTS, self, proj, preds, segFn)
 	})
 }
@@ -78,20 +78,26 @@ func (st *Store) Scan(readTS, self uint64, proj []int, preds []Predicate, fn fun
 // ScanParallel is Scan with each segment scanned morsel-parallel by up
 // to workers goroutines (see Segment.ScanParallel). fn observes one
 // batch at a time, but the batch is pooled and only valid until fn
-// returns.
-func (st *Store) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, fn func(b *types.Batch) bool) ScanStats {
-	return st.scanSegments(fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
-		return s.ScanParallel(readTS, self, proj, preds, workers, segFn)
+// returns. A non-nil done channel cancels the scan between zones; a
+// cancelled scan stops delivering batches and returns once its workers
+// have exited.
+func (st *Store) ScanParallel(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(b *types.Batch) bool) ScanStats {
+	return st.scanSegments(done, fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
+		return s.ScanParallel(readTS, self, proj, preds, workers, done, segFn)
 	})
 }
 
 // scanSegments drives scanSeg over every segment in order, merging
-// stats and propagating fn's early stop across segments.
-func (st *Store) scanSegments(fn func(b *types.Batch) bool, scanSeg func(s *Segment, segFn func(b *types.Batch) bool) ScanStats) ScanStats {
+// stats and propagating fn's early stop (and done-channel cancellation)
+// across segments.
+func (st *Store) scanSegments(done <-chan struct{}, fn func(b *types.Batch) bool, scanSeg func(s *Segment, segFn func(b *types.Batch) bool) ScanStats) ScanStats {
 	var total ScanStats
 	stop := false
 	for _, s := range st.Segments() {
 		if stop {
+			break
+		}
+		if IsDone(done) {
 			break
 		}
 		stats := scanSeg(s, func(b *types.Batch) bool {
