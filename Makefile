@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is plain `go build/test/bench`.
 
-.PHONY: build test vet race bench bench-smoke
+.PHONY: build test vet race bench bench-smoke bench-compare
 
 build:
 	go build ./...
@@ -14,12 +14,25 @@ test: vet
 # Race-enabled run of the packages with internal concurrency
 # (morsel-parallel scans, clock scans, txn machinery).
 race:
-	go test -race ./internal/storage/colstore ./internal/exec ./internal/core ./internal/types ./internal/scan ./internal/txn
+	go test -race ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn
 
-# Full E-series benchmark baseline (see scripts/bench.sh for knobs).
+# Full E-series benchmark run (see scripts/bench.sh for knobs). Writes
+# BENCH_local.* so a casual run never clobbers the committed baseline
+# recording; to record a trajectory point, override:
+#   make bench OUT_TXT=BENCH_pr5.txt OUT_JSON=BENCH_pr5.json
+OUT_TXT ?= BENCH_local.txt
+OUT_JSON ?= BENCH_local.json
 bench:
-	scripts/bench.sh
+	OUT_TXT=$(OUT_TXT) OUT_JSON=$(OUT_JSON) scripts/bench.sh
 
-# Quick smoke: the E10 execution scoreboard at minimal iterations.
+# Quick smoke: the E10/E13 execution scoreboards at minimal iterations.
 bench-smoke:
 	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .
+	go test -run '^$$' -bench 'E13_JoinSort' -benchtime=3x -benchmem .
+
+# Diff two bench.sh JSON recordings (quick trajectory view). Override
+# for newer recordings: make bench-compare NEW=BENCH_pr5.json
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_pr4.json
+bench-compare:
+	scripts/bench_compare.sh $(OLD) $(NEW)

@@ -173,7 +173,7 @@ func TestAnalyticQueriesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(counts) != 12 {
+	if len(counts) != 13 {
 		t.Fatalf("ran %d queries", len(counts))
 	}
 	// Structural expectations.

@@ -94,6 +94,16 @@ func Queries() []Query {
 			GROUP BY ol_i_id
 			ORDER BY revenue DESC
 			LIMIT 10`},
+		// Q13 drives the PR-4 operator rebuild end-to-end: a join probed
+		// through the columnar hash table, DISTINCT through the typed key
+		// table, and ORDER BY through the permutation sort.
+		{13, "shipped-customer-names", `
+			SELECT DISTINCT c_last, c_state
+			FROM customer
+			JOIN orders ON c_w_id = o_w_id AND c_d_id = o_d_id AND c_id = o_c_id
+			WHERE o_carrier_id > 0
+			ORDER BY c_last
+			LIMIT 50`},
 	}
 }
 

@@ -192,10 +192,11 @@ func runTypedGroupedKernel(sp typedAggSpec, b *types.Batch, gids []int32, states
 // raw int64 group keys to dense group ids. Slots store gid+1 so the
 // zero value means empty.
 type intGroupTable struct {
-	keys []int64
-	gids []int32
-	mask int
-	n    int
+	keys  []int64
+	gids  []int32
+	mask  int
+	shift uint // 64 - log2(len(keys)): home slots come from the top bits
+	n     int
 }
 
 func newIntGroupTable(capacity int) *intGroupTable {
@@ -203,14 +204,14 @@ func newIntGroupTable(capacity int) *intGroupTable {
 	for c < capacity*2 {
 		c *= 2
 	}
-	return &intGroupTable{keys: make([]int64, c), gids: make([]int32, c), mask: c - 1}
+	return &intGroupTable{keys: make([]int64, c), gids: make([]int32, c), mask: c - 1, shift: tableShift(c)}
 }
 
-func hashInt64(k int64) uint64 {
-	// Fibonacci multiplicative hashing: cheap and well-distributed for
-	// both sequential ids and dictionary codes.
-	return uint64(k) * 0x9E3779B97F4A7C15
-}
+// groupHome is the table's home slot for hash h: the top log2(slots)
+// bits, where a multiplicative hash keeps its entropy — masking low
+// bits would send low-bit-aligned keys (ids that are multiples of a
+// power of two) all to one slot.
+func groupHome(h uint64, shift uint) int { return int(h >> shift) }
 
 // lookupOrInsert returns the dense gid for key, calling addGroup to
 // allocate one on first sight.
@@ -218,7 +219,7 @@ func (t *intGroupTable) lookupOrInsert(key int64, addGroup func(key int64) int32
 	if t.n*2 >= len(t.keys) {
 		t.grow()
 	}
-	idx := int(hashInt64(key)) & t.mask
+	idx := groupHome(types.HashInt64Key(key), t.shift)
 	for {
 		g := t.gids[idx]
 		if g == 0 {
@@ -241,11 +242,12 @@ func (t *intGroupTable) grow() {
 	t.keys = make([]int64, c)
 	t.gids = make([]int32, c)
 	t.mask = c - 1
+	t.shift = tableShift(c)
 	for i, g := range oldGids {
 		if g == 0 {
 			continue
 		}
-		idx := int(hashInt64(oldKeys[i])) & t.mask
+		idx := groupHome(types.HashInt64Key(oldKeys[i]), t.shift)
 		for t.gids[idx] != 0 {
 			idx = (idx + 1) & t.mask
 		}

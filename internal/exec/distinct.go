@@ -1,27 +1,58 @@
 package exec
 
 import (
-	"container/heap"
-
 	"repro/internal/types"
 )
 
 // Distinct removes duplicate rows (all columns), streaming: each batch
-// is filtered against the set of rows already seen.
+// is hashed column-at-a-time through the shared key-table machinery and
+// filtered against the set of rows already seen. First-seen rows are
+// retained in a typed columnar store (the equality side of the table's
+// collision re-check); the output is a selection vector over the input
+// batch, so the probe/emit path never boxes a types.Row and performs no
+// per-row allocation. NULLs compare equal here (SQL DISTINCT groups
+// them), unlike join keys.
+//
+// The selection buffer and batch header are reused across calls: a
+// returned batch is valid only until the next Next or Reset.
 type Distinct struct {
 	in   Operator
-	seen map[uint64][]types.Row
 	cols []int
+	doms []keyDomain
+
+	store     *types.Batch // one row per distinct key seen
+	table     *keyTable
+	storeKeys []*types.Vector
+	eq        func(probe, repr int32) bool
+
+	curKeys []*types.Vector // key projection of the batch being probed
+	curPhys int32           // physical row of the current probe (read by eq)
+	hashes  []uint64
+	rowBuf  [1]int32
+	sel     []int
+	out     types.Batch
 }
 
 // NewDistinct wraps in with duplicate elimination.
 func NewDistinct(in Operator) *Distinct {
-	n := len(in.Schema().Cols)
+	s := in.Schema()
+	n := len(s.Cols)
 	cols := make([]int, n)
+	doms := make([]keyDomain, n)
 	for i := range cols {
 		cols[i] = i
+		doms[i] = keyDomainOf(s.Cols[i].Type)
 	}
-	return &Distinct{in: in, seen: make(map[uint64][]types.Row), cols: cols}
+	d := &Distinct{in: in, cols: cols, doms: doms}
+	// Created once: probes pass this stored func value, so per-row table
+	// lookups never allocate. The probing row lives in the current input
+	// batch (physical position d.curPhys — the table's probe argument is
+	// the store position the row would occupy, useless for comparison);
+	// the representative row indexes the store.
+	d.eq = func(_, repr int32) bool {
+		return keyColsEqual(d.curKeys, int(d.curPhys), d.storeKeys, int(repr), d.doms, true)
+	}
+	return d
 }
 
 // Schema implements Operator.
@@ -29,152 +60,49 @@ func (d *Distinct) Schema() *types.Schema { return d.in.Schema() }
 
 // Next implements Operator.
 func (d *Distinct) Next() (*types.Batch, error) {
+	if d.store == nil {
+		d.store = types.NewBatch(d.in.Schema(), sortOutCap)
+		d.table = newKeyTable(64)
+		d.storeKeys = d.store.Cols
+	}
 	for {
 		b, err := d.in.Next()
 		if err != nil || b == nil {
 			return nil, err
 		}
-		out := types.NewBatch(b.Schema, b.Len())
-		n := 0
-		for i := 0; i < b.Len(); i++ {
-			row := b.Row(i)
-			h := types.HashRow(row, d.cols)
-			dup := false
-			for _, prev := range d.seen[h] {
-				if types.CompareKeys(prev, row) == 0 {
-					dup = true
-					break
-				}
-			}
-			if dup {
+		n := b.Len()
+		d.hashes = grow(d.hashes, n)
+		// hasNull is nil: NULLs are ordinary (equal) keys for DISTINCT.
+		hashKeyCols(b, d.cols, d.doms, &d.curKeys, d.hashes, nil)
+		sel := d.sel[:0]
+		for i := 0; i < n; i++ {
+			phys := int32(b.RowIdx(i))
+			d.curPhys = phys
+			// The row registers under the store position it will occupy,
+			// so duplicates later in the same batch resolve against it;
+			// the store append must follow immediately.
+			_, inserted := d.table.lookupOrInsert(d.hashes[i], int32(d.store.PhysLen()), d.eq)
+			if !inserted {
 				continue
 			}
-			d.seen[h] = append(d.seen[h], row)
-			out.AppendRow(row)
-			n++
+			d.rowBuf[0] = phys
+			d.store.GatherAppend(b, d.rowBuf[:])
+			sel = append(sel, int(phys))
 		}
-		if n == 0 {
+		d.sel = sel[:0]
+		if len(sel) == 0 {
 			continue
 		}
-		return out, nil
+		d.out = types.Batch{Schema: b.Schema, Cols: b.Cols, Sel: sel}
+		return &d.out, nil
 	}
 }
 
 // Reset implements Operator.
 func (d *Distinct) Reset() {
 	d.in.Reset()
-	d.seen = make(map[uint64][]types.Row)
-}
-
-// TopN is a fused ORDER BY + LIMIT: it keeps only the best n rows in a
-// bounded heap instead of materializing and sorting the whole input —
-// the standard optimization for "top-k" analytic queries.
-type TopN struct {
-	in   Operator
-	keys []SortKey
-	n    int
-	done bool
-}
-
-// NewTopN returns the first n rows of in under the sort keys.
-func NewTopN(in Operator, keys []SortKey, n int) *TopN {
-	return &TopN{in: in, keys: keys, n: n}
-}
-
-// Schema implements Operator.
-func (t *TopN) Schema() *types.Schema { return t.in.Schema() }
-
-type topNRow struct {
-	row  types.Row
-	keys types.Row
-}
-
-// topNHeap is a max-heap under the sort order, so the root is the worst
-// retained row (evicted first).
-type topNHeap struct {
-	rows []topNRow
-	spec []SortKey
-}
-
-func (h *topNHeap) Len() int { return len(h.rows) }
-func (h *topNHeap) Less(i, j int) bool {
-	// Max-heap: i sorts after j => i is "less" in heap order.
-	return h.after(h.rows[i].keys, h.rows[j].keys)
-}
-func (h *topNHeap) Swap(i, j int) { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
-func (h *topNHeap) Push(x any)    { h.rows = append(h.rows, x.(topNRow)) }
-func (h *topNHeap) Pop() any {
-	old := h.rows
-	n := len(old)
-	x := old[n-1]
-	h.rows = old[:n-1]
-	return x
-}
-
-// after reports whether key a sorts strictly after b.
-func (h *topNHeap) after(a, b types.Row) bool {
-	for k, sk := range h.spec {
-		c := types.Compare(a[k], b[k])
-		if c == 0 {
-			continue
-		}
-		if sk.Desc {
-			return c < 0
-		}
-		return c > 0
+	if d.store != nil {
+		d.store.Reset()
+		d.table.reset()
 	}
-	return false
-}
-
-// Next implements Operator: drains the input through the bounded heap
-// and emits one sorted batch.
-func (t *TopN) Next() (*types.Batch, error) {
-	if t.done {
-		return nil, nil
-	}
-	t.done = true
-	h := &topNHeap{spec: t.keys}
-	for {
-		b, err := t.in.Next()
-		if err != nil {
-			return nil, err
-		}
-		if b == nil {
-			break
-		}
-		for i := 0; i < b.Len(); i++ {
-			ks := make(types.Row, len(t.keys))
-			for k, sk := range t.keys {
-				ks[k] = sk.E.Eval(b, i)
-			}
-			if h.Len() < t.n {
-				heap.Push(h, topNRow{row: b.Row(i), keys: ks})
-				continue
-			}
-			// Replace the worst retained row if this one sorts before it.
-			if t.n > 0 && h.after(h.rows[0].keys, ks) {
-				h.rows[0] = topNRow{row: b.Row(i), keys: ks}
-				heap.Fix(h, 0)
-			}
-		}
-	}
-	if h.Len() == 0 {
-		return nil, nil
-	}
-	// Pop yields worst-first; fill the batch back-to-front.
-	ordered := make([]types.Row, h.Len())
-	for i := len(ordered) - 1; i >= 0; i-- {
-		ordered[i] = heap.Pop(h).(topNRow).row
-	}
-	out := types.NewBatch(t.in.Schema(), len(ordered))
-	for _, r := range ordered {
-		out.AppendRow(r)
-	}
-	return out, nil
-}
-
-// Reset implements Operator.
-func (t *TopN) Reset() {
-	t.in.Reset()
-	t.done = false
 }

@@ -1,0 +1,357 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// --- keyTable -------------------------------------------------------
+
+// TestKeyTableCollisionRecheck forces two different keys onto the same
+// 64-bit hash and verifies the equality re-check keeps them as separate
+// entries (and that lookups resolve to the right one).
+func TestKeyTableCollisionRecheck(t *testing.T) {
+	store := []int64{10, 20, 30}
+	eq := func(probe, repr int32) bool { return store[probe] == store[repr] }
+	tbl := newKeyTable(4)
+	const h = uint64(0xDEADBEEF) // same hash for every key: all collisions
+	e0, ins := tbl.lookupOrInsert(h, 0, eq)
+	if !ins || e0 != 0 {
+		t.Fatalf("first insert: e=%d ins=%v", e0, ins)
+	}
+	e1, ins := tbl.lookupOrInsert(h, 1, eq)
+	if !ins || e1 == e0 {
+		t.Fatalf("colliding distinct key must insert a new entry: e=%d ins=%v", e1, ins)
+	}
+	// Same key as entry 0, same hash: must resolve to entry 0.
+	store[2] = 10
+	e2, ins := tbl.lookupOrInsert(h, 2, eq)
+	if ins || e2 != e0 {
+		t.Fatalf("equal key must re-use its entry: e=%d ins=%v", e2, ins)
+	}
+	if got := tbl.lookup(h, 1, eq); got != e1 {
+		t.Fatalf("lookup resolved %d, want %d", got, e1)
+	}
+	if got := tbl.lookup(h^1, 1, eq); got != -1 {
+		t.Fatalf("unknown hash must miss, got %d", got)
+	}
+}
+
+// TestKeyTableHomeSpreadsFloatKeys guards the slot computation against
+// the low-bit trap: Float64bits of whole numbers end in dozens of zero
+// bits, which survive the multiplicative hash's low half — masking raw
+// low bits would chain every such key into one home slot (O(n²)).
+func TestKeyTableHomeSpreadsFloatKeys(t *testing.T) {
+	tbl := newKeyTable(4096)
+	homes := make(map[int]int)
+	for i := 0; i < 4096; i++ {
+		h := types.KeyHashCombine(types.KeyHashInit, types.HashFloat64Key(float64(i)))
+		homes[tbl.home(h)]++
+	}
+	if len(homes) < 2048 {
+		t.Fatalf("whole-number float keys landed in only %d/8192 home slots", len(homes))
+	}
+	// Power-of-two-aligned int keys (1<<20 apart) must spread too.
+	homes = map[int]int{}
+	for i := 0; i < 4096; i++ {
+		h := types.KeyHashCombine(types.KeyHashInit, types.HashInt64Key(int64(i)<<20))
+		homes[tbl.home(h)]++
+	}
+	if len(homes) < 2048 {
+		t.Fatalf("aligned int keys landed in only %d/8192 home slots", len(homes))
+	}
+}
+
+// TestHashJoinFloatKeysAtScale joins 60k whole-number float keys — the
+// shape that degenerates to a single probe chain without high-bit
+// mixing (this test hangs rather than fails if that regresses).
+func TestHashJoinFloatKeysAtScale(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "k", Type: types.Float64}})
+	n := 60_000
+	rows := make([]types.Row, n)
+	for i := range rows {
+		rows[i] = types.Row{types.NewFloat(float64(i))}
+	}
+	j := NewHashJoin(NewSourceFromRows(s, rows, 4096), NewSourceFromRows(s, rows, 4096),
+		[]int{0}, []int{0}, InnerJoin)
+	got, err := CollectCount(j)
+	if err != nil || got != n {
+		t.Fatalf("float-key join: %d rows, %v", got, err)
+	}
+	d := NewDistinct(NewSourceFromRows(s, rows, 4096))
+	got, err = CollectCount(d)
+	if err != nil || got != n {
+		t.Fatalf("float-key distinct: %d rows, %v", got, err)
+	}
+}
+
+// TestKeyTableGrowRehash inserts past the load factor and verifies all
+// entries stay reachable after rehashing.
+func TestKeyTableGrowRehash(t *testing.T) {
+	vals := make([]int64, 1000)
+	for i := range vals {
+		vals[i] = int64(i * 7)
+	}
+	eq := func(probe, repr int32) bool { return vals[probe] == vals[repr] }
+	tbl := newKeyTable(2)
+	for i := range vals {
+		if _, ins := tbl.lookupOrInsert(types.HashInt64Key(vals[i]), int32(i), eq); !ins {
+			t.Fatalf("row %d: unexpected duplicate", i)
+		}
+	}
+	if tbl.entries() != len(vals) {
+		t.Fatalf("entries = %d", tbl.entries())
+	}
+	for i := range vals {
+		if e := tbl.lookup(types.HashInt64Key(vals[i]), int32(i), eq); e < 0 {
+			t.Fatalf("row %d unreachable after grow", i)
+		}
+	}
+}
+
+// --- HashJoin edge cases on the columnar path -----------------------
+
+func joinTestSchemas() (*types.Schema, *types.Schema) {
+	left := types.MustSchema([]types.Column{
+		{Name: "lk", Type: types.Int64},
+		{Name: "lv", Type: types.String},
+	})
+	right := types.MustSchema([]types.Column{
+		{Name: "rk", Type: types.Int64},
+		{Name: "rv", Type: types.Float64},
+	})
+	return left, right
+}
+
+func TestHashJoinEmptyBuildSide(t *testing.T) {
+	ls, rs := joinTestSchemas()
+	leftRows := []types.Row{
+		{types.NewInt(1), types.NewString("a")},
+		{types.NewInt(2), types.NewString("b")},
+	}
+	inner := NewHashJoin(NewSourceFromRows(ls, leftRows, 4), NewSourceFromRows(rs, nil, 4),
+		[]int{0}, []int{0}, InnerJoin)
+	rows, err := Collect(inner)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("inner join with empty build: %d rows, %v", len(rows), err)
+	}
+	left := NewHashJoin(NewSourceFromRows(ls, leftRows, 4), NewSourceFromRows(rs, nil, 4),
+		[]int{0}, []int{0}, LeftJoin)
+	rows, err = Collect(left)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("left join with empty build: %d rows, %v", len(rows), err)
+	}
+	for _, r := range rows {
+		if !r[2].Null || !r[3].Null {
+			t.Fatalf("right side must be NULL-padded: %v", r)
+		}
+		if r[1].Null {
+			t.Fatalf("left side must survive: %v", r)
+		}
+	}
+}
+
+func TestHashJoinNullKeysNeverMatchTyped(t *testing.T) {
+	ls, rs := joinTestSchemas()
+	leftRows := []types.Row{
+		{types.NewNull(types.Int64), types.NewString("null-key")},
+		{types.NewInt(1), types.NewString("one")},
+	}
+	rightRows := []types.Row{
+		{types.NewNull(types.Int64), types.NewFloat(9)},
+		{types.NewInt(1), types.NewFloat(1.5)},
+	}
+	inner := NewHashJoin(NewSourceFromRows(ls, leftRows, 2), NewSourceFromRows(rs, rightRows, 2),
+		[]int{0}, []int{0}, InnerJoin)
+	rows, _ := Collect(inner)
+	if len(rows) != 1 || rows[0][1].S != "one" {
+		t.Fatalf("NULL keys joined: %v", rows)
+	}
+	// LEFT join: the NULL-key probe row survives as padded output.
+	left := NewHashJoin(NewSourceFromRows(ls, leftRows, 2), NewSourceFromRows(rs, rightRows, 2),
+		[]int{0}, []int{0}, LeftJoin)
+	rows, _ = Collect(left)
+	if len(rows) != 2 {
+		t.Fatalf("left join rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r[1].S == "null-key" && (!r[2].Null || !r[3].Null) {
+			t.Fatalf("NULL-key probe row must be padded, got %v", r)
+		}
+	}
+}
+
+func TestHashJoinLeftPaddingAcrossBatches(t *testing.T) {
+	ls, rs := joinTestSchemas()
+	var leftRows []types.Row
+	for i := 0; i < 500; i++ {
+		leftRows = append(leftRows, types.Row{types.NewInt(int64(i)), types.NewString(fmt.Sprint(i))})
+	}
+	// Build side matches only even keys < 400, with duplicate rows for
+	// keys divisible by 100.
+	var rightRows []types.Row
+	for i := 0; i < 400; i += 2 {
+		rightRows = append(rightRows, types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i))})
+		if i%100 == 0 {
+			rightRows = append(rightRows, types.Row{types.NewInt(int64(i)), types.NewFloat(-float64(i))})
+		}
+	}
+	j := NewHashJoin(NewSourceFromRows(ls, leftRows, 64), NewSourceFromRows(rs, rightRows, 64),
+		[]int{0}, []int{0}, LeftJoin)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200 even keys < 400 match once, 4 of them (0,100,200,300) twice;
+	// the other 300 probe rows pad.
+	want := 200 + 4 + 300
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	padded := 0
+	for _, r := range rows {
+		if r[2].Null {
+			padded++
+			if !r[3].Null {
+				t.Fatalf("partial padding: %v", r)
+			}
+			k := r[0].I
+			if k%2 == 0 && k < 400 {
+				t.Fatalf("key %d should have matched", k)
+			}
+		} else if r[0].I != r[2].I {
+			t.Fatalf("mis-join: %v", r)
+		}
+	}
+	if padded != 300 {
+		t.Fatalf("padded = %d", padded)
+	}
+}
+
+// TestHashJoinMatchesRowwiseReference cross-checks the columnar join
+// against a naive nested reference on randomized data with NULLs and
+// duplicate keys, for both join kinds.
+func TestHashJoinMatchesRowwiseReference(t *testing.T) {
+	ls, rs := joinTestSchemas()
+	rng := rand.New(rand.NewSource(42))
+	randRows := func(n int, stringCol bool) []types.Row {
+		rows := make([]types.Row, n)
+		for i := range rows {
+			var k types.Value
+			if rng.Intn(10) == 0 {
+				k = types.NewNull(types.Int64)
+			} else {
+				k = types.NewInt(int64(rng.Intn(20)))
+			}
+			if stringCol {
+				rows[i] = types.Row{k, types.NewString(fmt.Sprint(i))}
+			} else {
+				rows[i] = types.Row{k, types.NewFloat(float64(i))}
+			}
+		}
+		return rows
+	}
+	leftRows, rightRows := randRows(300, true), randRows(200, false)
+	for _, kind := range []JoinKind{InnerJoin, LeftJoin} {
+		j := NewHashJoin(NewSourceFromRows(ls, leftRows, 33), NewSourceFromRows(rs, rightRows, 17),
+			[]int{0}, []int{0}, kind)
+		got, err := Collect(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []types.Row
+		for _, l := range leftRows {
+			matched := false
+			for _, r := range rightRows {
+				if !l[0].Null && !r[0].Null && l[0].I == r[0].I {
+					want = append(want, append(l.Clone(), r...))
+					matched = true
+				}
+			}
+			if !matched && kind == LeftJoin {
+				want = append(want, append(l.Clone(), types.NewNull(types.Int64), types.NewNull(types.Float64)))
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("kind=%d: %d rows, want %d", kind, len(got), len(want))
+		}
+		key := func(r types.Row) string { return fmt.Sprint(r) }
+		gk, wk := make([]string, len(got)), make([]string, len(want))
+		for i := range got {
+			gk[i] = key(got[i])
+			wk[i] = key(want[i])
+		}
+		sort.Strings(gk)
+		sort.Strings(wk)
+		for i := range gk {
+			if gk[i] != wk[i] {
+				t.Fatalf("kind=%d: row %d differs:\n got %s\nwant %s", kind, i, gk[i], wk[i])
+			}
+		}
+	}
+}
+
+// TestHashJoinMultiKeyMixedTypes exercises multi-column keys including
+// a cross-type (int vs float) pair, which promotes through the float
+// domain.
+func TestHashJoinMultiKeyMixedTypes(t *testing.T) {
+	ls := types.MustSchema([]types.Column{
+		{Name: "a", Type: types.Int64}, {Name: "b", Type: types.String},
+	})
+	rs := types.MustSchema([]types.Column{
+		{Name: "x", Type: types.Float64}, {Name: "y", Type: types.String},
+	})
+	leftRows := []types.Row{
+		{types.NewInt(1), types.NewString("k")},
+		{types.NewInt(2), types.NewString("k")},
+		{types.NewInt(1), types.NewString("m")},
+	}
+	rightRows := []types.Row{
+		{types.NewFloat(1), types.NewString("k")},
+		{types.NewFloat(2.5), types.NewString("k")},
+		{types.NewFloat(1), types.NewString("m")},
+	}
+	j := NewHashJoin(NewSourceFromRows(ls, leftRows, 2), NewSourceFromRows(rs, rightRows, 2),
+		[]int{0, 1}, []int{0, 1}, InnerJoin)
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("cross-type multi-key join: %d rows: %v", len(rows), rows)
+	}
+}
+
+// TestHashJoinProbeAllocs verifies the probe/emit path performs no
+// per-batch allocations once warm: probing additional batches after the
+// build must not allocate regardless of row count.
+func TestHashJoinProbeAllocs(t *testing.T) {
+	ls, rs := joinTestSchemas()
+	var rightRows []types.Row
+	for i := 0; i < 1000; i++ {
+		rightRows = append(rightRows, types.Row{types.NewInt(int64(i)), types.NewFloat(float64(i))})
+	}
+	probe := types.NewBatch(ls, 512)
+	for i := 0; i < 512; i++ {
+		probe.AppendRow(types.Row{types.NewInt(int64(i % 1200)), types.NewString("v")})
+	}
+	endless := NewCallbackSource(ls, func(reset bool) (*types.Batch, error) { return probe, nil })
+	j := NewHashJoin(endless, NewSourceFromRows(rs, rightRows, 128), []int{0}, []int{0}, LeftJoin)
+	for i := 0; i < 8; i++ { // warm up: build + buffer growth
+		if _, err := j.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := j.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("probe path allocates %.1f allocs/batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// sortTestRows builds randomized rows with NULLs over (int, string,
+// float) columns.
+func sortTestRows(rng *rand.Rand, n int) []types.Row {
+	rows := make([]types.Row, n)
+	for i := range rows {
+		var iv, fv types.Value
+		if rng.Intn(12) == 0 {
+			iv = types.NewNull(types.Int64)
+		} else {
+			iv = types.NewInt(int64(rng.Intn(50)))
+		}
+		if rng.Intn(12) == 0 {
+			fv = types.NewNull(types.Float64)
+		} else {
+			fv = types.NewFloat(float64(rng.Intn(1000)) / 4)
+		}
+		rows[i] = types.Row{iv, types.NewString(fmt.Sprintf("s%02d", rng.Intn(30))), fv}
+	}
+	return rows
+}
+
+// TestSortMatchesReference pins the vectorized permutation sort to a
+// reference sort.SliceStable over boxed keys, across key shapes
+// (multi-column, desc, NULLs, computed expression keys).
+func TestSortMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := sortTestRows(rng, 700)
+	keySets := [][]SortKey{
+		{{E: col(0, "")}},
+		{{E: col(0, ""), Desc: true}},
+		{{E: col(1, "")}, {E: col(2, ""), Desc: true}},
+		{{E: col(1, ""), Desc: true}, {E: col(0, "")}},
+		// Computed key: id*2 evaluated once into a key vector.
+		{{E: cmp(OpMul, col(0, ""), intLit(2))}},
+	}
+	for ki, keys := range keySets {
+		got, err := Collect(NewSort(NewSourceFromRows(testSchema(), rows, 37), keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(rows) {
+			t.Fatalf("keys %d: sort lost rows: %d", ki, len(got))
+		}
+		want := make([]types.Row, len(rows))
+		copy(want, rows)
+		sort.SliceStable(want, func(i, j int) bool {
+			for _, sk := range keys {
+				// Reference evaluates keys by boxing through a one-row batch.
+				b := types.NewBatch(testSchema(), 2)
+				b.AppendRow(want[i])
+				b.AppendRow(want[j])
+				c := types.Compare(sk.E.Eval(b, 0), sk.E.Eval(b, 1))
+				if c == 0 {
+					continue
+				}
+				if sk.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		for i := range want {
+			if types.CompareKeys(got[i], want[i]) != 0 {
+				t.Fatalf("keys %d: row %d = %v, want %v", ki, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSortStreamsBatches verifies the sorted output streams in bounded
+// batches rather than one giant batch.
+func TestSortStreamsBatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	rows := sortTestRows(rng, 3000)
+	s := NewSort(NewSourceFromRows(testSchema(), rows, 256), []SortKey{{E: col(0, "")}})
+	batches, total := 0, 0
+	for {
+		b, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if b.Len() > sortOutCap {
+			t.Fatalf("batch of %d exceeds cap %d", b.Len(), sortOutCap)
+		}
+		batches++
+		total += b.Len()
+	}
+	if total != 3000 || batches < 3 {
+		t.Fatalf("streamed %d rows in %d batches", total, batches)
+	}
+}
+
+// TestSortEmitAllocs: once sorted, emitting further batches must not
+// allocate (reused output batch + gather).
+func TestSortEmitAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := sortTestRows(rng, 8*sortOutCap)
+	s := NewSort(NewSourceFromRows(testSchema(), rows, 512), []SortKey{{E: col(0, "")}})
+	if _, err := s.Next(); err != nil { // sort + first emit
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil { // warm the output batch's null masks
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2, func() {
+		if b, err := s.Next(); err != nil || b == nil {
+			t.Fatal("stream ended early")
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("emit path allocates %.1f allocs/batch, want 0", allocs)
+	}
+}
+
+// TestTopNMatchesSortLimitRandom re-pins TopN to Sort+Limit on random
+// data with NULLs, multi-key, both directions, across prune boundaries.
+func TestTopNMatchesSortLimitRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	rows := sortTestRows(rng, 5000)
+	keySets := [][]SortKey{
+		{{E: col(0, "")}},
+		{{E: col(2, ""), Desc: true}},
+		{{E: col(1, "")}, {E: col(0, ""), Desc: true}},
+	}
+	for ki, keys := range keySets {
+		for _, n := range []int{0, 1, 7, 100, 2048, 10000} {
+			top := NewTopN(NewSourceFromRows(testSchema(), rows, 97), keys, n)
+			got, err := Collect(top)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := NewLimit(NewSort(NewSourceFromRows(testSchema(), rows, 97), keys), n, 0)
+			want, _ := Collect(ref)
+			if len(got) != len(want) {
+				t.Fatalf("keys %d n=%d: %d vs %d rows", ki, n, len(got), len(want))
+			}
+			// Keys must agree positionally (ties may permute payloads).
+			for i := range want {
+				for _, sk := range keys {
+					bg := types.NewBatch(testSchema(), 1)
+					bg.AppendRow(got[i])
+					bw := types.NewBatch(testSchema(), 1)
+					bw.AppendRow(want[i])
+					if types.Compare(sk.E.Eval(bg, 0), sk.E.Eval(bw, 0)) != 0 {
+						t.Fatalf("keys %d n=%d row %d: %v vs %v", ki, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDistinctTypedMatchesReference pins the typed DISTINCT to a naive
+// reference on random data with NULLs (NULLs compare equal).
+func TestDistinctTypedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rows := sortTestRows(rng, 2000)
+	got, err := Collect(NewDistinct(NewSourceFromRows(testSchema(), rows, 61)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var want []types.Row
+	for _, r := range rows {
+		k := fmt.Sprint(r)
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, r)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distinct = %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if types.CompareKeys(got[i], want[i]) != 0 {
+			t.Fatalf("row %d = %v, want %v (first-seen order)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDistinctAfterFilterSelection runs DISTINCT over a selection-vector
+// input (the Filter → Distinct shape) to pin physical/logical indexing.
+func TestDistinctAfterFilterSelection(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	var rows []types.Row
+	for i := 0; i < 400; i++ {
+		rows = append(rows, types.Row{types.NewInt(int64(i % 10))})
+	}
+	f := NewFilter(NewSourceFromRows(s, rows, 64), cmp(OpGe, col(0, ""), intLit(5)))
+	got, err := Collect(NewDistinct(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("distinct over selection = %d rows: %v", len(got), got)
+	}
+}
+
+// TestDistinctProbeAllocs: probing duplicate-heavy batches after warm-up
+// must not allocate.
+func TestDistinctProbeAllocs(t *testing.T) {
+	s := types.MustSchema([]types.Column{{Name: "v", Type: types.Int64}})
+	batch := types.NewBatch(s, 512)
+	for i := 0; i < 512; i++ {
+		batch.AppendRow(types.Row{types.NewInt(int64(i % 64))})
+	}
+	endless := NewCallbackSource(s, func(reset bool) (*types.Batch, error) { return batch, nil })
+	d := NewDistinct(endless)
+	if _, err := d.Next(); err != nil { // absorbs all 64 distinct values
+		t.Fatal(err)
+	}
+	// After the first batch everything is a duplicate; Next would loop
+	// forever on an endless source, so probe one batch at a time through
+	// the internals: every subsequent batch yields no output rows, which
+	// Next skips — drive it with a bounded source instead.
+	bounded := 0
+	src := NewCallbackSource(s, func(reset bool) (*types.Batch, error) {
+		if bounded >= 1 {
+			return nil, nil
+		}
+		bounded++
+		return batch, nil
+	})
+	d2 := NewDistinct(src)
+	if _, err := d2.Next(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		bounded = 0
+		if _, err := d2.Next(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("distinct probe path allocates %.1f allocs/batch, want 0", allocs)
+	}
+}

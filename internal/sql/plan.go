@@ -470,8 +470,21 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 		return planAggregate(op, &sc, st, items, aggs)
 	}
 
-	// Plain query: sort → limit → project (fused into TopN when ORDER
-	// BY + LIMIT appear together without OFFSET).
+	// Plain query. DISTINCT changes operator placement: the projection
+	// and Distinct run first, and ORDER BY/LIMIT apply ABOVE them — a
+	// limit below the de-duplication would truncate pre-dedup rows.
+	if st.Distinct {
+		exprs, names, err := compileItems(items, &sc)
+		if err != nil {
+			return nil, err
+		}
+		var out exec.Operator = exec.NewProjection(op, exprs, names)
+		out = exec.NewDistinct(out)
+		return planDistinctOrderLimit(out, st, items, &sc)
+	}
+	// Without DISTINCT, sort → limit run below the projection (ORDER BY
+	// may reference non-projected columns), fused into TopN when a
+	// LIMIT is present.
 	if len(st.OrderBy) > 0 {
 		keys := make([]exec.SortKey, len(st.OrderBy))
 		for i, oi := range st.OrderBy {
@@ -481,32 +494,92 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 			}
 			keys[i] = exec.SortKey{E: ke, Desc: oi.Desc}
 		}
-		if st.Limit >= 0 && st.Offset == 0 && !st.Distinct {
-			op = exec.NewTopN(op, keys, st.Limit)
-		} else {
-			op = exec.NewSort(op, keys)
-			if st.Limit >= 0 || st.Offset > 0 {
-				op = exec.NewLimit(op, st.Limit, st.Offset)
-			}
-		}
+		op = planOrderLimit(op, keys, st)
 	} else if st.Limit >= 0 || st.Offset > 0 {
 		op = exec.NewLimit(op, st.Limit, st.Offset)
 	}
+	exprs, names, err := compileItems(items, &sc)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewProjection(op, exprs, names), nil
+}
+
+// compileItems lowers the select list against a scope.
+func compileItems(items []SelectItem, sc *scope) ([]exec.Expr, []string, error) {
 	exprs := make([]exec.Expr, len(items))
 	names := make([]string, len(items))
 	for i, it := range items {
-		ce, err := compileExpr(it.Expr, &sc)
+		ce, err := compileExpr(it.Expr, sc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		exprs[i] = ce
 		names[i] = itemName(it)
 	}
-	var out exec.Operator = exec.NewProjection(op, exprs, names)
-	if st.Distinct {
-		out = exec.NewDistinct(out)
+	return exprs, names, nil
+}
+
+// planDistinctOrderLimit applies ORDER BY/LIMIT above a Distinct. The
+// sort keys must be select-list outputs (standard SQL: for SELECT
+// DISTINCT, ORDER BY expressions must appear in the select list), so
+// each resolves to a column of the de-duplicated projection.
+func planDistinctOrderLimit(out exec.Operator, st *SelectStmt, items []SelectItem, sc *scope) (exec.Operator, error) {
+	if len(st.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(st.OrderBy))
+		for i, oi := range st.OrderBy {
+			idx, err := orderItemIndex(oi.Expr, items, sc)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = exec.SortKey{E: &exec.ColRef{Idx: idx, Name: itemName(items[idx])}, Desc: oi.Desc}
+		}
+		return planOrderLimit(out, keys, st), nil
+	}
+	if st.Limit >= 0 || st.Offset > 0 {
+		out = exec.NewLimit(out, st.Limit, st.Offset)
 	}
 	return out, nil
+}
+
+// orderItemIndex resolves an ORDER BY expression to a select-list
+// position, by alias or structurally.
+func orderItemIndex(e AstExpr, items []SelectItem, sc *scope) (int, error) {
+	if c, ok := e.(*ColExpr); ok && c.Table == "" {
+		for idx, it := range items {
+			if strings.EqualFold(it.Alias, c.Name) {
+				return idx, nil
+			}
+		}
+	}
+	key := renderResolved(e, sc)
+	for idx, it := range items {
+		if renderResolved(it.Expr, sc) == key {
+			return idx, nil
+		}
+	}
+	return 0, fmt.Errorf("sql: for SELECT DISTINCT, ORDER BY expressions must appear in the select list")
+}
+
+// planOrderLimit lowers ORDER BY (+ LIMIT/OFFSET) over op. When a LIMIT
+// is present the planner selects the Top-K path: a bounded exec.TopN
+// over limit+offset rows instead of materializing and fully sorting the
+// whole input, with a Limit on top only to skip the offset. Callers are
+// responsible for placement (for SELECT DISTINCT this runs above the
+// Distinct operator, so the limit counts de-duplicated rows).
+func planOrderLimit(op exec.Operator, keys []exec.SortKey, st *SelectStmt) exec.Operator {
+	if st.Limit >= 0 {
+		op = exec.NewTopN(op, keys, st.Limit+st.Offset)
+		if st.Offset > 0 {
+			op = exec.NewLimit(op, st.Limit, st.Offset)
+		}
+		return op
+	}
+	op = exec.NewSort(op, keys)
+	if st.Offset > 0 {
+		op = exec.NewLimit(op, st.Limit, st.Offset)
+	}
+	return op
 }
 
 // compileOrderKey resolves an ORDER BY expression, allowing references
@@ -727,7 +800,9 @@ func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectIt
 		}
 		out = exec.NewFilter(out, he)
 	}
-	if len(st.OrderBy) > 0 {
+	// As in planSelect, DISTINCT moves ORDER BY/LIMIT above the
+	// projection + Distinct so the limit counts de-duplicated rows.
+	if len(st.OrderBy) > 0 && !st.Distinct {
 		keys := make([]exec.SortKey, len(st.OrderBy))
 		for i, oi := range st.OrderBy {
 			// ORDER BY may reference select aliases.
@@ -746,9 +821,8 @@ func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectIt
 			}
 			keys[i] = exec.SortKey{E: ke, Desc: oi.Desc}
 		}
-		out = exec.NewSort(out, keys)
-	}
-	if st.Limit >= 0 || st.Offset > 0 {
+		out = planOrderLimit(out, keys, st)
+	} else if !st.Distinct && (st.Limit >= 0 || st.Offset > 0) {
 		out = exec.NewLimit(out, st.Limit, st.Offset)
 	}
 	exprs := make([]exec.Expr, len(items))
@@ -767,6 +841,7 @@ func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectIt
 	var final exec.Operator = exec.NewProjection(out, exprs, names)
 	if st.Distinct {
 		final = exec.NewDistinct(final)
+		return planDistinctOrderLimit(final, st, items, sc)
 	}
 	return final, nil
 }

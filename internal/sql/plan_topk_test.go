@@ -1,0 +1,124 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// planOf compiles a SELECT and renders its operator tree.
+func planOf(t *testing.T, s *Session, query string) string {
+	t.Helper()
+	p, err := Prepare(s.engine, query)
+	if err != nil {
+		t.Fatalf("prepare %q: %v", query, err)
+	}
+	if p.sel == nil {
+		t.Fatalf("%q is not a query", query)
+	}
+	return exec.DescribePlan(p.sel.root)
+}
+
+// TestPlannerTopKPushdown verifies ORDER BY + LIMIT compiles to the
+// bounded Top-K operator instead of a full Sort, across the plain,
+// OFFSET, and aggregate paths — and that plain ORDER BY still sorts.
+func TestPlannerTopKPushdown(t *testing.T) {
+	s := newSession(t)
+	setupItems(t, s)
+
+	plan := planOf(t, s, "SELECT id, price FROM items ORDER BY price DESC LIMIT 2")
+	if !strings.Contains(plan, "TopN(n=2") || strings.Contains(plan, "Sort(") {
+		t.Fatalf("ORDER BY + LIMIT must plan TopN, got:\n%s", plan)
+	}
+
+	// OFFSET rides the Top-K path too: TopN over limit+offset, Limit skips.
+	plan = planOf(t, s, "SELECT id FROM items ORDER BY price LIMIT 2 OFFSET 1")
+	if !strings.Contains(plan, "TopN(n=3") || !strings.Contains(plan, "Limit(limit=2 offset=1)") {
+		t.Fatalf("ORDER BY + LIMIT OFFSET must plan TopN(limit+offset)+Limit, got:\n%s", plan)
+	}
+
+	// Aggregate path: ORDER BY aggregate alias + LIMIT.
+	plan = planOf(t, s, "SELECT cat, SUM(qty) AS total FROM items GROUP BY cat ORDER BY total DESC LIMIT 2")
+	if !strings.Contains(plan, "TopN(n=2") || strings.Contains(plan, "Sort(") {
+		t.Fatalf("aggregate ORDER BY + LIMIT must plan TopN, got:\n%s", plan)
+	}
+
+	// No LIMIT: full sort.
+	plan = planOf(t, s, "SELECT id FROM items ORDER BY price")
+	if strings.Contains(plan, "TopN(") || !strings.Contains(plan, "Sort(keys=1)") {
+		t.Fatalf("plain ORDER BY must plan Sort, got:\n%s", plan)
+	}
+
+	// DISTINCT: order/limit plan ABOVE the Distinct (the limit counts
+	// de-duplicated rows), and still ride the Top-K path.
+	plan = planOf(t, s, "SELECT DISTINCT cat FROM items ORDER BY cat LIMIT 2")
+	if !strings.Contains(plan, "TopN(n=2") {
+		t.Fatalf("DISTINCT ORDER BY + LIMIT must plan TopN above Distinct, got:\n%s", plan)
+	}
+	if strings.Index(plan, "TopN(") > strings.Index(plan, "Distinct") {
+		t.Fatalf("TopN must sit above Distinct, got:\n%s", plan)
+	}
+}
+
+// TestDistinctOrderLimitSemantics pins the fix for limits truncating
+// pre-deduplication rows: LIMIT must count distinct rows.
+func TestDistinctOrderLimitSemantics(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE d (id BIGINT, x BIGINT, PRIMARY KEY (id))`)
+	mustExec(t, s, `INSERT INTO d VALUES (1,1),(2,1),(3,2),(4,2),(5,3)`)
+
+	r := mustExec(t, s, `SELECT DISTINCT x FROM d ORDER BY x LIMIT 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 1 || r.Rows[1][0].I != 2 {
+		t.Fatalf("DISTINCT ORDER BY LIMIT 2 = %v, want [1 2]", r.Rows)
+	}
+	r = mustExec(t, s, `SELECT DISTINCT x FROM d ORDER BY x DESC LIMIT 2 OFFSET 1`)
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 2 || r.Rows[1][0].I != 1 {
+		t.Fatalf("DISTINCT desc offset = %v, want [2 1]", r.Rows)
+	}
+	// LIMIT without ORDER BY also counts de-duplicated rows.
+	r = mustExec(t, s, `SELECT DISTINCT x FROM d LIMIT 3`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("DISTINCT LIMIT 3 = %d rows, want 3", len(r.Rows))
+	}
+	// Aggregate path: DISTINCT over grouped output with order+limit.
+	r = mustExec(t, s, `SELECT DISTINCT COUNT(*) AS n FROM d GROUP BY x ORDER BY n LIMIT 2`)
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 1 || r.Rows[1][0].I != 2 {
+		t.Fatalf("DISTINCT over aggregate = %v, want [1 2]", r.Rows)
+	}
+	// ORDER BY a column outside the DISTINCT select list is rejected
+	// (standard SQL), not silently mis-planned.
+	if _, err := s.Exec(`SELECT DISTINCT x FROM d ORDER BY id`); err == nil {
+		t.Fatal("DISTINCT with non-selected ORDER BY key must error")
+	}
+}
+
+// TestTopKQueryResults pins result correctness on the Top-K paths.
+func TestTopKQueryResults(t *testing.T) {
+	s := newSession(t)
+	setupItems(t, s)
+
+	r := mustExec(t, s, "SELECT id FROM items ORDER BY price DESC LIMIT 2")
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 5 || r.Rows[1][0].I != 2 {
+		t.Fatalf("top-2 by price desc = %v", r.Rows)
+	}
+
+	r = mustExec(t, s, "SELECT id FROM items ORDER BY price DESC LIMIT 2 OFFSET 1")
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 2 || r.Rows[1][0].I != 1 {
+		t.Fatalf("top-2 offset 1 = %v", r.Rows)
+	}
+
+	r = mustExec(t, s, "SELECT cat, SUM(qty) AS total FROM items GROUP BY cat ORDER BY total DESC LIMIT 1")
+	if len(r.Rows) != 1 || r.Rows[0][0].S != "veg" || r.Rows[0][1].I != 70 {
+		t.Fatalf("top group = %v", r.Rows)
+	}
+
+	// ORDER BY + LIMIT over a join exercises TopN above HashJoin.
+	mustExec(t, s, `CREATE TABLE labels (cat VARCHAR, label VARCHAR, PRIMARY KEY (cat))`)
+	mustExec(t, s, `INSERT INTO labels VALUES ('fruit', 'F'), ('veg', 'V')`)
+	r = mustExec(t, s, `SELECT i.id, l.label FROM items i JOIN labels l ON i.cat = l.cat
+		ORDER BY i.price DESC LIMIT 3`)
+	if len(r.Rows) != 3 || r.Rows[0][0].I != 2 || r.Rows[0][1].S != "F" {
+		t.Fatalf("join top-3 = %v", r.Rows)
+	}
+}

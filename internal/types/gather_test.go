@@ -1,0 +1,157 @@
+package types
+
+import (
+	"math"
+	"testing"
+)
+
+func gatherSchema() *Schema {
+	return MustSchema([]Column{
+		{Name: "i", Type: Int64},
+		{Name: "f", Type: Float64},
+		{Name: "s", Type: String},
+	})
+}
+
+func TestVectorGatherAppendPermutation(t *testing.T) {
+	src := NewVector(Int64, 8)
+	for i := int64(0); i < 5; i++ {
+		src.Append(NewInt(i * 10))
+	}
+	dst := NewVector(Int64, 8)
+	dst.GatherAppend(src, []int32{4, 2, 0, 2})
+	want := []int64{40, 20, 0, 20}
+	if len(dst.Ints) != len(want) {
+		t.Fatalf("len = %d", len(dst.Ints))
+	}
+	for i, w := range want {
+		if dst.Ints[i] != w {
+			t.Fatalf("dst[%d] = %d, want %d", i, dst.Ints[i], w)
+		}
+	}
+	if dst.HasNulls() {
+		t.Fatal("dense gather must not materialize nulls")
+	}
+}
+
+func TestVectorGatherAppendNegativePadsNull(t *testing.T) {
+	src := NewVector(String, 4)
+	src.Append(NewString("a"))
+	src.Append(NewString("b"))
+	dst := NewVector(String, 4)
+	dst.GatherAppend(src, []int32{1, -1, 0})
+	if dst.Len() != 3 {
+		t.Fatalf("len = %d", dst.Len())
+	}
+	if dst.IsNull(0) || !dst.IsNull(1) || dst.IsNull(2) {
+		t.Fatalf("null pattern wrong: %v %v %v", dst.IsNull(0), dst.IsNull(1), dst.IsNull(2))
+	}
+	if dst.Strings[0] != "b" || dst.Strings[2] != "a" {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestVectorGatherAppendCarriesSourceNulls(t *testing.T) {
+	src := NewVector(Float64, 4)
+	src.Append(NewFloat(1.5))
+	src.Append(NewNull(Float64))
+	src.Append(NewFloat(2.5))
+	dst := NewVector(Float64, 4)
+	dst.GatherAppend(src, []int32{2, 1, 0})
+	if dst.IsNull(0) || !dst.IsNull(1) || dst.IsNull(2) {
+		t.Fatal("source nulls must travel through gather")
+	}
+	if dst.Floats[0] != 2.5 || dst.Floats[2] != 1.5 {
+		t.Fatal("values wrong")
+	}
+}
+
+func TestBatchGatherAppend(t *testing.T) {
+	s := gatherSchema()
+	src := NewBatch(s, 4)
+	src.AppendRow(Row{NewInt(1), NewFloat(0.5), NewString("x")})
+	src.AppendRow(Row{NewInt(2), NewFloat(1.5), NewString("y")})
+	dst := NewBatch(s, 4)
+	dst.GatherAppend(src, []int32{1, 0})
+	if dst.Len() != 2 || dst.Cols[0].Ints[0] != 2 || dst.Cols[2].Strings[1] != "x" {
+		t.Fatalf("batch gather wrong: %v", dst.Row(0))
+	}
+	// Negative positions pad every column with NULL (LEFT-join padding).
+	dst.GatherAppend(src, []int32{-1, -1})
+	if dst.Len() != 4 || !dst.Cols[1].IsNull(2) || !dst.Cols[2].IsNull(3) || !dst.Cols[0].IsNull(3) {
+		t.Fatal("negative-index padding wrong")
+	}
+}
+
+func TestHashFloat64KeyCanonicalizesNaN(t *testing.T) {
+	plainNaN := math.NaN()
+	payloadNaN := math.Float64frombits(math.Float64bits(plainNaN) ^ 1)
+	if !math.IsNaN(payloadNaN) {
+		t.Skip("could not build a second NaN payload")
+	}
+	if HashFloat64Key(plainNaN) != HashFloat64Key(payloadNaN) {
+		t.Fatal("NaN payloads must hash equal (Compare treats them as equal)")
+	}
+	if HashFloat64Key(0.0) != HashFloat64Key(math.Copysign(0, -1)) {
+		t.Fatal("-0.0 must hash like 0.0")
+	}
+}
+
+func TestHashKeyColsEqualRowsHashEqual(t *testing.T) {
+	s := gatherSchema()
+	b := NewBatch(s, 4)
+	b.AppendRow(Row{NewInt(7), NewFloat(1.25), NewString("k")})
+	b.AppendRow(Row{NewInt(8), NewFloat(-0.0), NewString("k")})
+	b.AppendRow(Row{NewInt(7), NewFloat(1.25), NewString("k")})
+	b.AppendRow(Row{NewInt(8), NewFloat(0.0), NewString("k")})
+	hashes := make([]uint64, 4)
+	hasNull := make([]bool, 4)
+	HashKeyCols(b.Cols, nil, 4, hashes, hasNull)
+	if hashes[0] != hashes[2] {
+		t.Fatal("equal rows must hash equal")
+	}
+	if hashes[1] != hashes[3] {
+		t.Fatal("-0.0 and 0.0 must hash equal")
+	}
+	if hashes[0] == hashes[1] {
+		t.Fatal("distinct rows should hash differently")
+	}
+	for _, hn := range hasNull {
+		if hn {
+			t.Fatal("no nulls present")
+		}
+	}
+}
+
+func TestHashKeyColsNullsAndSel(t *testing.T) {
+	s := MustSchema([]Column{{Name: "a", Type: Int64}})
+	b := NewBatch(s, 4)
+	b.AppendRow(Row{NewInt(1)})
+	b.AppendRow(Row{NewNull(Int64)})
+	b.AppendRow(Row{NewInt(1)})
+	hashes := make([]uint64, 3)
+	hasNull := make([]bool, 3)
+	HashKeyCols(b.Cols, nil, 3, hashes, hasNull)
+	if hasNull[0] || !hasNull[1] || hasNull[2] {
+		t.Fatalf("hasNull = %v", hasNull)
+	}
+	if hashes[0] != hashes[2] {
+		t.Fatal("equal keys hash equal")
+	}
+	// Two NULL rows hash equal (DISTINCT groups them).
+	b2 := NewBatch(s, 2)
+	b2.AppendRow(Row{NewNull(Int64)})
+	b2.AppendRow(Row{NewNull(Int64)})
+	h2 := make([]uint64, 2)
+	HashKeyCols(b2.Cols, nil, 2, h2, nil)
+	if h2[0] != h2[1] {
+		t.Fatal("NULL keys must hash equal")
+	}
+	// Selection maps logical to physical rows.
+	selHashes := make([]uint64, 2)
+	selNull := make([]bool, 2)
+	HashKeyCols(b.Cols, []int{2, 1}, 2, selHashes, selNull)
+	if selHashes[0] != hashes[0] || !selNull[1] {
+		t.Fatal("sel-mapped hashing wrong")
+	}
+}

@@ -1,0 +1,144 @@
+package types
+
+import (
+	"hash/maphash"
+	"math"
+)
+
+// Multi-column typed key hashing for the hash operators (join, DISTINCT,
+// grouping). Unlike Value.Hash, these primitives work over the raw typed
+// representations, so operators can hash a whole key column without
+// boxing a Value per row. Two values that compare equal under Compare
+// within one type class hash equal; cross-type numeric equality is the
+// caller's concern (it promotes both sides to the float domain and uses
+// HashFloat64Key).
+
+// keyStringSeed is the process-wide seed for string key hashing.
+var keyStringSeed = maphash.MakeSeed()
+
+// KeyHashInit is the initial accumulator for KeyHashCombine (FNV offset
+// basis, matching HashRow's combining scheme).
+const KeyHashInit uint64 = 1469598103934665603
+
+// KeyHashNull is the column-hash contribution of a NULL position: a
+// fixed tag, so NULLs of any type hash identically (DISTINCT and GROUP
+// BY treat NULLs as equal; joins filter NULL keys before hashing).
+const KeyHashNull uint64 = 0xA5A5A5A5A5A5A5A5
+
+// HashInt64Key hashes one int64 (or bool 0/1) key value. Fibonacci
+// multiplicative hashing: cheap and well-distributed for sequential ids
+// and dictionary codes alike.
+func HashInt64Key(v int64) uint64 { return uint64(v) * 0x9E3779B97F4A7C15 }
+
+// HashFloat64Key hashes one float64 key value; -0.0 is normalized to
+// 0.0 and every NaN payload to one canonical NaN, so values that
+// compare equal under Compare hash equal.
+func HashFloat64Key(f float64) uint64 {
+	if f == 0 {
+		f = 0
+	} else if math.IsNaN(f) {
+		f = math.NaN()
+	}
+	return HashInt64Key(int64(math.Float64bits(f)))
+}
+
+// HashStringKey hashes one string key value without allocating.
+func HashStringKey(s string) uint64 { return maphash.String(keyStringSeed, s) }
+
+// KeyHashCombine folds one column's hash into the row accumulator
+// (xor-then-multiply, as HashRow).
+func KeyHashCombine(h, colHash uint64) uint64 {
+	h ^= colHash
+	h *= 1099511628211
+	return h
+}
+
+// HashKeyCols computes a combined hash per logical row over the given
+// key column vectors, column-major. sel, when non-nil, maps logical
+// rows to physical positions (hashes[i] describes sel[i]); n is the
+// logical row count. NULL positions fold KeyHashNull into the hash (so
+// rows containing NULLs still hash consistently, as DISTINCT needs) and
+// set hasNull[i] (so joins can reject them). hashes and hasNull must
+// have length ≥ n; hasNull may be nil when the caller does not care.
+func HashKeyCols(cols []*Vector, sel []int, n int, hashes []uint64, hasNull []bool) {
+	for i := 0; i < n; i++ {
+		hashes[i] = KeyHashInit
+	}
+	if hasNull != nil {
+		for i := 0; i < n; i++ {
+			hasNull[i] = false
+		}
+	}
+	for _, v := range cols {
+		hashOneKeyCol(v, sel, n, hashes, hasNull)
+	}
+}
+
+func hashOneKeyCol(v *Vector, sel []int, n int, hashes []uint64, hasNull []bool) {
+	nulls := v.Nulls
+	anyNull := nulls.AnyNull()
+	switch v.Typ {
+	case Int64, Bool:
+		vals := v.Ints
+		switch {
+		case sel == nil && !anyNull:
+			for i := 0; i < n; i++ {
+				hashes[i] = KeyHashCombine(hashes[i], HashInt64Key(vals[i]))
+			}
+		case sel == nil:
+			for i := 0; i < n; i++ {
+				if nulls.IsNull(i) {
+					hashes[i] = KeyHashCombine(hashes[i], KeyHashNull)
+					if hasNull != nil {
+						hasNull[i] = true
+					}
+					continue
+				}
+				hashes[i] = KeyHashCombine(hashes[i], HashInt64Key(vals[i]))
+			}
+		default:
+			for i, phys := range sel[:n] {
+				if anyNull && nulls.IsNull(phys) {
+					hashes[i] = KeyHashCombine(hashes[i], KeyHashNull)
+					if hasNull != nil {
+						hasNull[i] = true
+					}
+					continue
+				}
+				hashes[i] = KeyHashCombine(hashes[i], HashInt64Key(vals[phys]))
+			}
+		}
+	case Float64:
+		vals := v.Floats
+		for i := 0; i < n; i++ {
+			phys := i
+			if sel != nil {
+				phys = sel[i]
+			}
+			if anyNull && nulls.IsNull(phys) {
+				hashes[i] = KeyHashCombine(hashes[i], KeyHashNull)
+				if hasNull != nil {
+					hasNull[i] = true
+				}
+				continue
+			}
+			hashes[i] = KeyHashCombine(hashes[i], HashFloat64Key(vals[phys]))
+		}
+	case String:
+		vals := v.Strings
+		for i := 0; i < n; i++ {
+			phys := i
+			if sel != nil {
+				phys = sel[i]
+			}
+			if anyNull && nulls.IsNull(phys) {
+				hashes[i] = KeyHashCombine(hashes[i], KeyHashNull)
+				if hasNull != nil {
+					hasNull[i] = true
+				}
+				continue
+			}
+			hashes[i] = KeyHashCombine(hashes[i], HashStringKey(vals[phys]))
+		}
+	}
+}

@@ -185,6 +185,87 @@ func (v *Vector) appendNullBits(nulls *NullMask, sel []int, n int) {
 	}
 }
 
+// GatherAppend appends src's value at each physical position of idxs, in
+// order — the permutation-gather primitive sorts and joins assemble
+// output batches with. A negative index appends NULL (how LEFT joins pad
+// unmatched probe rows). idxs never pass through src.Sel; callers
+// resolve logical rows to physical positions first.
+func (v *Vector) GatherAppend(src *Vector, idxs []int32) {
+	nulls := src.Nulls
+	anyNull := nulls.AnyNull()
+	// Bulk fast path: no source nulls, no padding, and no set bits in
+	// the destination mask (an empty mask left allocated by Reset counts
+	// — reused output batches must not fall off this path forever after
+	// their first NULL).
+	if !anyNull && !v.Nulls.AnyNull() && allNonNegative(idxs) {
+		switch v.Typ {
+		case Int64, Bool:
+			for _, ix := range idxs {
+				v.Ints = append(v.Ints, src.Ints[ix])
+			}
+		case Float64:
+			for _, ix := range idxs {
+				v.Floats = append(v.Floats, src.Floats[ix])
+			}
+		case String:
+			for _, ix := range idxs {
+				v.Strings = append(v.Strings, src.Strings[ix])
+			}
+		}
+		if v.Nulls != nil {
+			v.Nulls.AppendN(len(idxs), false)
+		}
+		return
+	}
+	switch v.Typ {
+	case Int64, Bool:
+		vals := src.Ints
+		for _, ix := range idxs {
+			if ix < 0 || (anyNull && nulls.IsNull(int(ix))) {
+				v.appendNull()
+				continue
+			}
+			v.Ints = append(v.Ints, vals[ix])
+			if v.Nulls != nil {
+				v.Nulls.Append(false)
+			}
+		}
+	case Float64:
+		vals := src.Floats
+		for _, ix := range idxs {
+			if ix < 0 || (anyNull && nulls.IsNull(int(ix))) {
+				v.appendNull()
+				continue
+			}
+			v.Floats = append(v.Floats, vals[ix])
+			if v.Nulls != nil {
+				v.Nulls.Append(false)
+			}
+		}
+	case String:
+		vals := src.Strings
+		for _, ix := range idxs {
+			if ix < 0 || (anyNull && nulls.IsNull(int(ix))) {
+				v.appendNull()
+				continue
+			}
+			v.Strings = append(v.Strings, vals[ix])
+			if v.Nulls != nil {
+				v.Nulls.Append(false)
+			}
+		}
+	}
+}
+
+func allNonNegative(idxs []int32) bool {
+	for _, ix := range idxs {
+		if ix < 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // IsNull reports whether position i is null.
 func (v *Vector) IsNull(i int) bool { return v.Nulls.IsNull(i) }
 
@@ -296,6 +377,15 @@ func (b *Batch) Copy() *Batch {
 	out := NewBatch(b.Schema, b.Len())
 	out.AppendBatch(b)
 	return out
+}
+
+// GatherAppend appends src's rows at the given physical positions to b,
+// column by column (negative positions append all-NULL padding). Schemas
+// must match positionally; src.Sel is ignored — idxs are physical.
+func (b *Batch) GatherAppend(src *Batch, idxs []int32) {
+	for c, vec := range src.Cols {
+		b.Cols[c].GatherAppend(vec, idxs)
+	}
 }
 
 // AppendBatch appends every logical row of src to b using the typed bulk

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Diffs two bench JSON files produced by scripts/bench.sh (test2json
+# form), printing per-benchmark ns/op and the old→new delta. A negative
+# delta is a speedup. Benchmarks present in only one file are listed at
+# the bottom.
+#
+#   scripts/bench_compare.sh BENCH_baseline.json BENCH_pr4.json
+#
+# For statistically serious comparisons, run `benchstat old.txt new.txt`
+# on the .txt outputs instead; this is the quick trajectory view.
+set -euo pipefail
+if [ $# -ne 2 ]; then
+  echo "usage: $0 old.json new.json" >&2
+  exit 2
+fi
+old="$1" new="$2"
+
+# Pull "BenchmarkX-8  N  12345 ns/op ..." result lines out of the
+# test2json Output fields. test2json splits one bench result line across
+# several Output events (name, then numbers), so concatenate the payloads
+# in file order, unescape, and parse the reassembled lines.
+extract() {
+  grep -o '"Output":"[^"]*"' "$1" |
+    sed -e 's/^"Output":"//' -e 's/"$//' |
+    tr -d '\n' |
+    sed -e 's/\\t/\t/g' -e 's/\\n/\n/g' |
+    awk -F'\t' '/^Benchmark/ && /ns\/op/ {
+      name = $1
+      sub(/-[0-9]+ *$/, "", name)  # strip -GOMAXPROCS suffix
+      gsub(/ /, "", name)
+      for (i = 2; i <= NF; i++) {
+        if ($(i) ~ /ns\/op/) { v = $(i); sub(/ *ns\/op.*/, "", v); gsub(/ /, "", v); print name, v }
+      }
+    }'
+}
+
+printf "%-72s %14s %14s %9s\n" "benchmark" "old ns/op" "new ns/op" "delta"
+awk '
+  NR == FNR { old[$1] = $2; next }
+  {
+    new[$1] = $2
+    if ($1 in old) {
+      delta = (old[$1] > 0) ? 100 * ($2 - old[$1]) / old[$1] : 0
+      printf "%-72s %14.0f %14.0f %+8.1f%%\n", $1, old[$1], $2, delta
+    }
+  }
+  END {
+    for (k in old) if (!(k in new)) printf "%-72s %14.0f %14s\n", k, old[k], "(gone)"
+    for (k in new) if (!(k in old)) printf "%-72s %14s %14.0f\n", k, "(new)", new[k]
+  }
+' <(extract "$old") <(extract "$new") | sort
