@@ -949,6 +949,152 @@ func BenchmarkE13_JoinSort(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------
+// E14 — Morsel-driven parallel pipelines (PR 5): filter → partial
+// aggregation / join build / sort-run generation execute on the scan
+// workers themselves (thread-local breaker state merged once), instead
+// of funnelling every batch through a single-threaded consumer.
+// workers=1 is the funnel baseline: the same engine, same morsel scan,
+// but all operator work serialized behind the scan channel — exactly
+// the pre-PR-5 execution. Mrows/s scaling across the workers series is
+// the scoreboard; allocs/op shows the per-execution setup cost only
+// (the per-morsel path allocates nothing; see
+// TestPipelineWorkerStageAllocs).
+// ---------------------------------------------------------------------
+
+const (
+	e14Rows   = 512 * 1024
+	e14Groups = 61
+)
+
+// e14Engine loads one merged table on an 8-way engine. The pipeline
+// width is chosen per series via exec.MarkPipeline, so every series
+// scans identical storage.
+func e14Engine(b *testing.B) *core.Engine {
+	b.Helper()
+	e, err := core.NewEngine(core.Options{Parallelism: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "grp", Type: types.Int64},
+		{Name: "v", Type: types.Int64},
+	}, "id")
+	if _, err := e.CreateTable("t", schema); err != nil {
+		b.Fatal(err)
+	}
+	tx := e.Begin()
+	for i := 0; i < e14Rows; i++ {
+		row := types.Row{
+			types.NewInt(int64(i)),
+			types.NewInt(int64(i % e14Groups)),
+			types.NewInt(int64(i%10_000) - 5_000),
+		}
+		if err := tx.Insert("t", row); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%20_000 == 0 {
+			tx.Commit()
+			tx = e.Begin()
+		}
+	}
+	tx.Commit()
+	if _, err := e.Merge("t"); err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+func BenchmarkE14_ParallelPipeline(b *testing.B) {
+	e := e14Engine(b)
+	defer e.Close()
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("groupagg/workers=%d", workers), func(b *testing.B) {
+			tx := e.Begin()
+			defer tx.Abort()
+			ts, err := tx.ScanOperator("t", []int{1, 2}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ts.Close()
+			agg := exec.NewHashAggregate(exec.MarkPipeline(ts, workers),
+				[]exec.Expr{&exec.ColRef{Idx: 0, Name: "grp"}}, nil,
+				[]exec.AggSpec{
+					{Func: exec.AggCountStar, Name: "n"},
+					{Func: exec.AggSum, Arg: &exec.ColRef{Idx: 1}, Name: "sv"},
+					{Func: exec.AggMin, Arg: &exec.ColRef{Idx: 1}, Name: "minv"},
+				})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg.Reset()
+				n, err := exec.CollectCount(agg)
+				if err != nil || n != e14Groups {
+					b.Fatalf("groups = %d, err = %v", n, err)
+				}
+			}
+			b.ReportMetric(float64(e14Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+
+	probeSchema := types.MustSchema([]types.Column{
+		{Name: "k", Type: types.Int64}, {Name: "tag", Type: types.Int64},
+	})
+	probeRows := make([]types.Row, 4096)
+	for i := range probeRows {
+		probeRows[i] = types.Row{types.NewInt(int64(i * (e14Rows / 4096))), types.NewInt(int64(i))}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("joinbuild/workers=%d", workers), func(b *testing.B) {
+			tx := e.Begin()
+			defer tx.Abort()
+			ts, err := tx.ScanOperator("t", []int{0, 1}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ts.Close()
+			probe := exec.NewSourceFromRows(probeSchema, probeRows, 4096)
+			j := exec.NewHashJoin(probe, exec.MarkPipeline(ts, workers), []int{0}, []int{0}, exec.InnerJoin)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				j.Reset()
+				n, err := exec.CollectCount(j)
+				if err != nil || n != len(probeRows) {
+					b.Fatalf("join rows = %d, err = %v", n, err)
+				}
+			}
+			b.ReportMetric(float64(e14Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+
+	sortKeys := []exec.SortKey{{E: &exec.ColRef{Idx: 1}}, {E: &exec.ColRef{Idx: 0}, Desc: true}}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("sortruns/workers=%d", workers), func(b *testing.B) {
+			tx := e.Begin()
+			defer tx.Abort()
+			ts, err := tx.ScanOperator("t", []int{0, 2}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ts.Close()
+			s := exec.NewSort(exec.MarkPipeline(ts, workers), sortKeys)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Reset()
+				n, err := exec.CollectCount(s)
+				if err != nil || n != e14Rows {
+					b.Fatalf("sort rows = %d, err = %v", n, err)
+				}
+			}
+			b.ReportMetric(float64(e14Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
 // E11 — Zone maps (storage indexes) prune scans on clustered data and
 // cannot on shuffled data. (Tutorial §3: Oracle DBIM.)
 // ---------------------------------------------------------------------

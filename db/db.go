@@ -59,8 +59,11 @@ type Options struct {
 	// MergeThreshold is the delta live-row count that triggers an
 	// automatic merge (default 64k rows).
 	MergeThreshold int
-	// Parallelism is the worker count for analytic column-store scans;
-	// <= 1 keeps scans single-threaded.
+	// Parallelism is the worker count for analytic column-store scans
+	// and the parallel operator pipelines above them (filter, partial
+	// aggregation, join build, sort runs all execute on the morsel
+	// workers). <= 0 defaults to runtime.GOMAXPROCS(0) — use every
+	// core; set 1 explicitly to force single-threaded execution.
 	Parallelism int
 	// AutoMergeEvery, when > 0, starts a background delta-merge daemon
 	// with this interval. Close stops and awaits it.

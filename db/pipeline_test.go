@@ -1,0 +1,74 @@
+package db
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestAggregateCancelParallelPipeline: cancelling a grouped-aggregate
+// query on a parallel engine must surface context.Canceled through the
+// public cursor — the breaker merge does not emit a partial result —
+// and every morsel worker must exit (the pipeline drain is synchronous,
+// so no goroutines may linger).
+func TestAggregateCancelParallelPipeline(t *testing.T) {
+	d := openTest(t, Options{Parallelism: 4})
+	loadBig(t, d, 60_000)
+	if _, err := d.Engine().Merge("big"); err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rows, err := d.Query(ctx, `SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cancel before the first pull: the aggregate drains its whole
+	// pipeline on the first NextBatch, which must observe the
+	// cancellation at the scan and propagate it out of the merge.
+	cancel()
+	if _, err := rows.NextBatch(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NextBatch after cancel: err = %v, want context.Canceled", err)
+	}
+	rows.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if runtime.NumGoroutine() > before {
+		t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+	}
+
+	// The engine stays healthy: the same statement re-runs to completion
+	// with a fresh context (plan-cache instance reuse after an aborted
+	// pipeline execution).
+	var grp, n int64
+	var sum float64
+	rows2, err := d.Query(context.Background(), `SELECT grp, COUNT(*), SUM(val) FROM big GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	groups := 0
+	var total int64
+	for rows2.Next() {
+		if err := rows2.Scan(&grp, &n, &sum); err != nil {
+			t.Fatal(err)
+		}
+		groups++
+		total += n
+	}
+	if err := rows2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if groups != 97 || total != 60_000 {
+		t.Fatalf("re-run after cancel: %d groups / %d rows, want 97 / 60000", groups, total)
+	}
+}

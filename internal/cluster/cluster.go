@@ -157,7 +157,11 @@ func New(cfg Config) (*Cluster, error) {
 		timeout:     cfg.Timeout,
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		e, err := core.NewEngine(core.Options{})
+		// Tablet engines scan serially: ScanAll's contract (key-ordered,
+		// retainable batches within a tablet) predates morsel
+		// parallelism, and cross-node fan-out is the cluster layer's own
+		// parallelism axis.
+		e, err := core.NewEngine(core.Options{Parallelism: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/storage/colstore"
@@ -55,11 +57,12 @@ type Options struct {
 	// MergeThreshold is the delta live-row count that triggers an
 	// automatic merge when AutoMerge runs (default 64k rows).
 	MergeThreshold int
-	// Parallelism is the worker count for analytic segment scans.
-	// Values <= 1 keep scans single-threaded. When > 1, column-store
-	// scans run morsel-parallel and the batches delivered to Scan
-	// callbacks are pooled: valid only until the callback returns
-	// (retainers must Copy them).
+	// Parallelism is the worker count for analytic segment scans and
+	// the exec-layer parallel pipelines above them. Values <= 0 default
+	// to runtime.GOMAXPROCS(0); 1 keeps scans single-threaded. When the
+	// effective value is > 1, column-store scans run morsel-parallel
+	// and the batches delivered to Scan callbacks are pooled: valid
+	// only until the callback returns (retainers must Copy them).
 	Parallelism int
 }
 
@@ -93,6 +96,9 @@ func NewEngine(opts Options) (*Engine, error) {
 	}
 	if opts.MergeThreshold <= 0 {
 		opts.MergeThreshold = 64 << 10
+	}
+	if opts.Parallelism <= 0 {
+		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
 		oracle: txn.NewOracle(),
@@ -135,6 +141,11 @@ func (e *Engine) Oracle() *txn.Oracle { return e.oracle }
 
 // Mode returns the concurrency mode.
 func (e *Engine) Mode() ConcurrencyMode { return e.opts.Mode }
+
+// Parallelism returns the effective analytic worker count (Options
+// normalized: <= 0 resolved to GOMAXPROCS at engine creation). The SQL
+// planner uses it to size parallel pipelines.
+func (e *Engine) Parallelism() int { return e.opts.Parallelism }
 
 // CreateTable registers a new dual-format table.
 func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) {
@@ -412,11 +423,12 @@ func (t *Tx) Get(table string, key types.Row) (types.Row, bool, error) {
 // Scan streams every visible row of the table: column segments first
 // (vectorized), then the delta, under one consistent snapshot.
 //
-// Batch lifetime: with the default Options.Parallelism (<= 1) every
-// batch handed to fn is freshly allocated and may be retained. When
-// Parallelism > 1 the column-store batches come from worker pools and
-// are valid only until fn returns — callers that retain batches must
-// Batch.Copy them (ScanOperator does this automatically).
+// Batch lifetime: with Options.Parallelism forced to 1 every batch
+// handed to fn is freshly allocated and may be retained. With the
+// default (Parallelism resolves to GOMAXPROCS) on a multi-core machine
+// the scan runs morsel-parallel and every batch — cold and delta — is
+// pooled: valid only until fn returns, so retainers must Batch.Copy
+// them (TableScan does this automatically).
 //
 // In 2PL mode the scan takes a shared lock on the whole table (strict
 // S2PL at coarse granularity — the classical behaviour the tutorial's
@@ -452,6 +464,37 @@ func (t *Tx) ScanCtx(ctx context.Context, table string, proj []int, preds []cols
 	return stats, nil
 }
 
+// ScanWorkers is the parallel-consume variant of ScanCtx: fn is
+// invoked concurrently from up to workers morsel goroutines, each call
+// carrying the producing worker's id (delta rows arrive on worker 0
+// after the cold workers join). There is no cross-worker funnel, so fn
+// must be safe for concurrent calls with distinct worker ids; batches
+// are pooled and valid only until fn returns. workers <= 0 uses the
+// engine's configured parallelism. All workers have exited when
+// ScanWorkers returns; a cancelled ctx stops the scan within one zone
+// boundary and returns ctx.Err().
+func (t *Tx) ScanWorkers(ctx context.Context, table string, proj []int, preds []colstore.Predicate, workers int, fn func(worker int, b *types.Batch) bool) (colstore.ScanStats, error) {
+	tbl, err := t.engine.Table(table)
+	if err != nil {
+		return colstore.ScanStats{}, err
+	}
+	if err := t.lockTableShared(tbl); err != nil {
+		return colstore.ScanStats{}, err
+	}
+	if workers <= 0 {
+		workers = t.engine.opts.Parallelism
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	stats := scanTableWorkers(tbl, t.inner.ReadTS, t.inner.ID, proj, preds, workers, done, fn)
+	if ctx != nil && ctx.Err() != nil {
+		return stats, ctx.Err()
+	}
+	return stats, nil
+}
+
 // lockTableShared takes the 2PL table-granularity shared lock (no-op in
 // MVCC mode).
 func (t *Tx) lockTableShared(tbl *Table) error {
@@ -473,9 +516,10 @@ func scanTable(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Pre
 }
 
 // scanTableFn is the full-fidelity scan driver: pooled reports whether
-// the delivered batch is transient (owned by a parallel-scan pool and
-// valid only during the callback). Delta batches and serial cold
-// batches are freshly allocated and may be retained.
+// the delivered batch is transient (owned by a scan pool and valid only
+// during the callback). In a parallel scan every batch — cold and
+// delta — is pooled; only serial scans deliver freshly allocated,
+// retainable batches.
 //
 // done, when non-nil, cancels the scan: the column-store half checks it
 // between zones (morsel workers exit before their segment scan returns)
@@ -508,19 +552,46 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 	if stop || cancelled() {
 		return stats
 	}
-	// Delta rows stream in primary-key order, batched.
+	scanDelta(tbl, readTS, self, proj, preds, parallel, done, &stats, func(b *types.Batch) bool {
+		return fn(b, parallel)
+	})
+	return stats
+}
+
+// deltaBatchSize is the batch granularity delta rows stream at.
+const deltaBatchSize = 1024
+
+// scanDelta streams the table's visible delta rows (primary-key order,
+// batched) to fn, accumulating stats. When pooled is true the batches
+// come from a BatchPool and are reused across flushes — valid only
+// until fn returns, like the parallel cold path's worker batches; when
+// false every batch is freshly allocated and may be retained. The
+// caller must hold tbl.storageMu.
+func scanDelta(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, pooled bool, done <-chan struct{}, stats *colstore.ScanStats, fn func(b *types.Batch) bool) {
 	projSchema := projectSchema(tbl.schema, proj)
-	const deltaBatch = 1024
-	batch := types.NewBatch(projSchema, deltaBatch)
+	var pool *types.BatchPool
+	nextBatch := func() *types.Batch {
+		if pooled {
+			if pool == nil {
+				pool = types.NewBatchPool(projSchema, deltaBatchSize)
+			}
+			return pool.Get()
+		}
+		return types.NewBatch(projSchema, deltaBatchSize)
+	}
+	batch := nextBatch()
 	flush := func() bool {
 		if batch.Len() == 0 {
 			return true
 		}
-		if cancelled() {
+		if colstore.IsDone(done) {
 			return false
 		}
-		ok := fn(batch, false)
-		batch = types.NewBatch(projSchema, deltaBatch)
+		ok := fn(batch)
+		if pooled {
+			pool.Put(batch)
+		}
+		batch = nextBatch()
 		return ok
 	}
 	tbl.delta.Scan(readTS, self, func(row types.Row) bool {
@@ -534,12 +605,45 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 			out[i] = row[ci]
 		}
 		batch.AppendRow(out)
-		if batch.Len() >= deltaBatch {
+		if batch.Len() >= deltaBatchSize {
 			return flush()
 		}
 		return true
 	})
 	flush()
+}
+
+// scanTableWorkers is the parallel-consume scan driver beneath the exec
+// pipeline: cold-store batches are delivered concurrently to fn with
+// the producing worker's id (0..workers-1, no cross-worker funnel —
+// see colstore.Segment.ScanParallelWorkers), then the delta streams to
+// worker 0 on the calling goroutine once the cold workers have joined.
+// Every batch is pooled/transient: valid only until fn returns. fn
+// returning false (any worker) stops the scan; done cancels it between
+// zones/batches.
+func scanTableWorkers(tbl *Table, readTS, self uint64, proj []int, preds []colstore.Predicate, workers int, done <-chan struct{}, fn func(worker int, b *types.Batch) bool) colstore.ScanStats {
+	tbl.storageMu.RLock()
+	defer tbl.storageMu.RUnlock()
+	if proj == nil {
+		proj = make([]int, len(tbl.schema.Cols))
+		for i := range proj {
+			proj[i] = i
+		}
+	}
+	var stopped atomic.Bool
+	stats := tbl.cold.ScanParallelWorkers(readTS, self, proj, preds, workers, done, func(w int, b *types.Batch) bool {
+		if !fn(w, b) {
+			stopped.Store(true)
+			return false
+		}
+		return true
+	})
+	if stopped.Load() || colstore.IsDone(done) {
+		return stats
+	}
+	scanDelta(tbl, readTS, self, proj, preds, true, done, &stats, func(b *types.Batch) bool {
+		return fn(0, b)
+	})
 	return stats
 }
 

@@ -191,6 +191,44 @@ func (t *TableScan) start() {
 	}()
 }
 
+// MaxWorkers implements exec.ParallelSource: the engine's configured
+// parallelism (the ceiling for pipeline fan-out over this scan).
+func (t *TableScan) MaxWorkers() int { return t.engine.opts.Parallelism }
+
+// ScanWorkers implements exec.ParallelSource: it runs one execution of
+// the scan synchronously, delivering batches CONCURRENTLY to fn from up
+// to workers morsel goroutines (worker ids 0..workers-1; delta rows
+// arrive on worker 0 after the cold workers join). Unlike Next, no
+// producer goroutine or channel is involved — the exec pipeline driver
+// consumes each batch on the worker that produced it. Batches are
+// pooled: valid only until fn returns. fn returning false stops the
+// scan. All workers have exited when ScanWorkers returns; cancellation
+// of the bound context surfaces as its ctx.Err().
+func (t *TableScan) ScanWorkers(workers int, fn func(worker int, b *types.Batch) bool) error {
+	if t.tx == nil {
+		return fmt.Errorf("core: TableScan on %q is not bound to a transaction", t.tbl.name)
+	}
+	// Terminate any channel-mode execution so the two consumption modes
+	// never interleave on one scan.
+	t.stopRun()
+	if workers <= 0 {
+		workers = t.engine.opts.Parallelism
+	}
+	tx, ctx := t.tx, t.ctx
+	if err := tx.lockTableShared(t.tbl); err != nil {
+		return err
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t.Stats = scanTableWorkers(t.tbl, tx.inner.ReadTS, tx.inner.ID, t.proj, t.preds, workers, done, fn)
+	if ctx != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
 // stopRun cancels the in-flight producer (if any) and waits for it and
 // its morsel workers to exit, draining undelivered batches.
 func (t *TableScan) stopRun() {

@@ -170,7 +170,10 @@ type aggGroup struct {
 // one batch of results. When the aggregation shape allows it (column-ref
 // arguments over numeric/bool columns, grouping empty or a single
 // int64-domain column), the drain runs through the typed kernel path in
-// agg_typed.go instead of boxing a types.Value per row.
+// agg_typed.go instead of boxing a types.Value per row — and when the
+// input is additionally a parallel exec.Pipeline, the typed drain fans
+// out over the morsel workers with thread-local partial states merged
+// here at the breaker.
 func (h *HashAggregate) Next() (*types.Batch, error) {
 	if h.done {
 		return nil, nil

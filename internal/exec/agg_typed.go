@@ -256,9 +256,43 @@ func (t *intGroupTable) grow() {
 	}
 }
 
+// merge folds another partial state into st. The layout is kind-blind:
+// count/sum fields are additive and min/max fold through seen, so one
+// merge serves every kernel family (the fields a family never writes
+// stay zero and merge harmlessly).
+func (st *typedAggState) merge(o *typedAggState) {
+	st.count += o.count
+	st.sumI += o.sumI
+	st.sumF += o.sumF
+	if !o.seen {
+		return
+	}
+	if !st.seen {
+		st.minI, st.maxI = o.minI, o.maxI
+		st.minF, st.maxF = o.minF, o.maxF
+		st.seen = true
+		return
+	}
+	if o.minI < st.minI {
+		st.minI = o.minI
+	}
+	if o.maxI > st.maxI {
+		st.maxI = o.maxI
+	}
+	if o.minF < st.minF {
+		st.minF = o.minF
+	}
+	if o.maxF > st.maxF {
+		st.maxF = o.maxF
+	}
+}
+
 // typedNext drains the input through the typed path. ok=false means the
 // aggregation shape is not covered and the generic path must run (the
-// input has not been consumed in that case).
+// input has not been consumed in that case). When the input is a
+// parallel Pipeline, the drain fans out: every morsel worker accumulates
+// thread-local partial states (its own open-addressing key table for
+// grouped aggregation) and the partials merge here at the breaker.
 func (h *HashAggregate) typedNext() (*types.Batch, bool, error) {
 	inS := h.in.Schema()
 	plan, ok := compileTypedAggs(inS, h.aggs)
@@ -268,6 +302,14 @@ func (h *HashAggregate) typedNext() (*types.Batch, bool, error) {
 	keyCol, global, ok := typedGroupCol(inS, h.groups)
 	if !ok {
 		return nil, false, nil
+	}
+	if p, isPipe := h.in.(*Pipeline); isPipe {
+		if global {
+			out, err := h.typedGlobalParallel(p, plan)
+			return out, true, err
+		}
+		out, err := h.typedGroupedParallel(p, keyCol, plan)
+		return out, true, err
 	}
 	if global {
 		out, err := h.typedGlobal(plan)
@@ -291,32 +333,135 @@ func (h *HashAggregate) typedGlobal(plan []typedAggSpec) (*types.Batch, error) {
 			runTypedKernel(plan[ai], b, &states[ai])
 		}
 	}
+	return h.emitTypedGlobal(states, plan), nil
+}
+
+// typedGlobalParallel is typedGlobal with the drain fanned out over the
+// pipeline's morsel workers: each worker folds its batches into private
+// states and the partials merge once at the breaker. Float sums merge
+// in worker order, so results can differ from the serial drain in the
+// last ULPs (the usual parallel-aggregation caveat).
+func (h *HashAggregate) typedGlobalParallel(p *Pipeline, plan []typedAggSpec) (*types.Batch, error) {
+	partials := make([][]typedAggState, p.Workers())
+	err := p.ForEach(func(w int, b *types.Batch) error {
+		st := partials[w]
+		if st == nil {
+			st = make([]typedAggState, len(plan))
+			partials[w] = st
+		}
+		for ai := range plan {
+			runTypedKernel(plan[ai], b, &st[ai])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	states := make([]typedAggState, len(plan))
+	for _, st := range partials {
+		if st == nil {
+			continue
+		}
+		for ai := range states {
+			states[ai].merge(&st[ai])
+		}
+	}
+	return h.emitTypedGlobal(states, plan), nil
+}
+
+func (h *HashAggregate) emitTypedGlobal(states []typedAggState, plan []typedAggSpec) *types.Batch {
 	out := types.NewBatch(h.schema, 1)
 	row := make(types.Row, 0, len(h.schema.Cols))
 	for ai, sp := range plan {
 		row = append(row, states[ai].result(h.aggs[ai].Func, sp.argType))
 	}
 	out.AppendRow(row)
-	return out, nil
+	return out
 }
 
-func (h *HashAggregate) typedGrouped(keyCol int, plan []typedAggSpec) (*types.Batch, error) {
-	nAggs := len(plan)
-	var (
-		keys    []int64
-		states  []typedAggState
-		gidBuf  []int32
-		nullGid int32 = -1
-	)
-	table := newIntGroupTable(64)
-	addGroup := func(k int64) int32 {
-		gid := int32(len(keys))
-		keys = append(keys, k)
-		for i := 0; i < nAggs; i++ {
-			states = append(states, typedAggState{})
+// typedGroupAcc is one thread of grouped-aggregation state: the
+// open-addressing key table, the dense key list, the per-(group,
+// aggregate) states, and the per-batch gid scratch. Serial drains use
+// one; parallel drains give each morsel worker its own and merge them
+// at the breaker. addFn is stored once so the per-row table probes pass
+// a func value, not a fresh closure.
+type typedGroupAcc struct {
+	nAggs   int
+	table   *intGroupTable
+	keys    []int64
+	states  []typedAggState
+	gidBuf  []int32
+	nullGid int32
+	addFn   func(k int64) int32
+}
+
+func newTypedGroupAcc(nAggs int) *typedGroupAcc {
+	a := &typedGroupAcc{nAggs: nAggs, table: newIntGroupTable(64), nullGid: -1}
+	a.addFn = func(k int64) int32 {
+		gid := int32(len(a.keys))
+		a.keys = append(a.keys, k)
+		for i := 0; i < a.nAggs; i++ {
+			a.states = append(a.states, typedAggState{})
 		}
 		return gid
 	}
+	return a
+}
+
+// consume folds one batch into the accumulator: gid assignment (NULL
+// keys go to a dedicated group outside the table) then one grouped
+// kernel pass per aggregate.
+func (a *typedGroupAcc) consume(b *types.Batch, keyCol int, plan []typedAggSpec) {
+	kvec := b.Cols[keyCol]
+	kvals := kvec.Ints
+	n := b.Len()
+	a.gidBuf = a.gidBuf[:0]
+	if b.Sel == nil && !kvec.HasNulls() {
+		for i := 0; i < n; i++ {
+			a.gidBuf = append(a.gidBuf, a.table.lookupOrInsert(kvals[i], a.addFn))
+		}
+	} else {
+		for r := 0; r < n; r++ {
+			i := b.RowIdx(r)
+			if kvec.IsNull(i) {
+				if a.nullGid < 0 {
+					a.nullGid = a.addFn(0)
+				}
+				a.gidBuf = append(a.gidBuf, a.nullGid)
+				continue
+			}
+			a.gidBuf = append(a.gidBuf, a.table.lookupOrInsert(kvals[i], a.addFn))
+		}
+	}
+	for ai := range plan {
+		runTypedGroupedKernel(plan[ai], b, a.gidBuf, a.states, a.nAggs, ai)
+	}
+}
+
+// mergeFrom folds another accumulator's groups into a. The NULL group
+// is matched by its id, not its sentinel key, so a real key-0 group
+// never collides with it.
+func (a *typedGroupAcc) mergeFrom(o *typedGroupAcc) {
+	for g := range o.keys {
+		var gid int32
+		if int32(g) == o.nullGid {
+			if a.nullGid < 0 {
+				a.nullGid = a.addFn(0)
+			}
+			gid = a.nullGid
+		} else {
+			gid = a.table.lookupOrInsert(o.keys[g], a.addFn)
+		}
+		dst := a.states[int(gid)*a.nAggs : (int(gid)+1)*a.nAggs]
+		src := o.states[g*o.nAggs : (g+1)*o.nAggs]
+		for ai := range dst {
+			dst[ai].merge(&src[ai])
+		}
+	}
+}
+
+func (h *HashAggregate) typedGrouped(keyCol int, plan []typedAggSpec) (*types.Batch, error) {
+	acc := newTypedGroupAcc(len(plan))
 	for {
 		b, err := h.in.Next()
 		if err != nil {
@@ -325,42 +470,62 @@ func (h *HashAggregate) typedGrouped(keyCol int, plan []typedAggSpec) (*types.Ba
 		if b == nil {
 			break
 		}
-		kvec := b.Cols[keyCol]
-		kvals := kvec.Ints
-		n := b.Len()
-		gidBuf = gidBuf[:0]
-		if b.Sel == nil && !kvec.HasNulls() {
-			for i := 0; i < n; i++ {
-				gidBuf = append(gidBuf, table.lookupOrInsert(kvals[i], addGroup))
-			}
-		} else {
-			for r := 0; r < n; r++ {
-				i := b.RowIdx(r)
-				if kvec.IsNull(i) {
-					if nullGid < 0 {
-						nullGid = addGroup(0)
-					}
-					gidBuf = append(gidBuf, nullGid)
-					continue
-				}
-				gidBuf = append(gidBuf, table.lookupOrInsert(kvals[i], addGroup))
-			}
-		}
-		for ai := range plan {
-			runTypedGroupedKernel(plan[ai], b, gidBuf, states, nAggs, ai)
-		}
+		acc.consume(b, keyCol, plan)
 	}
-	out := types.NewBatch(h.schema, len(keys))
+	return h.emitTypedGrouped(acc, plan), nil
+}
+
+// typedGroupedParallel is typedGrouped with the drain fanned out over
+// the pipeline's morsel workers: each worker owns a thread-local
+// typedGroupAcc (its own key table — no shared-table contention, no
+// batch handoff) and the partial tables merge once at the breaker. The
+// first worker's accumulator seeds the merge so its groups are not
+// re-inserted. Group output order is first-seen across the merge, which
+// depends on how zones were dealt to workers — unordered, as SQL allows.
+func (h *HashAggregate) typedGroupedParallel(p *Pipeline, keyCol int, plan []typedAggSpec) (*types.Batch, error) {
+	accs := make([]*typedGroupAcc, p.Workers())
+	err := p.ForEach(func(w int, b *types.Batch) error {
+		acc := accs[w]
+		if acc == nil {
+			acc = newTypedGroupAcc(len(plan))
+			accs[w] = acc
+		}
+		acc.consume(b, keyCol, plan)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var merged *typedGroupAcc
+	for _, acc := range accs {
+		if acc == nil {
+			continue
+		}
+		if merged == nil {
+			merged = acc
+			continue
+		}
+		merged.mergeFrom(acc)
+	}
+	if merged == nil {
+		merged = newTypedGroupAcc(len(plan))
+	}
+	return h.emitTypedGrouped(merged, plan), nil
+}
+
+func (h *HashAggregate) emitTypedGrouped(acc *typedGroupAcc, plan []typedAggSpec) *types.Batch {
+	nAggs := len(plan)
+	out := types.NewBatch(h.schema, len(acc.keys))
 	var keyNulls *types.NullMask
-	if nullGid >= 0 {
-		keyNulls = types.NewNullMask(len(keys))
-		keyNulls.Set(int(nullGid), true)
+	if acc.nullGid >= 0 {
+		keyNulls = types.NewNullMask(len(acc.keys))
+		keyNulls.Set(int(acc.nullGid), true)
 	}
-	out.Cols[0].AppendInts(keys, keyNulls, nil)
-	for g := 0; g < len(keys); g++ {
+	out.Cols[0].AppendInts(acc.keys, keyNulls, nil)
+	for g := 0; g < len(acc.keys); g++ {
 		for ai, sp := range plan {
-			out.Cols[1+ai].Append(states[g*nAggs+ai].result(h.aggs[ai].Func, sp.argType))
+			out.Cols[1+ai].Append(acc.states[g*nAggs+ai].result(h.aggs[ai].Func, sp.argType))
 		}
 	}
-	return out, nil
+	return out
 }

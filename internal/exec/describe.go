@@ -24,6 +24,9 @@ func describeInto(sb *strings.Builder, op Operator, depth int) {
 		fmt.Fprintf(sb, "Source(batches=%d)\n", len(v.batches))
 	case *CallbackSource:
 		sb.WriteString("CallbackSource\n")
+	case *Pipeline:
+		fmt.Fprintf(sb, "Pipeline(workers=%d stages=%d)\n", v.workers, len(v.stages))
+		describeInto(sb, v.serial, depth+1)
 	case *Filter:
 		fmt.Fprintf(sb, "Filter(%s)\n", v.pred)
 		describeInto(sb, v.in, depth+1)

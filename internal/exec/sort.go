@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/types"
 )
@@ -70,15 +71,23 @@ func (s *Sort) drainAndSort() error {
 	if s.store == nil {
 		s.store = types.NewBatch(s.in.Schema(), sortOutCap)
 	}
-	for {
-		b, err := s.in.Next()
-		if err != nil {
+	workers := 1
+	if p, ok := s.in.(*Pipeline); ok {
+		workers = p.Workers()
+		if err := s.drainParallel(p); err != nil {
 			return err
 		}
-		if b == nil {
-			break
+	} else {
+		for {
+			b, err := s.in.Next()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			s.store.AppendBatch(b)
 		}
-		s.store.AppendBatch(b)
 	}
 	n := s.store.PhysLen()
 	keyVecs := materializeSortKeys(s.store, s.in.Schema(), s.keys)
@@ -86,7 +95,34 @@ func (s *Sort) drainAndSort() error {
 	for i := range s.perm {
 		s.perm[i] = int32(i)
 	}
-	sortPermutation(s.perm, keyVecs, s.keys)
+	if workers > 1 {
+		sortPermutationParallel(s.perm, keyVecs, s.keys, workers)
+	} else {
+		sortPermutation(s.perm, keyVecs, s.keys)
+	}
+	return nil
+}
+
+// drainParallel materializes the input through the pipeline's morsel
+// workers into per-worker stores stitched into one (largest adopted,
+// rest appended — see stitchStores). The row order feeding the
+// permutation sort is then unordered, as for any parallel scan; the
+// sort itself orders the output, with ties broken by stitched position.
+func (s *Sort) drainParallel(p *Pipeline) error {
+	stores := make([]*types.Batch, p.Workers())
+	err := p.ForEach(func(w int, b *types.Batch) error {
+		st := stores[w]
+		if st == nil {
+			st = types.NewBatch(s.in.Schema(), sortOutCap)
+			stores[w] = st
+		}
+		st.AppendBatch(b)
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.store = stitchStores(s.store, stores)
 	return nil
 }
 
@@ -149,6 +185,108 @@ func sortPermutation(perm []int32, keyVecs []*types.Vector, keys []SortKey) {
 		}
 		return a < b
 	})
+}
+
+// minParallelSortRows is the input size below which parallel run
+// generation is not worth the fan-out overhead.
+const minParallelSortRows = 8192
+
+// sortPermutationParallel sorts perm by generating `workers` sorted runs
+// concurrently and merging them pairwise — also concurrently — until one
+// run remains (k-way merge as log2(k) parallel rounds). Ties prefer the
+// lower permutation index, so the result is identical to the serial
+// sortPermutation over the same input order.
+func sortPermutationParallel(perm []int32, keyVecs []*types.Vector, keys []SortKey, workers int) {
+	n := len(perm)
+	if workers <= 1 || n < minParallelSortRows {
+		sortPermutation(perm, keyVecs, keys)
+		return
+	}
+	// Contiguous runs of near-equal size; each holds a disjoint,
+	// ascending index range of the identity permutation.
+	type span struct{ lo, hi int }
+	runs := make([]span, 0, workers)
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		runs = append(runs, span{lo, hi})
+	}
+	var wg sync.WaitGroup
+	for _, r := range runs {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			sortPermutation(perm[lo:hi], keyVecs, keys)
+		}(r.lo, r.hi)
+	}
+	wg.Wait()
+	cmps := make([]func(a, b int32) int, len(keyVecs))
+	for k := range keyVecs {
+		cmps[k] = makeKeyCmp(keyVecs[k], keys[k].Desc)
+	}
+	cmp := func(a, b int32) int {
+		for _, c := range cmps {
+			if v := c(a, b); v != 0 {
+				return v
+			}
+		}
+		// Index tiebreak keeps the merge stable and the result equal to
+		// the serial sort.
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	}
+	src, dst := perm, make([]int32, n)
+	for len(runs) > 1 {
+		next := runs[:0:0]
+		var mwg sync.WaitGroup
+		for i := 0; i < len(runs); i += 2 {
+			if i+1 == len(runs) {
+				lo, hi := runs[i].lo, runs[i].hi
+				copy(dst[lo:hi], src[lo:hi])
+				next = append(next, runs[i])
+				continue
+			}
+			a, b := runs[i], runs[i+1]
+			next = append(next, span{a.lo, b.hi})
+			mwg.Add(1)
+			go func(a, b span) {
+				defer mwg.Done()
+				mergeRuns(dst[a.lo:b.hi], src[a.lo:a.hi], src[b.lo:b.hi], cmp)
+			}(a, b)
+		}
+		mwg.Wait()
+		src, dst = dst, src
+		runs = next
+	}
+	if &src[0] != &perm[0] {
+		copy(perm, src)
+	}
+}
+
+// mergeRuns merges two sorted runs into out (len(out) = len(a)+len(b)).
+func mergeRuns(out, a, b []int32, cmp func(x, y int32) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			out[k] = a[i]
+			i++
+		} else {
+			out[k] = b[j]
+			j++
+		}
+		k++
+	}
+	copy(out[k:], a[i:])
+	copy(out[k+len(a)-i:], b[j:])
 }
 
 // makeKeyCmp builds a type-specialized three-way comparator over one

@@ -183,6 +183,10 @@ func (e *Entry[V]) CompareAndSwap(old, new *V) bool {
 
 // Seek positions at the first key >= from (or the first key if from is
 // nil) and calls fn for each entry in key order until fn returns false.
+// The *Entry passed to fn is reused across iterations — valid only for
+// the duration of the callback; retainers must use GetEntry. This keeps
+// full-list iteration (delta scans walk it on every analytic query)
+// allocation-free.
 func (s *SkipList[V]) Seek(from types.Row, fn func(key types.Row, e *Entry[V]) bool) {
 	pred := s.head
 	if from != nil {
@@ -194,8 +198,10 @@ func (s *SkipList[V]) Seek(from types.Row, fn func(key types.Row, e *Entry[V]) b
 			}
 		}
 	}
+	var e Entry[V]
 	for cur := pred.next[0].Load(); cur != nil; cur = cur.next[0].Load() {
-		if !fn(cur.key, &Entry[V]{n: cur}) {
+		e.n = cur
+		if !fn(cur.key, &e) {
 			return
 		}
 	}

@@ -432,7 +432,9 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 		if len(lk) == 0 {
 			return nil, fmt.Errorf("sql: join requires at least one equi-condition")
 		}
-		op = exec.NewHashJoin(op, tblOp, lk, rk, kind)
+		// The join build is a pipeline breaker: mark the build-side scan
+		// so the morsel workers materialize it in parallel.
+		op = exec.NewHashJoin(op, exec.MarkPipeline(tblOp, e.Parallelism()), lk, rk, kind)
 		if residual != nil {
 			if j.Left {
 				return nil, fmt.Errorf("sql: LEFT JOIN supports only equi-conditions")
@@ -494,7 +496,9 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 			}
 			keys[i] = exec.SortKey{E: ke, Desc: oi.Desc}
 		}
-		op = planOrderLimit(op, keys, st)
+		// Sort is a pipeline breaker: mark the chain below it so run
+		// generation rides the morsel workers.
+		op = planOrderLimit(exec.MarkPipeline(op, pc.engine.Parallelism()), keys, st)
 	} else if st.Limit >= 0 || st.Offset > 0 {
 		op = exec.NewLimit(op, st.Limit, st.Offset)
 	}
@@ -776,7 +780,10 @@ func planAggregate(op exec.Operator, sc *scope, st *SelectStmt, items []SelectIt
 		}
 		specs[i] = spec
 	}
-	agg := exec.NewHashAggregate(op, groupExprs, nil, specs)
+	// Aggregation is a pipeline breaker: mark the chain below it so the
+	// morsel workers run filter → projection → partial aggregation
+	// thread-locally, merged at this operator.
+	agg := exec.NewHashAggregate(exec.MarkPipeline(op, sc.pc.engine.Parallelism()), groupExprs, nil, specs)
 
 	// Post-aggregation scope: group keys (matched structurally by their
 	// scope-resolved rendering) then aggregates.

@@ -206,55 +206,95 @@ func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicat
 			return fn(b)
 		})
 	}
-	cancelled := func() bool { return IsDone(done) }
+	// Funnel the per-worker scan through one mutex so fn observes a
+	// single batch at a time (the legacy single-consumer contract; the
+	// exec pipeline driver consumes per-worker instead).
+	var (
+		deliver sync.Mutex
+		stopped bool
+	)
+	return s.ScanParallelWorkers(readTS, self, proj, preds, workers, done, func(_ int, b *types.Batch) bool {
+		deliver.Lock()
+		defer deliver.Unlock()
+		if stopped || IsDone(done) {
+			return false
+		}
+		if !fn(b) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+}
+
+// ScanParallelWorkers is the per-worker morsel scan beneath ScanParallel
+// and the exec pipeline driver: zones are dealt to up to workers
+// goroutines through an atomic cursor and fn is invoked CONCURRENTLY —
+// one call per delivered batch, from the goroutine of the worker that
+// produced it, carrying that worker's id (0..workers-1). There is no
+// cross-worker serialization; callers own per-worker sinks (thread-local
+// aggregation state, per-worker build stores). Each delivered batch is
+// worker-owned and valid only until fn returns. fn returning false stops
+// the whole scan. Stats merge across workers; done cancels between zones
+// as in ScanParallel. All workers have exited when the call returns.
+func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(worker int, b *types.Batch) bool) ScanStats {
+	nz := (s.n + ZoneSize - 1) / ZoneSize
+	if workers > nz {
+		workers = nz
+	}
 	projSchema := s.projSchema(proj)
 	var (
 		cursor  atomic.Int64
 		stopped atomic.Bool
-		deliver sync.Mutex
-		wg      sync.WaitGroup
-		statsMu sync.Mutex
 		total   ScanStats
 	)
 	total.ZonesTotal = nz
+	runWorker := func(w int) ScanStats {
+		sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
+		batch := types.NewBatch(projSchema, ZoneSize)
+		var local ScanStats
+		emit := func(sel []int) bool {
+			if stopped.Load() || IsDone(done) {
+				return false
+			}
+			batch.Reset()
+			s.fillBatch(batch, proj, sel, sc)
+			if !fn(w, batch) {
+				stopped.Store(true)
+				return false
+			}
+			return true
+		}
+		for !stopped.Load() && !IsDone(done) {
+			z := int(cursor.Add(1)) - 1
+			if z >= nz {
+				break
+			}
+			if !s.scanZones(z, z+1, readTS, self, preds, sc, &local, emit) {
+				break
+			}
+		}
+		return local
+	}
+	if workers <= 1 {
+		if nz > 0 {
+			total.merge(runWorker(0))
+		}
+		return total
+	}
+	var (
+		wg      sync.WaitGroup
+		statsMu sync.Mutex
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
-			pool := types.NewBatchPool(projSchema, ZoneSize)
-			var local ScanStats
-			emit := func(sel []int) bool {
-				if cancelled() {
-					return false
-				}
-				batch := pool.Get()
-				s.fillBatch(batch, proj, sel, sc)
-				deliver.Lock()
-				ok := true
-				if stopped.Load() || cancelled() {
-					ok = false
-				} else if !fn(batch) {
-					stopped.Store(true)
-					ok = false
-				}
-				deliver.Unlock()
-				pool.Put(batch)
-				return ok
-			}
-			for !stopped.Load() && !cancelled() {
-				z := int(cursor.Add(1)) - 1
-				if z >= nz {
-					break
-				}
-				if !s.scanZones(z, z+1, readTS, self, preds, sc, &local, emit) {
-					break
-				}
-			}
+			local := runWorker(w)
 			statsMu.Lock()
 			total.merge(local)
 			statsMu.Unlock()
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return total

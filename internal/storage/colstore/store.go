@@ -2,6 +2,7 @@ package colstore
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/txn"
 	"repro/internal/types"
@@ -85,6 +86,31 @@ func (st *Store) ScanParallel(readTS, self uint64, proj []int, preds []Predicate
 	return st.scanSegments(done, fn, func(s *Segment, segFn func(b *types.Batch) bool) ScanStats {
 		return s.ScanParallel(readTS, self, proj, preds, workers, done, segFn)
 	})
+}
+
+// ScanParallelWorkers is the per-worker variant of ScanParallel: each
+// segment is scanned by up to workers goroutines and fn is invoked
+// concurrently with the producing worker's id (no cross-worker funnel;
+// see Segment.ScanParallelWorkers for the contract). Segments run in
+// order; within a segment batch order is not preserved.
+func (st *Store) ScanParallelWorkers(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(worker int, b *types.Batch) bool) ScanStats {
+	var total ScanStats
+	var stop atomic.Bool
+	for _, s := range st.Segments() {
+		if stop.Load() || IsDone(done) {
+			break
+		}
+		stats := s.ScanParallelWorkers(readTS, self, proj, preds, workers, done, func(w int, b *types.Batch) bool {
+			if !fn(w, b) {
+				stop.Store(true)
+				return false
+			}
+			return true
+		})
+		total.ZonesTotal += stats.ZonesTotal
+		total.merge(stats)
+	}
+	return total
 }
 
 // scanSegments drives scanSeg over every segment in order, merging
