@@ -1,6 +1,6 @@
 # Convenience targets; the source of truth is plain `go build/test/bench`.
 
-.PHONY: build test vet race bench bench-smoke bench-compare
+.PHONY: build test vet race durability bench bench-smoke bench-compare
 
 build:
 	go build ./...
@@ -12,9 +12,14 @@ test: vet
 	go test ./...
 
 # Race-enabled run of the packages with internal concurrency
-# (morsel-parallel scans, clock scans, txn machinery).
+# (morsel-parallel scans, clock scans, txn machinery, group-commit WAL).
 race:
-	go test -race ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn
+	go test -race ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn ./internal/wal
+
+# Durability gauntlet: the kill-and-recover fault matrix, torn-tail
+# property tests, and crash-recovery round trips, race-enabled.
+durability:
+	go test -race -run 'TestKillAndRecover|TestDir|TestRecover|TestTorn|TestFault|TestLog' ./internal/wal ./internal/core ./db
 
 # Full E-series benchmark run (see scripts/bench.sh for knobs). Writes
 # BENCH_local.* so a casual run never clobbers the committed baseline
@@ -25,11 +30,12 @@ OUT_JSON ?= BENCH_local.json
 bench:
 	OUT_TXT=$(OUT_TXT) OUT_JSON=$(OUT_JSON) scripts/bench.sh
 
-# Quick smoke: the E10/E13/E14 execution scoreboards at minimal iterations.
+# Quick smoke: the E10/E13/E14/E15 scoreboards at minimal iterations.
 bench-smoke:
 	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .
 	go test -run '^$$' -bench 'E13_JoinSort' -benchtime=3x -benchmem .
 	go test -run '^$$' -bench 'E14_ParallelPipeline' -benchtime=3x -benchmem .
+	go test -run '^$$' -bench 'E15_CommitThroughput' -benchtime=100x .
 
 # Diff two bench.sh JSON recordings (quick trajectory view). Override
 # for newer recordings: make bench-compare NEW=BENCH_pr5.json

@@ -5,11 +5,17 @@
 //
 // Usage:
 //
-//	oadb [-wal path] [-mode mvcc|2pl] [-demo]
+//	oadb [-dir path] [-sync group|sync|async|each] [-wal path] [-mode mvcc|2pl] [-demo]
+//
+// With -dir the database is durable: commits go through a segmented
+// group-commit WAL in that directory, and restarting oadb on the same
+// directory recovers the previous state (last checkpoint plus WAL
+// tail). -sync picks the commit durability mode; \checkpoint snapshots
+// the tables and truncates the log.
 //
 // With -demo it pre-loads the CH-benCHmark dataset so you can query
 // immediately. Meta commands: \tables, \stats <table>, \merge <table>,
-// \cache, \quit.
+// \checkpoint, \cache, \quit.
 package main
 
 import (
@@ -23,17 +29,28 @@ import (
 
 	"repro/db"
 	"repro/internal/bench"
+	"repro/internal/wal"
 )
 
 func main() {
-	walPath := flag.String("wal", "", "enable write-ahead logging to this file")
+	dir := flag.String("dir", "", "durable data directory (segmented WAL + checkpoints; reopening recovers)")
+	syncMode := flag.String("sync", "group", "commit durability with -dir: group, sync, async, or each")
+	walPath := flag.String("wal", "", "enable legacy single-file write-ahead logging to this file")
 	mode := flag.String("mode", "mvcc", "concurrency mode: mvcc or 2pl")
 	demo := flag.Bool("demo", false, "pre-load the CH-benCHmark demo dataset")
 	flag.Parse()
 
-	opts := db.Options{WALPath: *walPath}
+	opts := db.Options{Dir: *dir, WALPath: *walPath}
 	if strings.EqualFold(*mode, "2pl") {
 		opts.Mode = db.TwoPL
+	}
+	if *dir != "" {
+		sm, err := wal.ParseSyncMode(*syncMode)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oadb:", err)
+			os.Exit(1)
+		}
+		opts.Sync = sm
 	}
 	d, err := db.Open(opts)
 	if err != nil {
@@ -185,12 +202,20 @@ func runMeta(d *db.DB, line string) bool {
 			return false
 		}
 		fmt.Printf("  merged %d rows at ts %d (waited %v)\n", res.Merged, res.MergeTS, res.Waited)
+	case "\\checkpoint":
+		start := time.Now()
+		lsn, err := d.Checkpoint(context.Background())
+		if err != nil {
+			fmt.Println("error:", err)
+			return false
+		}
+		fmt.Printf("  checkpoint complete: covers lsn %d (%v)\n", lsn, time.Since(start).Round(time.Millisecond))
 	case "\\cache":
 		st := d.Stats()
 		fmt.Printf("  plan cache: %d hits, %d misses, %d plans compiled\n",
 			st.PlanCacheHits, st.PlanCacheMisses, st.PlansCompiled)
 	default:
-		fmt.Println("unknown meta command; available: \\tables \\stats \\merge \\cache \\quit")
+		fmt.Println("unknown meta command; available: \\tables \\stats \\merge \\checkpoint \\cache \\quit")
 	}
 	return false
 }

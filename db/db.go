@@ -46,15 +46,51 @@ const (
 	TwoPL = core.Mode2PL
 )
 
+// SyncMode selects the WAL durability discipline for Dir-backed
+// databases.
+type SyncMode = core.SyncMode
+
+// Durability modes.
+const (
+	// SyncGroup (default): commits wait until durable; a dedicated
+	// flusher batches all concurrently queued commit groups per fsync,
+	// accumulating for GroupCommitWindow.
+	SyncGroup = core.SyncGroup
+	// SyncSync: commits wait until durable with no accumulation window
+	// (groups still batch naturally while an fsync is in flight).
+	SyncSync = core.SyncSync
+	// SyncAsync: commits return once enqueued; durability is deferred to
+	// rotation, checkpoint, or close.
+	SyncAsync = core.SyncAsync
+	// SyncEach: one inline fsync per commit (the classical convoy;
+	// baseline for benchmarks).
+	SyncEach = core.SyncEach
+)
+
 // Options configures Open.
 type Options struct {
 	// Mode selects MVCC (default) or TwoPL.
 	Mode Mode
 	// LockTimeout bounds 2PL lock waits (default 100ms).
 	LockTimeout time.Duration
-	// WALPath, when set, enables write-ahead logging to this file.
+	// Dir, when set, makes the database durable: a segmented
+	// group-commit WAL and checkpoint files live in this directory, and
+	// Open on an existing directory recovers the previous state (last
+	// checkpoint plus WAL tail, tolerating a torn tail from a crash).
+	Dir string
+	// Sync selects the commit durability mode for Dir (default
+	// SyncGroup).
+	Sync SyncMode
+	// GroupCommitWindow is SyncGroup's fsync accumulation window
+	// (default 200µs).
+	GroupCommitWindow time.Duration
+	// WALSegmentSize is the WAL segment rotation threshold for Dir
+	// (default 16 MiB).
+	WALSegmentSize int64
+	// WALPath, when set, enables legacy single-file write-ahead logging
+	// to this file. Superseded by Dir.
 	WALPath string
-	// WALSync forces an fsync per commit.
+	// WALSync forces an fsync per commit (legacy WALPath logging only).
 	WALSync bool
 	// MergeThreshold is the delta live-row count that triggers an
 	// automatic merge (default 64k rows).
@@ -95,12 +131,16 @@ type DB struct {
 // Open creates an engine and returns the database handle.
 func Open(opts Options) (*DB, error) {
 	eng, err := core.NewEngine(core.Options{
-		Mode:           opts.Mode,
-		LockTimeout:    opts.LockTimeout,
-		WALPath:        opts.WALPath,
-		WALSync:        opts.WALSync,
-		MergeThreshold: opts.MergeThreshold,
-		Parallelism:    opts.Parallelism,
+		Mode:              opts.Mode,
+		LockTimeout:       opts.LockTimeout,
+		Dir:               opts.Dir,
+		Sync:              opts.Sync,
+		GroupCommitWindow: opts.GroupCommitWindow,
+		WALSegmentSize:    opts.WALSegmentSize,
+		WALPath:           opts.WALPath,
+		WALSync:           opts.WALSync,
+		MergeThreshold:    opts.MergeThreshold,
+		Parallelism:       opts.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -219,6 +259,21 @@ func (d *DB) Begin(ctx context.Context) (*Tx, error) {
 		return nil, err
 	}
 	return &Tx{db: d, tx: d.engine.Begin()}, nil
+}
+
+// Checkpoint snapshots every table at one consistent MVCC timestamp
+// into a checkpoint file and truncates WAL segments wholly below the
+// covered LSN, bounding recovery time and log size. It requires a
+// Dir-backed database. Commits proceed concurrently; a cancelled ctx
+// aborts before the (non-cancellable) write starts.
+func (d *DB) Checkpoint(ctx context.Context) (uint64, error) {
+	if d.isClosed() {
+		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return d.engine.Checkpoint()
 }
 
 // Stats is a snapshot of the DB's statement-cache counters.

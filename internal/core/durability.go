@@ -1,0 +1,314 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Checkpoint file naming: ckpt-<seq 16hex>.ckpt, written first as
+// ckpt-<seq 16hex>.tmp and renamed into place after fsync so a crash
+// mid-write never leaves a file recovery could mistake for a complete
+// snapshot.
+const (
+	ckptSuffix = ".ckpt"
+	tmpSuffix  = ".tmp"
+)
+
+func ckptName(seq uint64) string { return fmt.Sprintf("ckpt-%016x%s", seq, ckptSuffix) }
+
+func parseCkptName(name string) (seq uint64, ok bool) {
+	if !strings.HasPrefix(name, "ckpt-") || !strings.HasSuffix(name, ckptSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "ckpt-"), ckptSuffix)
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// openDir brings up Dir-based durability: load the newest complete
+// checkpoint, replay the WAL tail above it, then open the segmented log
+// for new writes. Called from NewEngine with e.opts.Dir set.
+func (e *Engine) openDir() error {
+	fs := e.opts.FS
+	if fs == nil {
+		fs = wal.OSFS{}
+	}
+	e.fs = fs
+	e.dir = e.opts.Dir
+	if err := fs.MkdirAll(e.dir); err != nil {
+		return fmt.Errorf("core: open %s: %w", e.dir, err)
+	}
+
+	e.recovering.Store(true)
+	ckptLSN, seq, err := e.loadLatestCheckpoint()
+	if err != nil {
+		e.recovering.Store(false)
+		return err
+	}
+	e.ckptSeq = seq
+
+	// Replay the WAL tail: records above the checkpoint, grouped by
+	// their original transaction and applied atomically at each COMMIT.
+	txs := make(map[uint64]*Tx)
+	err = wal.ReplayDir(fs, e.dir, ckptLSN, func(r wal.Record) error {
+		return e.applyRecovered(txs, r)
+	})
+	for _, tx := range txs {
+		// Data records whose COMMIT never made it to disk: the
+		// transaction must not survive recovery.
+		_ = tx.Abort()
+	}
+	e.recovering.Store(false)
+	if err != nil {
+		return err
+	}
+
+	// Open the log for new writes only after replay: appends during
+	// recovery would interleave with the records being read. MinLSN
+	// keeps LSNs above the checkpoint even if truncation removed every
+	// segment.
+	log, err := wal.OpenLog(e.dir, wal.LogOptions{
+		Mode:        e.opts.Sync,
+		GroupWindow: e.opts.GroupCommitWindow,
+		SegmentSize: e.opts.WALSegmentSize,
+		MinLSN:      ckptLSN + 1,
+		FS:          fs,
+	})
+	if err != nil {
+		return err
+	}
+	e.log = log
+	e.commitMu.Lock()
+	e.lastCommitLSN = log.NextLSN() - 1
+	e.commitMu.Unlock()
+	return nil
+}
+
+// loadLatestCheckpoint finds the highest-sequence complete checkpoint
+// in the directory, loads its tables and rows into the engine, and
+// returns the LSN it covers (0 if no checkpoint exists). Incomplete
+// .tmp leftovers from a crashed checkpoint are deleted; a corrupt
+// .ckpt (torn end marker) falls back to the next older one.
+func (e *Engine) loadLatestCheckpoint() (ckptLSN, seq uint64, err error) {
+	names, err := e.fs.ReadDir(e.dir)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: open %s: %w", e.dir, err)
+	}
+	var seqs []uint64
+	for _, name := range names {
+		if strings.HasPrefix(name, "ckpt-") && strings.HasSuffix(name, tmpSuffix) {
+			_ = e.fs.Remove(filepath.Join(e.dir, name))
+			continue
+		}
+		if s, ok := parseCkptName(name); ok {
+			seqs = append(seqs, s)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for _, s := range seqs {
+		lsn, ok, lerr := e.loadCheckpoint(s)
+		if lerr != nil {
+			return 0, 0, lerr
+		}
+		if ok {
+			return lsn, s, nil
+		}
+	}
+	return 0, 0, nil
+}
+
+// loadCheckpoint reads one checkpoint file and applies it. ok reports
+// whether the file was complete (header + matching end marker); an
+// incomplete file is skipped without error so the caller can fall back.
+func (e *Engine) loadCheckpoint(seq uint64) (ckptLSN uint64, ok bool, err error) {
+	path := filepath.Join(e.dir, ckptName(seq))
+	f, err := e.fs.Open(path)
+	if err != nil {
+		return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, err)
+	}
+	recs, _ := wal.ScanRecords(f)
+	f.Close()
+	if len(recs) < 2 {
+		return 0, false, nil
+	}
+	hdr, end := recs[0], recs[len(recs)-1]
+	if hdr.Kind != wal.KindCheckpoint || len(hdr.Row) != 2 || uint64(hdr.Row[0].I) != seq {
+		return 0, false, nil
+	}
+	if end.Kind != wal.KindCheckpoint || len(end.Row) != 2 || uint64(end.Row[0].I) != seq || end.Row[1].I != -1 {
+		// Torn mid-write (should have been a .tmp, but be defensive).
+		return 0, false, nil
+	}
+
+	tx := e.Begin()
+	for _, r := range recs[1 : len(recs)-1] {
+		switch r.Kind {
+		case wal.KindCreateTable:
+			schema, serr := wal.SchemaFromRow(r.Row)
+			if serr != nil {
+				tx.Abort()
+				return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, serr)
+			}
+			if _, cerr := e.CreateTable(r.Table, schema); cerr != nil {
+				tx.Abort()
+				return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, cerr)
+			}
+		case wal.KindInsert:
+			if ierr := tx.Insert(r.Table, r.Row); ierr != nil {
+				tx.Abort()
+				return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, ierr)
+			}
+		}
+	}
+	if _, cerr := tx.Commit(); cerr != nil {
+		return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, cerr)
+	}
+	return hdr.LSN, true, nil
+}
+
+// ckptFlushSize is the buffered-frame threshold at which the
+// checkpoint writer pushes bytes to the file.
+const ckptFlushSize = 256 << 10
+
+// Checkpoint writes a consistent snapshot of every table to a new
+// checkpoint file and truncates WAL segments wholly below the LSN it
+// covers. The snapshot is taken at one MVCC read timestamp captured
+// atomically with the covered LSN, so the checkpoint plus the WAL tail
+// above it reconstruct exactly the committed state. Returns the LSN the
+// checkpoint covers. Concurrent commits proceed while the snapshot is
+// written; concurrent Checkpoint calls serialize.
+func (e *Engine) Checkpoint() (uint64, error) {
+	if e.log == nil {
+		return 0, errors.New("core: checkpoint requires Options.Dir durability")
+	}
+	e.ckptMu.Lock()
+	defer e.ckptMu.Unlock()
+
+	// Capture snapshot + covered LSN atomically with respect to commits:
+	// every commit at LSN <= ckptLSN has its commit timestamp allocated
+	// (visible to snap); every later commit has LSN > ckptLSN and will
+	// replay from the retained tail.
+	e.commitMu.Lock()
+	snap := e.Begin()
+	ckptLSN := e.lastCommitLSN
+	e.commitMu.Unlock()
+	defer snap.Abort()
+
+	seq := e.ckptSeq + 1
+	tmp := filepath.Join(e.dir, fmt.Sprintf("ckpt-%016x%s", seq, tmpSuffix))
+	final := filepath.Join(e.dir, ckptName(seq))
+	f, err := e.fs.Create(tmp)
+	if err != nil {
+		return 0, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	var buf []byte
+	flush := func(force bool) error {
+		if len(buf) == 0 || (!force && len(buf) < ckptFlushSize) {
+			return nil
+		}
+		if _, werr := f.Write(buf); werr != nil {
+			return werr
+		}
+		buf = buf[:0]
+		return nil
+	}
+	emit := func(r wal.Record) error {
+		buf = wal.AppendFrame(buf, &r)
+		return flush(false)
+	}
+
+	names := e.Tables()
+	err = emit(wal.Record{
+		LSN:  ckptLSN,
+		Kind: wal.KindCheckpoint,
+		Row:  types.Row{types.NewInt(int64(seq)), types.NewInt(int64(len(names)))},
+	})
+	for _, name := range names {
+		if err != nil {
+			break
+		}
+		var tbl *Table
+		tbl, err = e.Table(name)
+		if err != nil {
+			break
+		}
+		if err = emit(wal.Record{Kind: wal.KindCreateTable, Table: name, Row: wal.SchemaToRow(tbl.Schema())}); err != nil {
+			break
+		}
+		var emitErr error
+		_, scanErr := snap.Scan(name, nil, nil, func(b *types.Batch) bool {
+			for i := 0; i < b.Len(); i++ {
+				if emitErr = emit(wal.Record{Kind: wal.KindInsert, Table: name, Row: b.Row(i)}); emitErr != nil {
+					return false
+				}
+			}
+			return true
+		})
+		if err = scanErr; err == nil {
+			err = emitErr
+		}
+	}
+	if err == nil {
+		err = emit(wal.Record{
+			Kind: wal.KindCheckpoint,
+			Row:  types.Row{types.NewInt(int64(seq)), types.NewInt(-1)},
+		})
+	}
+	if err == nil {
+		err = flush(true)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		_ = e.fs.Remove(tmp)
+		return 0, fmt.Errorf("core: checkpoint: %w", err)
+	}
+
+	// Publish atomically, make the rename durable, then retire older
+	// checkpoints and WAL segments the new one covers. A crash at any
+	// point here is safe: before the rename recovery uses the previous
+	// checkpoint plus the full WAL; after it, the new checkpoint plus
+	// the (possibly not yet truncated) tail — replay skips LSNs the
+	// checkpoint already covers.
+	if err := e.fs.Rename(tmp, final); err != nil {
+		_ = e.fs.Remove(tmp)
+		return 0, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	if err := e.fs.SyncDir(e.dir); err != nil {
+		return 0, fmt.Errorf("core: checkpoint: %w", err)
+	}
+	e.ckptSeq = seq
+
+	if names, derr := e.fs.ReadDir(e.dir); derr == nil {
+		for _, name := range names {
+			if s, ok := parseCkptName(name); ok && s < seq {
+				_ = e.fs.Remove(filepath.Join(e.dir, name))
+			}
+		}
+	}
+	if _, err := e.log.TruncateBelow(ckptLSN + 1); err != nil {
+		return 0, fmt.Errorf("core: checkpoint: truncate wal: %w", err)
+	}
+	return ckptLSN, nil
+}
+
+// Log exposes the Dir-based write-ahead log (nil without Options.Dir).
+// Callers use it for durability stats and explicit Sync barriers.
+func (e *Engine) Log() *wal.Log { return e.log }

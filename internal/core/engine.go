@@ -44,15 +44,44 @@ var (
 	ErrNotFound     = rowstore.ErrNotFound
 )
 
+// SyncMode re-exports the WAL durability mode for engine options.
+type SyncMode = wal.SyncMode
+
+// Durability modes (see wal.SyncMode).
+const (
+	SyncGroup = wal.SyncGroup
+	SyncSync  = wal.SyncSync
+	SyncAsync = wal.SyncAsync
+	SyncEach  = wal.SyncEach
+)
+
 // Options configures an Engine.
 type Options struct {
 	// Mode selects MVCC (default) or 2PL.
 	Mode ConcurrencyMode
 	// LockTimeout bounds 2PL lock waits (default 100ms).
 	LockTimeout time.Duration
-	// WALPath, when set, enables write-ahead logging to this file.
+	// Dir, when set, enables full durability: a segmented group-commit
+	// WAL plus checkpoints live in this directory, and opening an
+	// existing directory recovers the database (last checkpoint + WAL
+	// tail). Dir and WALPath are mutually exclusive.
+	Dir string
+	// Sync selects the commit durability mode for Dir-based logging
+	// (default SyncGroup: commits wait for a batched fsync).
+	Sync SyncMode
+	// GroupCommitWindow is the accumulation window for SyncGroup
+	// (default 200µs).
+	GroupCommitWindow time.Duration
+	// WALSegmentSize is the rotation threshold for Dir-based WAL
+	// segments (default 16 MiB).
+	WALSegmentSize int64
+	// FS overrides the filesystem beneath Dir-based durability (fault
+	// injection in tests). Nil means the real filesystem.
+	FS wal.FS
+	// WALPath, when set, enables legacy single-file write-ahead logging
+	// to this file. Superseded by Dir.
 	WALPath string
-	// WALSync forces fsync per commit.
+	// WALSync forces fsync per commit (legacy WALPath logging only).
 	WALSync bool
 	// MergeThreshold is the delta live-row count that triggers an
 	// automatic merge when AutoMerge runs (default 64k rows).
@@ -76,6 +105,23 @@ type Engine struct {
 	tables map[string]*Table
 
 	wal *wal.Writer
+
+	// Dir-based durability state. log is the segmented group-commit WAL;
+	// fs the (injectable) filesystem beneath it. commitMu serializes LSN
+	// assignment with commit-timestamp allocation so log order, commit
+	// order, and visibility order agree; lastCommitLSN (under commitMu)
+	// is the highest LSN covered by a committed transaction, which is
+	// what a checkpoint can safely truncate below. recovering suspends
+	// redo logging while a recovery replays records into the engine.
+	log           *wal.Log
+	fs            wal.FS
+	dir           string
+	commitMu      sync.Mutex
+	lastCommitLSN uint64
+	ckptMu        sync.Mutex
+	ckptSeq       uint64
+	recovering    atomic.Bool
+
 	// mergeMu serializes merges across tables (prevents cross-table
 	// writer/merge cycles).
 	mergeMu sync.Mutex
@@ -106,6 +152,15 @@ func NewEngine(opts Options) (*Engine, error) {
 		opts:   opts,
 		tables: make(map[string]*Table),
 	}
+	if opts.Dir != "" && opts.WALPath != "" {
+		return nil, errors.New("core: Options.Dir and Options.WALPath are mutually exclusive")
+	}
+	if opts.Dir != "" {
+		if err := e.openDir(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
 	if opts.WALPath != "" {
 		w, err := wal.Create(opts.WALPath, wal.Options{Sync: opts.WALSync})
 		if err != nil {
@@ -132,6 +187,11 @@ func (e *Engine) Close() error {
 		if e.wal != nil {
 			e.closeErr = e.wal.Close()
 		}
+		if e.log != nil {
+			if err := e.log.Close(); err != nil && e.closeErr == nil {
+				e.closeErr = err
+			}
+		}
 	})
 	return e.closeErr
 }
@@ -147,7 +207,10 @@ func (e *Engine) Mode() ConcurrencyMode { return e.opts.Mode }
 // planner uses it to size parallel pipelines.
 func (e *Engine) Parallelism() int { return e.opts.Parallelism }
 
-// CreateTable registers a new dual-format table.
+// CreateTable registers a new dual-format table. With Dir-based
+// durability the catalog change is logged (and made durable per the
+// sync mode) before the table becomes visible, so recovery never needs
+// pre-created tables.
 func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -157,6 +220,21 @@ func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) 
 	t, err := newTable(name, schema)
 	if err != nil {
 		return nil, err
+	}
+	if e.log != nil && !e.recovering.Load() {
+		rec := wal.Record{Kind: wal.KindCreateTable, Table: name, Row: wal.SchemaToRow(schema)}
+		e.commitMu.Lock()
+		lsn, err := e.log.Enqueue(rec)
+		if err == nil && lsn > e.lastCommitLSN {
+			e.lastCommitLSN = lsn
+		}
+		e.commitMu.Unlock()
+		if err == nil {
+			err = e.log.WaitAcked(lsn)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: create table %s: %w", name, err)
+		}
 	}
 	e.tables[name] = t
 	return t, nil
@@ -185,34 +263,132 @@ func (e *Engine) Tables() []string {
 	return names
 }
 
-// Recover replays a WAL file into the engine: committed INSERT, UPDATE,
-// and DELETE records are re-applied in log order (uncommitted and
-// aborted transactions are filtered by wal.Replay). Tables must already
-// exist (the catalog is not logged).
+// ErrRecoverUnknownTable is returned (wrapped in a *RecoverError) when
+// a WAL record references a table the engine does not have. Legacy
+// single-file logs do not record the catalog, so the caller must create
+// tables before recovering; Dir-based logs record CREATE TABLE and
+// never hit this.
+var ErrRecoverUnknownTable = errors.New("core: recover: unknown table")
+
+// RecoverError reports where a recovery replay failed.
+type RecoverError struct {
+	LSN   uint64
+	TxnID uint64
+	Table string
+	Err   error
+}
+
+// Error formats the failure with its log position.
+func (e *RecoverError) Error() string {
+	return fmt.Sprintf("core: recover: lsn %d txn %d table %q: %v", e.LSN, e.TxnID, e.Table, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As.
+func (e *RecoverError) Unwrap() error { return e.Err }
+
+// Recover replays a legacy single-file WAL into the engine. Records are
+// grouped by their original transaction and applied atomically: each
+// logged transaction's writes go through one engine transaction,
+// committed when its COMMIT record is reached in log order (uncommitted
+// and aborted transactions are filtered by wal.Replay). Tables must
+// already exist — legacy logs do not record the catalog — and a record
+// against a missing table fails recovery with a *RecoverError wrapping
+// ErrRecoverUnknownTable rather than silently skipping data. Redo
+// logging is suspended for the replayed transactions, so recovering
+// into an engine with a live WAL does not re-append the records it just
+// read.
 func (e *Engine) Recover(walPath string) error {
-	return wal.Replay(walPath, func(r wal.Record) error {
-		tx := e.Begin()
-		var err error
-		switch r.Kind {
-		case wal.KindInsert:
-			err = tx.Insert(r.Table, r.Row)
-		case wal.KindUpdate:
-			tbl, terr := e.Table(r.Table)
-			if terr != nil {
-				tx.Abort()
-				return terr
-			}
-			err = tx.Update(r.Table, tbl.schema.KeyOf(r.Row), r.Row)
-		case wal.KindDelete:
-			err = tx.Delete(r.Table, r.Row)
-		}
-		if err != nil {
-			tx.Abort()
-			return fmt.Errorf("core: recover: %w", err)
-		}
-		_, err = tx.Commit()
+	recs, err := wal.ReadAll(walPath)
+	if err != nil {
 		return err
-	})
+	}
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Kind == wal.KindCommit {
+			committed[r.TxnID] = true
+		}
+	}
+	e.recovering.Store(true)
+	defer e.recovering.Store(false)
+	txs := make(map[uint64]*Tx)
+	defer func() {
+		// Abort any transactions left open by a mid-replay failure.
+		for _, tx := range txs {
+			_ = tx.Abort()
+		}
+	}()
+	for _, r := range recs {
+		if r.Kind != wal.KindCreateTable && !committed[r.TxnID] {
+			continue
+		}
+		if err := e.applyRecovered(txs, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecovered routes one replayed WAL record into the per-TxnID
+// transaction map: data records accumulate in their transaction, COMMIT
+// records commit it. Used by both legacy Recover and Dir-based openDir.
+func (e *Engine) applyRecovered(txs map[uint64]*Tx, r wal.Record) error {
+	fail := func(err error) error {
+		return &RecoverError{LSN: r.LSN, TxnID: r.TxnID, Table: r.Table, Err: err}
+	}
+	if r.Kind == wal.KindCommit {
+		tx, ok := txs[r.TxnID]
+		if !ok {
+			// A committed transaction with no surviving data records
+			// (e.g. all below the checkpoint) has nothing to re-apply.
+			return nil
+		}
+		delete(txs, r.TxnID)
+		if _, err := tx.Commit(); err != nil {
+			return fail(err)
+		}
+		return nil
+	}
+	if r.Kind == wal.KindCreateTable {
+		schema, err := wal.SchemaFromRow(r.Row)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := e.CreateTable(r.Table, schema); err != nil {
+			if errors.Is(err, ErrTableExists) {
+				// Already present via checkpoint snapshot: idempotent.
+				return nil
+			}
+			return fail(err)
+		}
+		return nil
+	}
+	tx, ok := txs[r.TxnID]
+	if !ok {
+		tx = e.Begin()
+		txs[r.TxnID] = tx
+	}
+	var err error
+	switch r.Kind {
+	case wal.KindInsert:
+		err = tx.Insert(r.Table, r.Row)
+	case wal.KindUpdate:
+		tbl, terr := e.Table(r.Table)
+		if terr != nil {
+			return fail(fmt.Errorf("%w: %s", ErrRecoverUnknownTable, r.Table))
+		}
+		err = tx.Update(r.Table, tbl.schema.KeyOf(r.Row), r.Row)
+	case wal.KindDelete:
+		err = tx.Delete(r.Table, r.Row)
+	default:
+		return nil
+	}
+	if errors.Is(err, ErrNoSuchTable) {
+		return fail(fmt.Errorf("%w: %s", ErrRecoverUnknownTable, r.Table))
+	}
+	if err != nil {
+		return fail(err)
+	}
+	return nil
 }
 
 // Tx is an engine-level transaction handle.
@@ -240,13 +416,47 @@ func (t *Tx) ID() uint64 { return t.inner.ID }
 // Inner exposes the low-level transaction.
 func (t *Tx) Inner() *txn.Txn { return t.inner }
 
-// Commit commits the transaction, appending WAL records first.
+// Commit commits the transaction, appending WAL records first. With
+// Dir-based durability the commit group (redo records + COMMIT marker)
+// is enqueued to the group-commit log and, in a durable sync mode, the
+// call returns only after the group's fsync completes. LSN assignment
+// and commit-timestamp allocation happen under one lock so log order,
+// commit order, and visibility order agree; the fsync wait happens
+// outside it so concurrent committers batch into shared syncs.
 func (t *Tx) Commit() (uint64, error) {
-	if t.engine.wal != nil && len(t.walRecs) > 0 {
+	e := t.engine
+	if e.log != nil && len(t.walRecs) > 0 {
 		recs := make([]wal.Record, 0, len(t.walRecs)+1)
 		recs = append(recs, t.walRecs...)
 		recs = append(recs, wal.Record{TxnID: t.inner.ID, Kind: wal.KindCommit})
-		if _, err := t.engine.wal.Append(recs...); err != nil {
+		e.commitMu.Lock()
+		ts, err := t.inner.Commit()
+		if err != nil {
+			e.commitMu.Unlock()
+			return 0, err
+		}
+		// Enqueue after the in-memory commit (still under commitMu, so
+		// LSN order matches commit-timestamp order): the log can never
+		// hold a COMMIT marker for a transaction that did not commit,
+		// and a crash before the group reaches disk simply loses an
+		// unacknowledged commit.
+		lsn, err := e.log.Enqueue(recs...)
+		if err != nil {
+			e.commitMu.Unlock()
+			return ts, fmt.Errorf("core: commit not durable: %w", err)
+		}
+		e.lastCommitLSN = lsn
+		e.commitMu.Unlock()
+		if err := e.log.WaitAcked(lsn); err != nil {
+			return ts, fmt.Errorf("core: commit not durable: %w", err)
+		}
+		return ts, nil
+	}
+	if e.wal != nil && len(t.walRecs) > 0 {
+		recs := make([]wal.Record, 0, len(t.walRecs)+1)
+		recs = append(recs, t.walRecs...)
+		recs = append(recs, wal.Record{TxnID: t.inner.ID, Kind: wal.KindCommit})
+		if _, err := e.wal.Append(recs...); err != nil {
 			_ = t.inner.Abort()
 			return 0, err
 		}
@@ -289,9 +499,11 @@ func (t *Tx) lock2PLWrite(tbl *Table, key types.Row) error {
 	return t.engine.locks.LockExclusive(t.inner, tbl.name, key)
 }
 
-// logWrite buffers a WAL record if logging is enabled.
+// logWrite buffers a WAL record if logging is enabled. Recovery
+// replays suspend logging: re-appending replayed records would grow
+// the live log on every restart.
 func (t *Tx) logWrite(kind wal.Kind, table string, row types.Row) {
-	if t.engine.wal == nil {
+	if (t.engine.wal == nil && t.engine.log == nil) || t.engine.recovering.Load() {
 		return
 	}
 	t.walRecs = append(t.walRecs, wal.Record{TxnID: t.inner.ID, Kind: kind, Table: table, Row: row.Clone()})

@@ -1,0 +1,296 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ErrInjected is returned by every FaultFS operation at and after the
+// injected crash point.
+var ErrInjected = errors.New("wal: injected fault (simulated crash)")
+
+// FaultOp identifies the filesystem operation class a Fault triggers on.
+type FaultOp int
+
+// Operation classes countable and crashable by FaultFS.
+const (
+	FaultWrite FaultOp = iota
+	FaultSync
+	FaultCreate
+	FaultRename
+	FaultRemove
+	FaultTruncate
+	numFaultOps
+)
+
+// String names the operation class.
+func (op FaultOp) String() string {
+	switch op {
+	case FaultWrite:
+		return "write"
+	case FaultSync:
+		return "sync"
+	case FaultCreate:
+		return "create"
+	case FaultRename:
+		return "rename"
+	case FaultRemove:
+		return "remove"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("FaultOp(%d)", int(op))
+	}
+}
+
+// Fault describes one injected crash point: the N-th call (1-based) of
+// Op fails with ErrInjected and "crashes the machine" — every later
+// operation on the FaultFS also fails, and all unsynced buffered bytes
+// are discarded except a Leak-byte prefix of the target file's pending
+// data (modelling a partial page flush, i.e. a torn tail on disk).
+// Leak < 0 leaks everything pending on the target file. N == 0 disables
+// the fault (useful for recording runs that only count operations).
+type Fault struct {
+	Op   FaultOp
+	N    int
+	Leak int
+}
+
+// FaultFS wraps another FS with crash-fault injection. It models the OS
+// page cache: bytes passed to File.Write are buffered and reach the
+// backing filesystem only when Sync (or a clean Close) runs, so a
+// simulated crash loses exactly the writes that were never fsynced —
+// which is what the durability contract must survive.
+//
+// FaultFS is safe for concurrent use.
+type FaultFS struct {
+	inner FS
+	fault Fault
+
+	mu      sync.Mutex
+	counts  [numFaultOps]int
+	crashed bool
+}
+
+// NewFaultFS wraps inner with the given fault plan.
+func NewFaultFS(inner FS, fault Fault) *FaultFS {
+	return &FaultFS{inner: inner, fault: fault}
+}
+
+// Crashed reports whether the injected crash point has been reached.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// Counts returns how many operations of each class ran (including the
+// crashing one). A recording run with Fault{N: 0} uses this to size a
+// crash-point matrix.
+func (f *FaultFS) Counts() map[FaultOp]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := make(map[FaultOp]int, numFaultOps)
+	for op, n := range f.counts {
+		if n > 0 {
+			m[FaultOp(op)] = n
+		}
+	}
+	return m
+}
+
+// step counts one operation of class op; it reports whether this call
+// is the injected crash point. Caller must hold f.mu.
+func (f *FaultFS) step(op FaultOp) bool {
+	f.counts[op]++
+	return f.fault.N > 0 && op == f.fault.Op && f.counts[op] == f.fault.N
+}
+
+// crash marks the filesystem dead and leaks a prefix of the target
+// file's pending bytes to the backing store. Caller must hold f.mu.
+func (f *FaultFS) crash(target *faultFile, extra []byte) {
+	f.crashed = true
+	if target == nil {
+		return
+	}
+	pending := append(append([]byte(nil), target.pending...), extra...)
+	leak := f.fault.Leak
+	if leak < 0 || leak > len(pending) {
+		leak = len(pending)
+	}
+	if leak > 0 {
+		// Leaked bytes hit the disk exactly as a partial page flush
+		// would: present after reboot without any fsync having run.
+		_, _ = target.inner.Write(pending[:leak])
+		_ = target.inner.Sync()
+	}
+	target.pending = nil
+}
+
+// MkdirAll creates directories (not a crash point; metadata-only setup).
+func (f *FaultFS) MkdirAll(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	return f.inner.MkdirAll(dir)
+}
+
+// Create opens a buffered file for writing.
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrInjected
+	}
+	if f.step(FaultCreate) {
+		f.crash(nil, nil)
+		return nil, ErrInjected
+	}
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+// Open opens name for reading (reads see only synced/leaked bytes, so
+// they are not crash points).
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrInjected
+	}
+	return f.inner.Open(name)
+}
+
+// ReadDir lists dir.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return nil, ErrInjected
+	}
+	return f.inner.ReadDir(dir)
+}
+
+// Remove deletes name.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.step(FaultRemove) {
+		f.crash(nil, nil)
+		return ErrInjected
+	}
+	return f.inner.Remove(name)
+}
+
+// Rename renames oldname to newname.
+func (f *FaultFS) Rename(oldname, newname string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.step(FaultRename) {
+		f.crash(nil, nil)
+		return ErrInjected
+	}
+	return f.inner.Rename(oldname, newname)
+}
+
+// Truncate cuts name to size.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	if f.step(FaultTruncate) {
+		f.crash(nil, nil)
+		return ErrInjected
+	}
+	return f.inner.Truncate(name, size)
+}
+
+// SyncDir fsyncs a directory.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.crashed {
+		return ErrInjected
+	}
+	return f.inner.SyncDir(dir)
+}
+
+// faultFile buffers writes until Sync, like the page cache the real
+// filesystem puts between write(2) and the platter.
+type faultFile struct {
+	fs      *FaultFS
+	inner   File
+	pending []byte
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return 0, ErrInjected
+	}
+	if ff.fs.step(FaultWrite) {
+		ff.fs.crash(ff, p)
+		return 0, ErrInjected
+	}
+	ff.pending = append(ff.pending, p...)
+	return len(p), nil
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrInjected
+	}
+	if ff.fs.step(FaultSync) {
+		ff.fs.crash(ff, nil)
+		return ErrInjected
+	}
+	return ff.flushLocked(true)
+}
+
+// flushLocked pushes pending bytes to the backing file; sync also
+// fsyncs them. Caller must hold ff.fs.mu.
+func (ff *faultFile) flushLocked(sync bool) error {
+	if len(ff.pending) > 0 {
+		if _, err := ff.inner.Write(ff.pending); err != nil {
+			return err
+		}
+		ff.pending = nil
+	}
+	if sync {
+		return ff.inner.Sync()
+	}
+	return nil
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.fs.crashed {
+		return ErrInjected
+	}
+	// A clean close hands pending bytes to the OS (they would survive a
+	// process crash, though not a power failure — the log always syncs
+	// before closing, so this path only matters for sloppy callers).
+	if err := ff.flushLocked(false); err != nil {
+		return err
+	}
+	return ff.inner.Close()
+}

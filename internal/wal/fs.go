@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable-file surface the log and checkpoint writers use.
+// Write buffers may be retained by fault-injection layers, so callers
+// must not reuse a passed slice before the call returns.
+type File interface {
+	io.Writer
+	// Sync makes previously written bytes durable (fsync).
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface beneath the durability subsystem. All
+// paths are absolute or process-relative, exactly as os.* would take
+// them. Production uses OSFS; crash tests substitute a FaultFS that
+// models a volatile page cache and injects failures.
+type FS interface {
+	MkdirAll(dir string) error
+	// Create opens name truncated for writing.
+	Create(name string) (File, error)
+	Open(name string) (io.ReadCloser, error)
+	// ReadDir lists the file names (not paths) in dir, sorted.
+	ReadDir(dir string) ([]string, error)
+	Remove(name string) error
+	Rename(oldname, newname string) error
+	Truncate(name string, size int64) error
+	// SyncDir fsyncs the directory itself, making renames and removals
+	// durable.
+	SyncDir(dir string) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+// MkdirAll creates dir and parents.
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+// Create opens name truncated for writing.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open opens name for reading.
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// ReadDir lists file names in dir, sorted.
+func (OSFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Remove deletes name.
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+// Rename atomically renames oldname to newname.
+func (OSFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Truncate cuts name to size bytes.
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+// SyncDir fsyncs a directory so entry changes (rename, remove) are
+// durable.
+func (OSFS) SyncDir(dir string) error {
+	f, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

@@ -1,0 +1,767 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncMode selects how Append relates to fsync.
+type SyncMode int
+
+// Durability modes. The zero value is SyncGroup: committers are not
+// acknowledged until their records are fsync-durable, and a dedicated
+// flusher goroutine batches every group queued within a short window
+// into one fsync — the classic group commit that keeps the sync off the
+// per-transaction critical path.
+const (
+	// SyncGroup waits for durability; the flusher sleeps GroupWindow
+	// after the first enqueue of a batch so more committers can pile on
+	// before the fsync.
+	SyncGroup SyncMode = iota
+	// SyncSync waits for durability with no accumulation window: the
+	// flusher fsyncs as soon as it drains the queue. Batching still
+	// happens naturally — every group enqueued while an fsync is in
+	// flight shares the next one.
+	SyncSync
+	// SyncAsync acknowledges immediately after enqueue. The flusher
+	// writes in the background and fsyncs only on rotation, Sync, and
+	// Close; a crash may lose the most recent commits.
+	SyncAsync
+	// SyncEach fsyncs inline, per Append, under the writer mutex — the
+	// per-commit-fsync convoy that group commit exists to beat. Kept as
+	// the honest baseline for the E15 benchmark series.
+	SyncEach
+)
+
+// String names the mode.
+func (m SyncMode) String() string {
+	switch m {
+	case SyncGroup:
+		return "group"
+	case SyncSync:
+		return "sync"
+	case SyncAsync:
+		return "async"
+	case SyncEach:
+		return "each"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(m))
+	}
+}
+
+// ParseSyncMode converts a mode name (group, sync, async, each) to a
+// SyncMode.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "group", "":
+		return SyncGroup, nil
+	case "sync":
+		return SyncSync, nil
+	case "async":
+		return SyncAsync, nil
+	case "each":
+		return SyncEach, nil
+	default:
+		return 0, fmt.Errorf("wal: unknown sync mode %q (want group, sync, async, or each)", s)
+	}
+}
+
+// LogOptions configures a segmented Log.
+type LogOptions struct {
+	// Mode selects the durability mode (default SyncGroup).
+	Mode SyncMode
+	// GroupWindow is how long the flusher waits after picking up work
+	// so more commit groups can join the same fsync (SyncGroup only;
+	// default 200µs).
+	GroupWindow time.Duration
+	// SegmentSize is the rotation threshold in bytes (default 16 MiB).
+	// Rotation happens at flush-batch boundaries, so segments may
+	// exceed it by up to one batch.
+	SegmentSize int64
+	// MinLSN forces the next assigned LSN to be at least this value,
+	// even if the directory holds fewer records (used after checkpoint
+	// truncation removed every segment).
+	MinLSN uint64
+	// FS is the filesystem to write through (default the real one).
+	// Crash tests inject a FaultFS here.
+	FS FS
+}
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log is closed")
+
+const (
+	segPrefix      = "wal-"
+	segSuffix      = ".log"
+	defaultSegSize = 16 << 20
+	defaultWindow  = 200 * time.Microsecond
+)
+
+// segName formats the file name of the segment whose first record has
+// the given LSN.
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstLSN, segSuffix)
+}
+
+// parseSegName extracts the first LSN from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	lsn, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return lsn, true
+}
+
+// segInfo is one log segment: a file holding the contiguous LSN range
+// [firstLSN, next segment's firstLSN).
+type segInfo struct {
+	name     string
+	firstLSN uint64
+}
+
+// LogStats counts log activity.
+type LogStats struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Syncs is the number of fsync calls on segment files.
+	Syncs uint64
+	// Flushes is the number of flush batches written.
+	Flushes uint64
+	// Rotations is the number of segment rotations.
+	Rotations uint64
+}
+
+// Log is a segmented write-ahead log with a dedicated group-commit
+// flusher. Committers enqueue frame groups under a short-held staging
+// lock and wait on the durable-LSN watermark; the flusher drains all
+// queued groups, writes them to the current segment, fsyncs once, and
+// advances the watermark — so every committer that queued while an
+// fsync was in flight shares the next one. Staging never blocks behind
+// an fsync (the mutex-convoy failure mode of the naive design).
+//
+// Log is safe for concurrent use.
+type Log struct {
+	dir  string
+	fs   FS
+	opts LogOptions
+
+	// mu guards staging: the pending frame buffer and LSN assignment.
+	// It is held only for memory operations, never across I/O (except
+	// in SyncEach mode, whose convoy is the point).
+	mu       sync.Mutex
+	buf      []byte
+	bufFirst uint64 // LSN of the first staged record
+	bufLast  uint64 // LSN of the last staged record
+	nextLSN  uint64
+	closed   bool
+	err      error // sticky failure; all later operations return it
+
+	// wmu guards the file-writing state: current segment, its size,
+	// and the segment list. Lock order: wmu before mu.
+	wmu     sync.Mutex
+	segs    []segInfo
+	cur     File // open segment being appended (nil until first write)
+	curSize int64
+
+	kick chan struct{} // wakes the flusher (capacity 1)
+	done chan struct{} // closed when the flusher exits
+
+	// durMu guards the durable watermark and its condition variable.
+	durMu   sync.Mutex
+	durCond *sync.Cond
+	durable uint64 // highest fsync-durable LSN
+	written uint64 // highest LSN written to the file (>= durable)
+	syncReq uint64 // explicit Sync barrier target (async mode)
+	durErr  error
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	flushes   atomic.Uint64
+	rotations atomic.Uint64
+}
+
+// OpenLog opens (creating if needed) the segmented log in dir. A torn
+// tail in the newest segment — the signature of a crash mid-write — is
+// truncated away; new records continue the LSN sequence after the last
+// intact record. Existing segments are never appended to: the first
+// post-open append starts a fresh segment, so every segment boundary is
+// crash-consistent.
+func OpenLog(dir string, opts LogOptions) (*Log, error) {
+	if opts.FS == nil {
+		opts.FS = OSFS{}
+	}
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = defaultSegSize
+	}
+	if opts.GroupWindow <= 0 {
+		opts.GroupWindow = defaultWindow
+	}
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, lastLSN, err := scanSegments(fs, dir, true)
+	if err != nil {
+		return nil, err
+	}
+	next := lastLSN + 1
+	if opts.MinLSN > next {
+		next = opts.MinLSN
+	}
+	l := &Log{
+		dir:     dir,
+		fs:      fs,
+		opts:    opts,
+		nextLSN: next,
+		segs:    segs,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.durCond = sync.NewCond(&l.durMu)
+	l.durable = next - 1
+	l.written = next - 1
+	go l.flusher()
+	return l, nil
+}
+
+// scanSegments lists the segment files in dir ordered by first LSN and
+// returns the last intact LSN on disk. With truncateTorn, the newest
+// segment's torn tail (if any) is cut off so later readers stop exactly
+// at the durable prefix.
+func scanSegments(fs FS, dir string, truncateTorn bool) ([]segInfo, uint64, error) {
+	names, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	for _, n := range names {
+		if first, ok := parseSegName(n); ok {
+			segs = append(segs, segInfo{name: n, firstLSN: first})
+		}
+	}
+	// ReadDir is sorted and the fixed-width hex name orders by LSN.
+	var last uint64
+	if len(segs) > 0 {
+		tail := segs[len(segs)-1]
+		path := filepath.Join(dir, tail.name)
+		f, err := fs.Open(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: %w", err)
+		}
+		recs, valid := ScanRecords(f)
+		f.Close()
+		if len(recs) == 0 {
+			last = tail.firstLSN - 1
+		} else {
+			last = recs[len(recs)-1].LSN
+		}
+		if truncateTorn {
+			if err := fs.Truncate(path, valid); err != nil {
+				return nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+			}
+		}
+	}
+	return segs, last, nil
+}
+
+// Mode returns the configured durability mode.
+func (l *Log) Mode() SyncMode { return l.opts.Mode }
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// DurableLSN returns the fsync-durable watermark: every record with an
+// LSN at or below it survives a crash.
+func (l *Log) DurableLSN() uint64 {
+	l.durMu.Lock()
+	defer l.durMu.Unlock()
+	return l.durable
+}
+
+// Stats returns activity counters.
+func (l *Log) Stats() LogStats {
+	return LogStats{
+		Appends:   l.appends.Load(),
+		Syncs:     l.syncs.Load(),
+		Flushes:   l.flushes.Load(),
+		Rotations: l.rotations.Load(),
+	}
+}
+
+// Segments returns the current segment file names, oldest first.
+func (l *Log) Segments() []string {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	names := make([]string, len(l.segs))
+	for i, s := range l.segs {
+		names[i] = s.name
+	}
+	return names
+}
+
+// Enqueue assigns LSNs to recs, stages their framed bytes for the
+// flusher, and returns the last LSN without waiting for durability —
+// callers sequence their in-memory commit against the log order, then
+// block with WaitAcked or WaitDurable. In SyncEach mode the records are
+// written and fsynced inline instead (the baseline convoy).
+func (l *Log) Enqueue(recs ...Record) (uint64, error) {
+	if l.opts.Mode == SyncEach {
+		return l.appendEach(recs)
+	}
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	if len(recs) == 0 {
+		last := l.nextLSN - 1
+		l.mu.Unlock()
+		return last, nil
+	}
+	last := l.stageLocked(recs)
+	l.mu.Unlock()
+	l.kickFlusher()
+	return last, nil
+}
+
+// usableLocked reports why the log cannot accept appends (closed or
+// failed), if so. Caller must hold l.mu.
+func (l *Log) usableLocked() error {
+	if l.closed {
+		return ErrClosed
+	}
+	return l.err
+}
+
+// stageLocked assigns LSNs and frames recs into the staging buffer,
+// returning the last LSN. Caller must hold l.mu.
+func (l *Log) stageLocked(recs []Record) uint64 {
+	if len(l.buf) == 0 {
+		l.bufFirst = l.nextLSN
+	}
+	for i := range recs {
+		recs[i].LSN = l.nextLSN
+		l.nextLSN++
+		l.buf = AppendFrame(l.buf, &recs[i])
+	}
+	l.bufLast = l.nextLSN - 1
+	l.appends.Add(uint64(len(recs)))
+	return l.bufLast
+}
+
+// appendEach is the SyncEach path: one write + one fsync per call,
+// serialized on the writer mutex.
+func (l *Log) appendEach(recs []Record) (uint64, error) {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.mu.Lock()
+	if err := l.usableLocked(); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	if len(recs) == 0 {
+		last := l.nextLSN - 1
+		l.mu.Unlock()
+		return last, nil
+	}
+	last := l.stageLocked(recs)
+	chunk, first := l.buf, l.bufFirst
+	l.buf = nil
+	l.mu.Unlock()
+	return last, l.writeChunk(chunk, first, last, true)
+}
+
+// Append is Enqueue plus the mode's acknowledgement wait: in SyncGroup
+// and SyncSync it returns only once the records are fsync-durable.
+func (l *Log) Append(recs ...Record) (uint64, error) {
+	lsn, err := l.Enqueue(recs...)
+	if err != nil {
+		return 0, err
+	}
+	return lsn, l.WaitAcked(lsn)
+}
+
+// WaitAcked waits according to the durability mode: for durability in
+// SyncGroup/SyncSync, not at all in SyncAsync (or SyncEach, which was
+// durable at Enqueue).
+func (l *Log) WaitAcked(lsn uint64) error {
+	switch l.opts.Mode {
+	case SyncGroup, SyncSync:
+		return l.WaitDurable(lsn)
+	default:
+		return nil
+	}
+}
+
+// WaitDurable blocks until every record with LSN <= lsn is fsync-durable
+// (regardless of mode), or the log fails.
+func (l *Log) WaitDurable(lsn uint64) error {
+	l.durMu.Lock()
+	defer l.durMu.Unlock()
+	for l.durable < lsn && l.durErr == nil {
+		l.durCond.Wait()
+	}
+	if l.durable >= lsn {
+		return nil
+	}
+	return l.durErr
+}
+
+// Sync is a durability barrier: it forces everything appended so far to
+// disk and waits, in every mode (the async mode's checkpoint hook).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.nextLSN - 1
+	l.mu.Unlock()
+	l.durMu.Lock()
+	if target > l.syncReq {
+		l.syncReq = target
+	}
+	l.durMu.Unlock()
+	l.kickFlusher()
+	return l.WaitDurable(target)
+}
+
+// Close drains pending appends, fsyncs, and closes the current segment.
+// Appends racing with Close fail with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	already := l.closed
+	l.closed = true
+	l.mu.Unlock()
+	if !already {
+		l.kickFlusher()
+	}
+	<-l.done
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// TruncateBelow removes every segment whose records all have LSN < keep
+// — everything a checkpoint at keep-1 made redundant. The newest
+// segment is always retained (it is, or will become, the append
+// target). Returns the number of segments removed.
+func (l *Log) TruncateBelow(keep uint64) (int, error) {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].firstLSN <= keep {
+		if err := l.fs.Remove(filepath.Join(l.dir, l.segs[0].name)); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	// When every assigned record is below the cutoff AND already written
+	// out, the active segment itself is retired: it is synced, closed,
+	// and removed, and the next append lazily starts a fresh segment at
+	// an LSN the caller's checkpoint covers nothing of. The written
+	// check (under the watermark lock) rules out a flusher chunk drained
+	// from the staging buffer but not yet written — wmu blocks it from
+	// writing while we look.
+	if len(l.segs) == 1 {
+		l.mu.Lock()
+		next := l.nextLSN
+		l.mu.Unlock()
+		l.durMu.Lock()
+		allWritten := l.written == next-1
+		l.durMu.Unlock()
+		if next <= keep && allWritten {
+			if l.cur != nil {
+				if err := l.cur.Sync(); err != nil {
+					return removed, fmt.Errorf("wal: truncate: %w", err)
+				}
+				l.advance(next-1, true)
+				if err := l.cur.Close(); err != nil {
+					return removed, fmt.Errorf("wal: truncate: %w", err)
+				}
+				l.cur = nil
+				l.curSize = 0
+			}
+			if err := l.fs.Remove(filepath.Join(l.dir, l.segs[0].name)); err != nil {
+				return removed, fmt.Errorf("wal: truncate: %w", err)
+			}
+			l.segs = nil
+			removed++
+		}
+	}
+	if removed > 0 {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return removed, fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+func (l *Log) kickFlusher() {
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+}
+
+// setErr records a sticky error and wakes every durability waiter.
+func (l *Log) setErr(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	l.durMu.Lock()
+	if l.durErr == nil {
+		l.durErr = err
+	}
+	l.durMu.Unlock()
+	l.durCond.Broadcast()
+}
+
+// advance publishes a new written (and, when synced, durable) LSN
+// watermark.
+func (l *Log) advance(lsn uint64, durable bool) {
+	l.durMu.Lock()
+	if lsn > l.written {
+		l.written = lsn
+	}
+	if durable && lsn > l.durable {
+		l.durable = lsn
+	}
+	l.durMu.Unlock()
+	if durable {
+		l.durCond.Broadcast()
+	}
+}
+
+// writeChunk writes one batch of frames [first..last] to the current
+// segment, rotating afterwards if the segment crossed the size
+// threshold. sync forces an fsync; rotation fsyncs regardless, so a
+// later segment's existence implies its predecessors are complete.
+// Caller must hold l.wmu (and not l.mu).
+func (l *Log) writeChunk(chunk []byte, first, last uint64, sync bool) error {
+	fail := func(err error) error {
+		err = fmt.Errorf("wal: %w", err)
+		l.setErr(err)
+		return err
+	}
+	if l.cur == nil {
+		name := segName(first)
+		f, err := l.fs.Create(filepath.Join(l.dir, name))
+		if err != nil {
+			return fail(err)
+		}
+		l.cur = f
+		l.curSize = 0
+		l.segs = append(l.segs, segInfo{name: name, firstLSN: first})
+	}
+	if _, err := l.cur.Write(chunk); err != nil {
+		return fail(err)
+	}
+	l.curSize += int64(len(chunk))
+	l.flushes.Add(1)
+	rotate := l.curSize >= l.opts.SegmentSize
+	if sync || rotate {
+		if err := l.cur.Sync(); err != nil {
+			return fail(err)
+		}
+		l.syncs.Add(1)
+		l.advance(last, true)
+	} else {
+		l.advance(last, false)
+	}
+	if rotate {
+		if err := l.cur.Close(); err != nil {
+			return fail(err)
+		}
+		l.cur = nil
+		l.curSize = 0
+		l.rotations.Add(1)
+	}
+	return nil
+}
+
+// flusher is the group-commit daemon: it drains every staged group in
+// one gulp, writes them with one fsync, and advances the durable
+// watermark, so N committers queued during one fsync cost one more.
+func (l *Log) flusher() {
+	defer close(l.done)
+	mode := l.opts.Mode
+	for {
+		<-l.kick
+		if mode == SyncGroup {
+			// Accumulation window: let more committers stage their
+			// groups before paying the fsync.
+			time.Sleep(l.opts.GroupWindow)
+		}
+		for {
+			l.mu.Lock()
+			chunk, first, last := l.buf, l.bufFirst, l.bufLast
+			l.buf = nil
+			closed, failed := l.closed, l.err != nil
+			l.mu.Unlock()
+			if failed {
+				if closed {
+					return
+				}
+				break
+			}
+			if len(chunk) == 0 {
+				if l.idle(closed) {
+					return
+				}
+				break
+			}
+			durableWrite := mode != SyncAsync
+			if !durableWrite {
+				// Honour an explicit Sync barrier covering this chunk.
+				l.durMu.Lock()
+				durableWrite = l.syncReq >= first
+				l.durMu.Unlock()
+			}
+			l.wmu.Lock()
+			err := l.writeChunk(chunk, first, last, durableWrite)
+			l.wmu.Unlock()
+			if err != nil && l.isClosed() {
+				return
+			}
+			// Loop again: more groups may have been staged while this
+			// chunk was being written (that is the whole point).
+		}
+	}
+}
+
+// idle handles a drain pass that found nothing staged: it serves any
+// pending Sync barrier, and on close fsyncs and closes the current
+// segment. Returns true when the flusher should exit.
+func (l *Log) idle(closed bool) bool {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	l.durMu.Lock()
+	needSync := l.syncReq > l.durable && l.written > l.durable
+	target := l.written
+	l.durMu.Unlock()
+	if (needSync || closed) && l.cur != nil {
+		if err := l.cur.Sync(); err != nil {
+			l.setErr(fmt.Errorf("wal: %w", err))
+			return closed
+		}
+		l.syncs.Add(1)
+		l.advance(target, true)
+	}
+	if closed {
+		if l.cur != nil {
+			if err := l.cur.Close(); err != nil {
+				l.setErr(fmt.Errorf("wal: %w", err))
+			}
+			l.cur = nil
+		}
+		return true
+	}
+	return false
+}
+
+func (l *Log) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// ReadSegments reads every intact record from the log directory in LSN
+// order, stopping at the first torn record, LSN discontinuity, or gap
+// between segments (everything past such a point was never acknowledged
+// durable). It is the read side used by recovery; fs may be nil for the
+// real filesystem.
+func ReadSegments(fs FS, dir string) ([]Record, error) {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	segs, _, err := scanSegments(fs, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	var expect uint64
+	for _, seg := range segs {
+		if expect != 0 && seg.firstLSN != expect {
+			break // gap between segments: treat as end of log
+		}
+		f, err := fs.Open(filepath.Join(dir, seg.name))
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		recs, _ := ScanRecords(f)
+		f.Close()
+		torn := false
+		for _, r := range recs {
+			if expect != 0 && r.LSN != expect {
+				torn = true
+				break
+			}
+			out = append(out, r)
+			expect = r.LSN + 1
+		}
+		if torn {
+			break
+		}
+		if expect == 0 {
+			// Empty first segment: continue from its declared start.
+			expect = seg.firstLSN
+		}
+	}
+	return out, nil
+}
+
+// ReplayDir reads the directory's intact records and calls apply for
+// each record that recovery must re-execute: catalog records
+// (KindCreateTable) unconditionally, data and COMMIT records only for
+// transactions whose COMMIT made it to disk, all in log order, skipping
+// records with LSN <= afterLSN (already captured by a checkpoint).
+func ReplayDir(fs FS, dir string, afterLSN uint64, apply func(Record) error) error {
+	recs, err := ReadSegments(fs, dir)
+	if err != nil {
+		return err
+	}
+	committed := make(map[uint64]bool)
+	for _, r := range recs {
+		if r.Kind == KindCommit {
+			committed[r.TxnID] = true
+		}
+	}
+	for _, r := range recs {
+		if r.LSN <= afterLSN {
+			continue
+		}
+		switch r.Kind {
+		case KindCreateTable:
+			if err := apply(r); err != nil {
+				return err
+			}
+		case KindInsert, KindUpdate, KindDelete, KindCommit:
+			if committed[r.TxnID] {
+				if err := apply(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

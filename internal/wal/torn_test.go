@@ -1,0 +1,178 @@
+package wal
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// buildFrames encodes n records and returns the byte stream plus the
+// offset at which each record's frame ends.
+func buildFrames(n int) (stream []byte, ends []int) {
+	var buf []byte
+	for i := 0; i < n; i++ {
+		rec := Record{
+			LSN:   uint64(i + 1),
+			TxnID: uint64(i%7 + 1),
+			Kind:  KindInsert,
+			Table: "events",
+			Row:   types.Row{types.NewInt(int64(i)), types.NewString("payload")},
+		}
+		if i%5 == 4 {
+			rec.Kind = KindCommit
+			rec.Table = ""
+			rec.Row = nil
+		}
+		buf = AppendFrame(buf, &rec)
+		ends = append(ends, len(buf))
+	}
+	return buf, ends
+}
+
+// cleanPrefixLen returns how many whole records fit entirely below
+// offset cut in the stream.
+func cleanPrefixLen(ends []int, cut int) int {
+	n := 0
+	for _, e := range ends {
+		if e <= cut {
+			n++
+		}
+	}
+	return n
+}
+
+// checkPrefixProperty asserts the torn-tail contract on a corrupted
+// stream: ScanRecords never errors, never yields a record whose frame
+// extends to or past the corruption offset, and yields every intact
+// record before it. validUpTo is the first corrupted byte offset.
+func checkPrefixProperty(t *testing.T, data []byte, ends []int, validUpTo int) {
+	t.Helper()
+	recs, validBytes := ScanRecords(bytes.NewReader(data))
+	wantMin := cleanPrefixLen(ends, validUpTo)
+	if len(recs) < wantMin {
+		t.Fatalf("lost clean records: got %d, want >= %d (corruption at %d)", len(recs), wantMin, validUpTo)
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d — not a prefix", i, r.LSN)
+		}
+		if ends[i] > validUpTo && int(validBytes) > validUpTo {
+			// A record whose frame reaches into the corrupt region may
+			// only be delivered if the corruption didn't change bytes it
+			// occupies (e.g. a flip past the last frame); validBytes must
+			// still never exceed the stream.
+			if int(validBytes) > len(data) {
+				t.Fatalf("validBytes %d > stream %d", validBytes, len(data))
+			}
+		}
+	}
+	if int(validBytes) > len(data) {
+		t.Fatalf("validBytes %d > len(data) %d", validBytes, len(data))
+	}
+	// validBytes must cover exactly the delivered records.
+	if len(recs) > 0 && int(validBytes) != ends[len(recs)-1] {
+		t.Fatalf("validBytes %d != end of last delivered record %d", validBytes, ends[len(recs)-1])
+	}
+	if len(recs) == 0 && validBytes != 0 {
+		t.Fatalf("no records but validBytes = %d", validBytes)
+	}
+}
+
+// TestTornTailTruncationProperty checks every truncation point of a
+// small log and random points of a larger one: replay returns exactly
+// the records wholly inside the kept prefix, with no error.
+func TestTornTailTruncationProperty(t *testing.T) {
+	stream, ends := buildFrames(8)
+	for cut := 0; cut <= len(stream); cut++ {
+		recs, validBytes := ScanRecords(bytes.NewReader(stream[:cut]))
+		want := cleanPrefixLen(ends, cut)
+		if len(recs) != want {
+			t.Fatalf("cut=%d: got %d records, want %d", cut, len(recs), want)
+		}
+		if want > 0 && int(validBytes) != ends[want-1] {
+			t.Fatalf("cut=%d: validBytes=%d want %d", cut, validBytes, ends[want-1])
+		}
+	}
+
+	rng := rand.New(rand.NewSource(6))
+	stream, ends = buildFrames(64)
+	for trial := 0; trial < 200; trial++ {
+		cut := rng.Intn(len(stream) + 1)
+		recs, _ := ScanRecords(bytes.NewReader(stream[:cut]))
+		if want := cleanPrefixLen(ends, cut); len(recs) != want {
+			t.Fatalf("trial %d cut=%d: got %d records, want %d", trial, cut, len(recs), want)
+		}
+	}
+}
+
+// TestTornTailBitFlipProperty flips a single bit at random offsets: the
+// CRC must stop replay at or before the flipped record, never erroring
+// and never losing records before it.
+func TestTornTailBitFlipProperty(t *testing.T) {
+	stream, ends := buildFrames(64)
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 300; trial++ {
+		pos := rng.Intn(len(stream))
+		bit := byte(1) << uint(rng.Intn(8))
+		data := append([]byte(nil), stream...)
+		data[pos] ^= bit
+		checkPrefixProperty(t, data, ends, pos)
+	}
+}
+
+// TestTornTailGarbageAppend: random garbage after a clean log must not
+// produce extra records (CRC or length plausibility must reject it).
+func TestTornTailGarbageAppend(t *testing.T) {
+	stream, ends := buildFrames(16)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		garbage := make([]byte, rng.Intn(200))
+		rng.Read(garbage)
+		data := append(append([]byte(nil), stream...), garbage...)
+		recs, validBytes := ScanRecords(bytes.NewReader(data))
+		if len(recs) < 16 {
+			t.Fatalf("trial %d: clean records lost (%d < 16)", trial, len(recs))
+		}
+		// Garbage may accidentally form valid frames only with matching
+		// CRC — astronomically unlikely; treat as failure to catch
+		// plausibility regressions.
+		if len(recs) > 16 {
+			t.Fatalf("trial %d: garbage decoded as %d extra records", trial, len(recs)-16)
+		}
+		if int(validBytes) != ends[15] {
+			t.Fatalf("trial %d: validBytes=%d want %d", trial, validBytes, ends[15])
+		}
+	}
+}
+
+// FuzzScanRecordsPrefix feeds arbitrary mutations of a valid log to
+// ScanRecords via Go native fuzzing. Invariants: no panic, records come
+// out in LSN order 1..k, and validBytes matches the delivered frames.
+func FuzzScanRecordsPrefix(f *testing.F) {
+	stream, _ := buildFrames(8)
+	f.Add(stream, 0, byte(0))
+	f.Add(stream, len(stream)/2, byte(1))
+	f.Add([]byte{}, 0, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, cut int, flip byte) {
+		mutated := append([]byte(nil), data...)
+		if len(mutated) > 0 {
+			idx := cut % len(mutated)
+			if idx < 0 {
+				idx = -idx
+			}
+			mutated[idx] ^= flip
+		}
+		recs, validBytes := ScanRecords(bytes.NewReader(mutated))
+		if int(validBytes) > len(mutated) {
+			t.Fatalf("validBytes %d > input %d", validBytes, len(mutated))
+		}
+		// Records must decode back from the valid prefix byte-for-byte.
+		again, again2 := ScanRecords(bytes.NewReader(mutated[:validBytes]))
+		if len(again) != len(recs) || again2 != validBytes {
+			t.Fatalf("prefix not self-consistent: %d/%d records, %d/%d bytes",
+				len(again), len(recs), again2, validBytes)
+		}
+	})
+}

@@ -36,6 +36,11 @@ const (
 	KindUpdate
 	KindDelete
 	KindCheckpoint
+	// KindCreateTable logs a catalog operation: Table names the new
+	// table and Row carries the schema (see SchemaToRow). Replay applies
+	// catalog records unconditionally, in log order — they are durable
+	// the moment their append is, independent of any transaction.
+	KindCreateTable
 )
 
 // String returns the record kind name.
@@ -55,6 +60,8 @@ func (k Kind) String() string {
 		return "DELETE"
 	case KindCheckpoint:
 		return "CHECKPOINT"
+	case KindCreateTable:
+		return "CREATE_TABLE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -190,6 +197,93 @@ func DecodeRecord(buf []byte) (Record, error) {
 	return r, nil
 }
 
+// SchemaToRow flattens a table schema into a Row so catalog operations
+// ride the ordinary record format: [ncols, (name, type)*, key indices*].
+func SchemaToRow(s *types.Schema) types.Row {
+	row := make(types.Row, 0, 1+2*len(s.Cols)+len(s.Key))
+	row = append(row, types.NewInt(int64(len(s.Cols))))
+	for _, c := range s.Cols {
+		row = append(row, types.NewString(c.Name), types.NewInt(int64(c.Type)))
+	}
+	for _, k := range s.Key {
+		row = append(row, types.NewInt(int64(k)))
+	}
+	return row
+}
+
+// SchemaFromRow reverses SchemaToRow.
+func SchemaFromRow(row types.Row) (*types.Schema, error) {
+	if len(row) < 1 || row[0].Typ != types.Int64 {
+		return nil, fmt.Errorf("wal: malformed schema record")
+	}
+	ncols := int(row[0].I)
+	if ncols < 0 || len(row) < 1+2*ncols {
+		return nil, fmt.Errorf("wal: malformed schema record: %d columns, %d values", ncols, len(row))
+	}
+	s := &types.Schema{Cols: make([]types.Column, ncols)}
+	for i := 0; i < ncols; i++ {
+		name, typ := row[1+2*i], row[2+2*i]
+		if name.Typ != types.String || typ.Typ != types.Int64 {
+			return nil, fmt.Errorf("wal: malformed schema record: column %d", i)
+		}
+		s.Cols[i] = types.Column{Name: name.S, Type: types.Type(typ.I)}
+	}
+	for _, v := range row[1+2*ncols:] {
+		if v.Typ != types.Int64 || v.I < 0 || int(v.I) >= ncols {
+			return nil, fmt.Errorf("wal: malformed schema record: key index %v", v)
+		}
+		s.Key = append(s.Key, int(v.I))
+	}
+	return s, nil
+}
+
+// frameOverhead is the per-record framing cost: 4-byte length + 4-byte
+// CRC32 of the body.
+const frameOverhead = 8
+
+// AppendFrame appends the framed (length + CRC + body) encoding of rec
+// to buf. The record's LSN must already be assigned.
+func AppendFrame(buf []byte, rec *Record) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = rec.Encode(buf)
+	body := buf[start+frameOverhead:]
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(buf[start+4:start+8], crc32.ChecksumIEEE(body))
+	return buf
+}
+
+// ScanRecords reads framed records from r until EOF or the first torn,
+// corrupt, or implausible frame, returning the intact prefix and the
+// byte length it occupies (the offset a recovering writer truncates to).
+func ScanRecords(r io.Reader) (recs []Record, validBytes int64) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	for {
+		var hdr [frameOverhead]byte
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return recs, validBytes // clean EOF or torn header: end of log
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<28 {
+			return recs, validBytes // implausible length: torn
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return recs, validBytes
+		}
+		if crc32.ChecksumIEEE(frame) != sum {
+			return recs, validBytes
+		}
+		rec, err := DecodeRecord(frame)
+		if err != nil {
+			return recs, validBytes
+		}
+		recs = append(recs, rec)
+		validBytes += int64(frameOverhead) + int64(n)
+	}
+}
+
 // Writer appends records to a log file with group commit: concurrent
 // Append calls are batched and flushed together, amortizing the sync.
 type Writer struct {
@@ -232,13 +326,7 @@ func (w *Writer) Append(recs ...Record) (uint64, error) {
 		recs[i].LSN = w.nextLSN
 		w.nextLSN++
 		last = recs[i].LSN
-		frame = recs[i].Encode(frame[:0])
-		var hdr [8]byte
-		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(frame)))
-		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(frame))
-		if _, err := w.bw.Write(hdr[:]); err != nil {
-			return 0, fmt.Errorf("wal: %w", err)
-		}
+		frame = AppendFrame(frame[:0], &recs[i])
 		if _, err := w.bw.Write(frame); err != nil {
 			return 0, fmt.Errorf("wal: %w", err)
 		}
@@ -281,31 +369,8 @@ func ReadAll(path string) ([]Record, error) {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
 	defer f.Close()
-	br := bufio.NewReaderSize(f, 1<<20)
-	var out []Record
-	for {
-		var hdr [8]byte
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return out, nil // clean EOF or torn header: end of log
-		}
-		n := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > 1<<28 {
-			return out, nil // implausible length: torn
-		}
-		frame := make([]byte, n)
-		if _, err := io.ReadFull(br, frame); err != nil {
-			return out, nil
-		}
-		if crc32.ChecksumIEEE(frame) != sum {
-			return out, nil
-		}
-		rec, err := DecodeRecord(frame)
-		if err != nil {
-			return out, nil
-		}
-		out = append(out, rec)
-	}
+	out, _ := ScanRecords(f)
+	return out, nil
 }
 
 // Replay reads the log and calls apply for each data record of every
