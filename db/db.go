@@ -119,6 +119,12 @@ var ErrNoRows = errors.New("db: no rows in result set")
 // their target column or comparison (see errors.Is).
 var ErrTypeMismatch = sql.ErrTypeMismatch
 
+// ErrPoisoned is wrapped by every error from a database that suffered a
+// durability failure after a commit became visible: the in-memory state
+// is ahead of the durable log, so the engine refuses all further work
+// (reads included). Restart the process to recover the durable prefix.
+var ErrPoisoned = core.ErrPoisoned
+
 // DB is a handle to one engine instance. It is safe for concurrent use
 // by multiple goroutines.
 type DB struct {

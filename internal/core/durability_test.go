@@ -380,6 +380,90 @@ func TestKillAndRecoverMatrix(t *testing.T) {
 	t.Logf("kill-and-recover matrix: %d crash points exercised (op counts %v)", runs, counts)
 }
 
+// TestDirDurabilityFailurePoisonsEngine: once a commit has become
+// visible in memory but its log write failed, the engine must stop
+// serving — reads and commits fail with ErrPoisoned instead of exposing
+// state that will not survive a restart.
+func TestDirDurabilityFailurePoisonsEngine(t *testing.T) {
+	dir := t.TempDir()
+	ffs := wal.NewFaultFS(wal.OSFS{}, wal.Fault{Op: wal.FaultSync, N: 4, Leak: 0})
+	e, err := NewEngine(Options{Dir: dir, Sync: SyncSync, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.CreateTable("items", testSchema()); err != nil {
+		t.Fatal(err)
+	}
+	var commitErr error
+	for i := int64(0); i < 100 && commitErr == nil; i++ {
+		tx := e.Begin()
+		if err := tx.Insert("items", row(i, "a", i)); err != nil {
+			tx.Abort()
+			commitErr = err
+			break
+		}
+		_, commitErr = tx.Commit()
+	}
+	if commitErr == nil {
+		t.Fatal("fault never fired")
+	}
+	if !ffs.Crashed() {
+		t.Fatalf("workload failed before the fault: %v", commitErr)
+	}
+	if _, err := e.Table("items"); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Table after durability failure: want ErrPoisoned, got %v", err)
+	}
+	tx := e.Begin()
+	if _, _, err := tx.Get("items", key(0)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Get after durability failure: want ErrPoisoned, got %v", err)
+	}
+	tx.Abort()
+	tx2 := e.Begin()
+	if _, err := tx2.Commit(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Commit after durability failure: want ErrPoisoned, got %v", err)
+	}
+	if _, err := e.CreateTable("other", testSchema()); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("CreateTable after durability failure: want ErrPoisoned, got %v", err)
+	}
+}
+
+// TestCreateTableDoesNotBlockLookups: the catalog lock is released
+// while CreateTable waits for its log record's fsync, so concurrent
+// Table lookups proceed; duplicate names still conflict exactly once.
+func TestCreateTableConcurrentDuplicate(t *testing.T) {
+	dir := t.TempDir()
+	e := openDirEngine(t, dir, Options{Sync: SyncGroup})
+	defer e.Close()
+	const racers = 8
+	errs := make([]error, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = e.CreateTable("dup", testSchema())
+		}(i)
+	}
+	wg.Wait()
+	created := 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			created++
+		case errors.Is(err, ErrTableExists):
+		default:
+			t.Fatalf("unexpected CreateTable error: %v", err)
+		}
+	}
+	if created != 1 {
+		t.Fatalf("%d racers created the table, want exactly 1", created)
+	}
+	if _, err := e.Table("dup"); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestDirConcurrentCommitCrash crashes a group-commit engine under 4
 // concurrent committers: every acknowledged commit must survive
 // recovery intact (atomic pairs), with no partially-applied ones.

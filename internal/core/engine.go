@@ -103,6 +103,9 @@ type Engine struct {
 
 	mu     sync.RWMutex
 	tables map[string]*Table
+	// creating reserves table names between the duplicate check and the
+	// publish in CreateTable, whose durability wait runs outside e.mu.
+	creating map[string]bool
 
 	wal *wal.Writer
 
@@ -121,6 +124,15 @@ type Engine struct {
 	ckptMu        sync.Mutex
 	ckptSeq       uint64
 	recovering    atomic.Bool
+
+	// fatal is the sticky durability-failure error. It is set when a
+	// transaction became visible in memory but its log write failed:
+	// that state cannot be unwound and will not survive a restart, so
+	// rather than keep serving it, the engine refuses new work (table
+	// lookups — and therefore reads, writes, and scans — plus commits
+	// and DDL all fail with ErrPoisoned wrapping the cause).
+	fatalMu sync.Mutex
+	fatal   error
 
 	// mergeMu serializes merges across tables (prevents cross-table
 	// writer/merge cycles).
@@ -147,10 +159,11 @@ func NewEngine(opts Options) (*Engine, error) {
 		opts.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		oracle: txn.NewOracle(),
-		locks:  txn.NewLockManager(opts.LockTimeout),
-		opts:   opts,
-		tables: make(map[string]*Table),
+		oracle:   txn.NewOracle(),
+		locks:    txn.NewLockManager(opts.LockTimeout),
+		opts:     opts,
+		tables:   make(map[string]*Table),
+		creating: make(map[string]bool),
 	}
 	if opts.Dir != "" && opts.WALPath != "" {
 		return nil, errors.New("core: Options.Dir and Options.WALPath are mutually exclusive")
@@ -196,6 +209,27 @@ func (e *Engine) Close() error {
 	return e.closeErr
 }
 
+// ErrPoisoned wraps every error returned by an engine that suffered a
+// durability failure after a commit became visible (see Tx.Commit).
+var ErrPoisoned = errors.New("core: engine poisoned by durability failure")
+
+// poison records the first durability failure that left in-memory state
+// ahead of the durable log. Later operations fail with ErrPoisoned.
+func (e *Engine) poison(err error) {
+	e.fatalMu.Lock()
+	if e.fatal == nil {
+		e.fatal = fmt.Errorf("%w: %v", ErrPoisoned, err)
+	}
+	e.fatalMu.Unlock()
+}
+
+// fatalErr returns the sticky poison error, if any.
+func (e *Engine) fatalErr() error {
+	e.fatalMu.Lock()
+	defer e.fatalMu.Unlock()
+	return e.fatal
+}
+
 // Oracle exposes the timestamp oracle.
 func (e *Engine) Oracle() *txn.Oracle { return e.oracle }
 
@@ -210,15 +244,33 @@ func (e *Engine) Parallelism() int { return e.opts.Parallelism }
 // CreateTable registers a new dual-format table. With Dir-based
 // durability the catalog change is logged (and made durable per the
 // sync mode) before the table becomes visible, so recovery never needs
-// pre-created tables.
+// pre-created tables. The catalog lock is NOT held across the group
+// commit fsync wait — the name is reserved, the lock released while the
+// log record becomes durable, and the table published under a short
+// re-lock — so table lookups (and therefore query planning) never block
+// behind DDL durability.
 func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) {
+	if err := e.fatalErr(); err != nil {
+		return nil, err
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.tables[name]; ok {
+	if _, ok := e.tables[name]; ok || e.creating[name] {
+		e.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s", ErrTableExists, name)
+	}
+	e.creating[name] = true
+	e.mu.Unlock()
+	publish := func(t *Table) {
+		e.mu.Lock()
+		delete(e.creating, name)
+		if t != nil {
+			e.tables[name] = t
+		}
+		e.mu.Unlock()
 	}
 	t, err := newTable(name, schema)
 	if err != nil {
+		publish(nil)
 		return nil, err
 	}
 	if e.log != nil && !e.recovering.Load() {
@@ -233,15 +285,21 @@ func (e *Engine) CreateTable(name string, schema *types.Schema) (*Table, error) 
 			err = e.log.WaitAcked(lsn)
 		}
 		if err != nil {
+			publish(nil)
 			return nil, fmt.Errorf("core: create table %s: %w", name, err)
 		}
 	}
-	e.tables[name] = t
+	publish(t)
 	return t, nil
 }
 
-// Table looks up a table.
+// Table looks up a table. Every data operation (reads included) passes
+// through here, so a poisoned engine fails them all — its in-memory
+// state is ahead of the durable log and must not be served.
 func (e *Engine) Table(name string) (*Table, error) {
+	if err := e.fatalErr(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	t, ok := e.tables[name]
@@ -423,8 +481,19 @@ func (t *Tx) Inner() *txn.Txn { return t.inner }
 // and commit-timestamp allocation happen under one lock so log order,
 // commit order, and visibility order agree; the fsync wait happens
 // outside it so concurrent committers batch into shared syncs.
+//
+// A log failure after the in-memory commit cannot be unwound — the
+// change is already visible to other transactions but will not survive
+// a restart. Rather than keep serving state the caller was told failed,
+// the engine is poisoned: Commit returns the durability error and every
+// later operation (reads included) fails with ErrPoisoned until the
+// process restarts and recovers from the durable prefix.
 func (t *Tx) Commit() (uint64, error) {
 	e := t.engine
+	if err := e.fatalErr(); err != nil {
+		_ = t.inner.Abort()
+		return 0, err
+	}
 	if e.log != nil && len(t.walRecs) > 0 {
 		recs := make([]wal.Record, 0, len(t.walRecs)+1)
 		recs = append(recs, t.walRecs...)
@@ -443,11 +512,13 @@ func (t *Tx) Commit() (uint64, error) {
 		lsn, err := e.log.Enqueue(recs...)
 		if err != nil {
 			e.commitMu.Unlock()
+			e.poison(err)
 			return ts, fmt.Errorf("core: commit not durable: %w", err)
 		}
 		e.lastCommitLSN = lsn
 		e.commitMu.Unlock()
 		if err := e.log.WaitAcked(lsn); err != nil {
+			e.poison(err)
 			return ts, fmt.Errorf("core: commit not durable: %w", err)
 		}
 		return ts, nil

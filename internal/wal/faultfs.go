@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"path/filepath"
 	"sync"
 )
 
@@ -22,6 +23,7 @@ const (
 	FaultRename
 	FaultRemove
 	FaultTruncate
+	FaultSyncDir
 	numFaultOps
 )
 
@@ -40,6 +42,8 @@ func (op FaultOp) String() string {
 		return "remove"
 	case FaultTruncate:
 		return "truncate"
+	case FaultSyncDir:
+		return "syncdir"
 	default:
 		return fmt.Sprintf("FaultOp(%d)", int(op))
 	}
@@ -64,6 +68,13 @@ type Fault struct {
 // simulated crash loses exactly the writes that were never fsynced —
 // which is what the durability contract must survive.
 //
+// Directory entries are volatile too: a file created (or renamed into
+// place) through FaultFS exists for readers, but its entry survives a
+// crash only once SyncDir has run on its directory — just like a real
+// filesystem, where fsyncing the file does not persist the entry that
+// names it. A crash discards every not-yet-SyncDir'd entry, deleting
+// the file from the backing store.
+//
 // FaultFS is safe for concurrent use.
 type FaultFS struct {
 	inner FS
@@ -72,11 +83,14 @@ type FaultFS struct {
 	mu      sync.Mutex
 	counts  [numFaultOps]int
 	crashed bool
+	// pendingEnts holds paths of files whose directory entry has not
+	// been made durable by SyncDir; a crash removes them.
+	pendingEnts map[string]bool
 }
 
 // NewFaultFS wraps inner with the given fault plan.
 func NewFaultFS(inner FS, fault Fault) *FaultFS {
-	return &FaultFS{inner: inner, fault: fault}
+	return &FaultFS{inner: inner, fault: fault, pendingEnts: make(map[string]bool)}
 }
 
 // Crashed reports whether the injected crash point has been reached.
@@ -108,25 +122,30 @@ func (f *FaultFS) step(op FaultOp) bool {
 	return f.fault.N > 0 && op == f.fault.Op && f.counts[op] == f.fault.N
 }
 
-// crash marks the filesystem dead and leaks a prefix of the target
-// file's pending bytes to the backing store. Caller must hold f.mu.
+// crash marks the filesystem dead, leaks a prefix of the target file's
+// pending bytes to the backing store, and drops every directory entry
+// never made durable by SyncDir (deleting those files, exactly as a
+// power failure would). Caller must hold f.mu.
 func (f *FaultFS) crash(target *faultFile, extra []byte) {
 	f.crashed = true
-	if target == nil {
-		return
+	if target != nil {
+		pending := append(append([]byte(nil), target.pending...), extra...)
+		leak := f.fault.Leak
+		if leak < 0 || leak > len(pending) {
+			leak = len(pending)
+		}
+		if leak > 0 {
+			// Leaked bytes hit the disk exactly as a partial page flush
+			// would: present after reboot without any fsync having run.
+			_, _ = target.inner.Write(pending[:leak])
+			_ = target.inner.Sync()
+		}
+		target.pending = nil
 	}
-	pending := append(append([]byte(nil), target.pending...), extra...)
-	leak := f.fault.Leak
-	if leak < 0 || leak > len(pending) {
-		leak = len(pending)
+	for path := range f.pendingEnts {
+		_ = f.inner.Remove(path)
 	}
-	if leak > 0 {
-		// Leaked bytes hit the disk exactly as a partial page flush
-		// would: present after reboot without any fsync having run.
-		_, _ = target.inner.Write(pending[:leak])
-		_ = target.inner.Sync()
-	}
-	target.pending = nil
+	f.pendingEnts = make(map[string]bool)
 }
 
 // MkdirAll creates directories (not a crash point; metadata-only setup).
@@ -154,6 +173,7 @@ func (f *FaultFS) Create(name string) (File, error) {
 	if err != nil {
 		return nil, err
 	}
+	f.pendingEnts[name] = true
 	return &faultFile{fs: f, inner: inner}, nil
 }
 
@@ -189,7 +209,11 @@ func (f *FaultFS) Remove(name string) error {
 		f.crash(nil, nil)
 		return ErrInjected
 	}
-	return f.inner.Remove(name)
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	delete(f.pendingEnts, name)
+	return nil
 }
 
 // Rename renames oldname to newname.
@@ -203,7 +227,17 @@ func (f *FaultFS) Rename(oldname, newname string) error {
 		f.crash(nil, nil)
 		return ErrInjected
 	}
-	return f.inner.Rename(oldname, newname)
+	if err := f.inner.Rename(oldname, newname); err != nil {
+		return err
+	}
+	// The new name inherits entry volatility from the old one: a rename
+	// is durable only after SyncDir, and renaming a never-synced entry
+	// leaves the file entirely at the mercy of the next SyncDir.
+	if f.pendingEnts[oldname] {
+		delete(f.pendingEnts, oldname)
+		f.pendingEnts[newname] = true
+	}
+	return nil
 }
 
 // Truncate cuts name to size.
@@ -220,14 +254,28 @@ func (f *FaultFS) Truncate(name string, size int64) error {
 	return f.inner.Truncate(name, size)
 }
 
-// SyncDir fsyncs a directory.
+// SyncDir fsyncs a directory, making the entries of files created or
+// renamed inside it crash-durable.
 func (f *FaultFS) SyncDir(dir string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.crashed {
 		return ErrInjected
 	}
-	return f.inner.SyncDir(dir)
+	if f.step(FaultSyncDir) {
+		f.crash(nil, nil)
+		return ErrInjected
+	}
+	if err := f.inner.SyncDir(dir); err != nil {
+		return err
+	}
+	clean := filepath.Clean(dir)
+	for path := range f.pendingEnts {
+		if filepath.Dir(path) == clean {
+			delete(f.pendingEnts, path)
+		}
+	}
+	return nil
 }
 
 // faultFile buffers writes until Sync, like the page cache the real

@@ -254,7 +254,7 @@ func scanSegments(fs FS, dir string, truncateTorn bool) ([]segInfo, uint64, erro
 	}
 	// ReadDir is sorted and the fixed-width hex name orders by LSN.
 	var last uint64
-	if len(segs) > 0 {
+	for len(segs) > 0 {
 		tail := segs[len(segs)-1]
 		path := filepath.Join(dir, tail.name)
 		f, err := fs.Open(path)
@@ -264,15 +264,30 @@ func scanSegments(fs FS, dir string, truncateTorn bool) ([]segInfo, uint64, erro
 		recs, valid := ScanRecords(f)
 		f.Close()
 		if len(recs) == 0 {
-			last = tail.firstLSN - 1
-		} else {
-			last = recs[len(recs)-1].LSN
+			if !truncateTorn {
+				// Read-only caller: the empty segment contributes nothing.
+				last = tail.firstLSN - 1
+				break
+			}
+			// A crash after segment creation but before anything became
+			// durable leaves a segment with zero intact records. Keeping
+			// it would make the first post-open append re-create the same
+			// file name and register a duplicate segment entry (breaking
+			// a later TruncateBelow), so delete it and continue the LSN
+			// scan from the previous segment.
+			if err := fs.Remove(path); err != nil {
+				return nil, 0, fmt.Errorf("wal: drop empty segment: %w", err)
+			}
+			segs = segs[:len(segs)-1]
+			continue
 		}
+		last = recs[len(recs)-1].LSN
 		if truncateTorn {
 			if err := fs.Truncate(path, valid); err != nil {
 				return nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
 			}
 		}
+		break
 	}
 	return segs, last, nil
 }
@@ -567,6 +582,14 @@ func (l *Log) writeChunk(chunk []byte, first, last uint64, sync bool) error {
 		name := segName(first)
 		f, err := l.fs.Create(filepath.Join(l.dir, name))
 		if err != nil {
+			return fail(err)
+		}
+		// The new segment's directory entry must be durable before any
+		// record in it is acknowledged: fsyncing the file alone does not
+		// persist the entry, and a power failure that drops it silently
+		// loses every commit in the segment.
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			_ = f.Close()
 			return fail(err)
 		}
 		l.cur = f

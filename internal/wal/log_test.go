@@ -326,6 +326,9 @@ func TestFaultFSCrashLeaksPrefix(t *testing.T) {
 	// Crash on the 2nd write, leaking 3 bytes of pending data.
 	ffs := NewFaultFS(OSFS{}, Fault{Op: FaultWrite, N: 2, Leak: 3})
 	f, _ := ffs.Create(filepath.Join(dir, "x"))
+	if err := ffs.SyncDir(dir); err != nil { // keep the entry across the crash
+		t.Fatal(err)
+	}
 	if _, err := f.Write([]byte("ab")); err != nil {
 		t.Fatal(err)
 	}
@@ -356,6 +359,47 @@ func TestFaultFSCrashAtSyncLosesPending(t *testing.T) {
 	}
 }
 
+// TestFaultFSDirEntryVolatileUntilSyncDir: a file created through
+// FaultFS loses its directory entry (and thus itself) in a crash unless
+// SyncDir ran on its directory first — fsyncing the file is not enough.
+func TestFaultFSDirEntryVolatileUntilSyncDir(t *testing.T) {
+	t.Run("no-syncdir-loses-file", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OSFS{}, Fault{Op: FaultSync, N: 2, Leak: 0})
+		f, _ := ffs.Create(filepath.Join(dir, "x"))
+		f.Write([]byte("aa"))
+		if err := f.Sync(); err != nil { // data durable, entry still volatile
+			t.Fatal(err)
+		}
+		f.Write([]byte("bb"))
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("want ErrInjected, got %v", err)
+		}
+		if _, err := os.Stat(filepath.Join(dir, "x")); !os.IsNotExist(err) {
+			t.Fatalf("file survived crash despite un-synced directory entry: %v", err)
+		}
+	})
+	t.Run("syncdir-keeps-file", func(t *testing.T) {
+		dir := t.TempDir()
+		ffs := NewFaultFS(OSFS{}, Fault{Op: FaultSync, N: 2, Leak: 0})
+		f, _ := ffs.Create(filepath.Join(dir, "x"))
+		f.Write([]byte("aa"))
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := ffs.SyncDir(dir); err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("bb"))
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("want ErrInjected, got %v", err)
+		}
+		if data, err := os.ReadFile(filepath.Join(dir, "x")); err != nil || string(data) != "aa" {
+			t.Fatalf("synced prefix = %q, %v, want \"aa\"", data, err)
+		}
+	})
+}
+
 func TestFaultFSCounts(t *testing.T) {
 	dir := t.TempDir()
 	ffs := NewFaultFS(OSFS{}, Fault{})
@@ -367,6 +411,85 @@ func TestFaultFSCounts(t *testing.T) {
 	counts := ffs.Counts()
 	if counts[FaultCreate] != 1 || counts[FaultWrite] != 2 || counts[FaultSync] != 1 {
 		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestLogSegmentDirEntryDurableBeforeAck: the log must SyncDir after
+// creating a segment, before acknowledging any commit in it — otherwise
+// a power failure can drop the directory entry and silently lose every
+// acked record in the segment (FaultFS models exactly that).
+func TestLogSegmentDirEntryDurableBeforeAck(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OSFS{}, Fault{Op: FaultWrite, N: 2, Leak: 0})
+	l, err := OpenLog(dir, LogOptions{Mode: SyncSync, FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked, err := l.Append(intRec(1, KindInsert, 1), intRec(1, KindCommit, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(intRec(2, KindInsert, 2)); err == nil {
+		t.Fatal("fault never fired")
+	}
+	l.Close()
+	// Reboot: the acked records must be readable from the real disk.
+	recs, err := ReadSegments(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(len(recs)) < acked {
+		t.Fatalf("acked through LSN %d but only %d records survived (segment directory entry lost)", acked, len(recs))
+	}
+}
+
+// TestLogReopenDropsEmptyTailSegment: a crash can leave the newest
+// segment created but with zero intact records. Reopen must delete it
+// rather than keep it in the segment list, where the first post-open
+// append would re-create the same file name and register a duplicate
+// entry that a later TruncateBelow trips over (ENOENT).
+func TestLogReopenDropsEmptyTailSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, LogOptions{Mode: SyncSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(intRec(1, KindInsert, 1), intRec(1, KindCommit, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Simulate the crash remnant: the next segment exists, empty.
+	if err := os.WriteFile(filepath.Join(dir, segName(3)), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenLog(dir, LogOptions{Mode: SyncSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l2.NextLSN(); got != 3 {
+		t.Fatalf("NextLSN after reopen = %d, want 3", got)
+	}
+	if _, err := l2.Append(intRec(2, KindInsert, 2), intRec(2, KindCommit, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if segs := l2.Segments(); len(segs) != 2 {
+		t.Fatalf("segments after reopen+append = %v, want 2 distinct", segs)
+	}
+	// The duplicate-entry bug made this fail with ENOENT.
+	if _, err := l2.TruncateBelow(5); err != nil {
+		t.Fatalf("TruncateBelow after empty-tail reopen: %v", err)
+	}
+	if _, err := l2.Append(intRec(3, KindInsert, 3)); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	recs, err := ReadSegments(nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].LSN != 5 {
+		t.Fatalf("post-truncate records: %+v, want single LSN 5", recs)
 	}
 }
 
