@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -1013,7 +1014,7 @@ func BenchmarkE14_ParallelPipeline(b *testing.B) {
 		b.Run(fmt.Sprintf("groupagg/workers=%d", workers), func(b *testing.B) {
 			tx := e.Begin()
 			defer tx.Abort()
-			ts, err := tx.ScanOperator("t", []int{1, 2}, nil)
+			ts, err := tx.ScanOperator(context.Background(), "t", []int{1, 2}, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -1049,7 +1050,7 @@ func BenchmarkE14_ParallelPipeline(b *testing.B) {
 		b.Run(fmt.Sprintf("joinbuild/workers=%d", workers), func(b *testing.B) {
 			tx := e.Begin()
 			defer tx.Abort()
-			ts, err := tx.ScanOperator("t", []int{0, 1}, nil)
+			ts, err := tx.ScanOperator(context.Background(), "t", []int{0, 1}, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -1074,7 +1075,7 @@ func BenchmarkE14_ParallelPipeline(b *testing.B) {
 		b.Run(fmt.Sprintf("sortruns/workers=%d", workers), func(b *testing.B) {
 			tx := e.Begin()
 			defer tx.Abort()
-			ts, err := tx.ScanOperator("t", []int{0, 2}, nil)
+			ts, err := tx.ScanOperator(context.Background(), "t", []int{0, 2}, nil)
 			if err != nil {
 				b.Fatal(err)
 			}

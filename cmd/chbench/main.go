@@ -81,7 +81,11 @@ func runCell(mode db.Mode, oltpWorkers, olapThreads, warehouses int, dur time.Du
 		fmt.Fprintln(os.Stderr, "chbench:", err)
 		os.Exit(1)
 	}
-	defer d.Close()
+	defer func() {
+		if err := d.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "chbench: close:", err)
+		}
+	}()
 	engine := d.Engine()
 	if err := bench.CreateTables(engine); err != nil {
 		fmt.Fprintln(os.Stderr, "chbench:", err)

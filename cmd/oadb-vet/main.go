@@ -1,0 +1,93 @@
+// Command oadb-vet runs the repo's invariant analyzers (see
+// internal/analysis and docs/invariants.md). It works in two modes:
+//
+//	oadb-vet [packages]          standalone: load packages (default ./...)
+//	                             via the go toolchain, print findings,
+//	                             exit 1 if any
+//	go vet -vettool=$(which oadb-vet) ./...
+//	                             unitchecker mode: cmd/go invokes the
+//	                             tool once per package with a *.cfg file
+//
+// Analyzers: batchescape, ctxscan, lockio, syncerr. Suppress a
+// deliberate violation with //oadb:allow-<analyzer> <reason>.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/registry"
+	"repro/internal/analysis/unit"
+)
+
+func main() {
+	args := os.Args[1:]
+
+	// Unitchecker protocol: cmd/go probes the tool with -V=full (build
+	// identity for caching) and -flags (supported flags), then invokes
+	// it with a single .cfg argument per package.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			unit.PrintVersion()
+			return
+		case args[0] == "-flags":
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			unit.Main(args[0], registry.All())
+			return
+		}
+	}
+
+	if len(args) > 0 && (args[0] == "-h" || args[0] == "-help" || args[0] == "--help") {
+		usage()
+		return
+	}
+
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Module(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oadb-vet:", err)
+		os.Exit(2)
+	}
+	findings, err := checker.Run(registry.All(), pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oadb-vet:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "oadb-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Print(`oadb-vet enforces the engine's concurrency and memory invariants.
+
+usage: oadb-vet [packages]               (default ./...)
+       go vet -vettool=$(command -v oadb-vet) ./...
+
+analyzers:
+`)
+	for _, a := range registry.All() {
+		fmt.Printf("  %-12s %s\n", a.Name, a.Doc)
+	}
+	fmt.Print(`
+Suppress a deliberate violation with a comment on or above the line,
+or in the function's doc comment:
+
+  //oadb:allow-<analyzer> <reason>
+
+See docs/invariants.md for the invariant catalogue.
+`)
+}

@@ -1,0 +1,68 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles oadb-vet into a temp dir and returns the binary
+// path plus the absolute path of the known-bad fixture module.
+func buildTool(t *testing.T) (bin, vetmod string) {
+	t.Helper()
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skipf("go command not available: %v", err)
+	}
+	bin = filepath.Join(t.TempDir(), "oadb-vet")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building oadb-vet: %v\n%s", err, out)
+	}
+	vetmod, err = filepath.Abs("../../internal/analysis/testdata/vetmod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, vetmod
+}
+
+// TestStandaloneMode runs the built binary directly over the bad
+// module and expects exit code 1 with both analyzers firing.
+func TestStandaloneMode(t *testing.T) {
+	bin, vetmod := buildTool(t)
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = vetmod
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings to fail the run, got success:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("expected exit code 1, got %v:\n%s", err, out)
+	}
+	for _, want := range []string{"(syncerr)", "(ctxscan)", "error from File.Sync is discarded", "context.Background below the db layer"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("standalone output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestVettoolMode runs the binary under `go vet -vettool`, exercising
+// the cmd/go unitchecker protocol end to end (-V=full probe, -flags
+// probe, per-package .cfg invocation, exit 2 on findings).
+func TestVettoolMode(t *testing.T) {
+	bin, vetmod := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = vetmod
+	cmd.Env = append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected go vet to fail on the bad module, got success:\n%s", out)
+	}
+	for _, want := range []string{"(syncerr)", "(ctxscan)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("go vet output missing %q:\n%s", want, out)
+		}
+	}
+}

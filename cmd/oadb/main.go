@@ -57,7 +57,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "oadb:", err)
 		os.Exit(1)
 	}
-	defer d.Close()
+	defer func() {
+		if err := d.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "oadb: close:", err)
+		}
+	}()
 
 	if *demo {
 		fmt.Print("loading CH-benCHmark demo data... ")

@@ -271,7 +271,8 @@ func (d *DB) Begin(ctx context.Context) (*Tx, error) {
 // into a checkpoint file and truncates WAL segments wholly below the
 // covered LSN, bounding recovery time and log size. It requires a
 // Dir-backed database. Commits proceed concurrently; a cancelled ctx
-// aborts before the (non-cancellable) write starts.
+// stops the snapshot scan at a zone boundary and abandons the temp
+// file, leaving the published checkpoint set untouched.
 func (d *DB) Checkpoint(ctx context.Context) (uint64, error) {
 	if d.isClosed() {
 		return 0, ErrClosed
@@ -279,7 +280,7 @@ func (d *DB) Checkpoint(ctx context.Context) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return d.engine.Checkpoint()
+	return d.engine.Checkpoint(ctx)
 }
 
 // Stats is a snapshot of the DB's statement-cache counters.

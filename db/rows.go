@@ -86,7 +86,11 @@ func (r *Rows) NextBatch() (*types.Batch, error) {
 		return nil, err
 	}
 	if b == nil {
-		r.Close()
+		// End of stream: Close commits an auto-commit snapshot; a commit
+		// failure must surface to the consumer, not vanish.
+		if cerr := r.Close(); cerr != nil {
+			return nil, cerr
+		}
 	}
 	return b, nil
 }
@@ -108,6 +112,7 @@ func (r *Rows) Next() bool {
 		if err != nil || b == nil {
 			return false
 		}
+		//oadb:allow-batchescape cursor contract: r.cur is released before the next NextBatch call and Scan copies values out
 		r.cur, r.idx = b, 0
 	}
 	return true
@@ -189,11 +194,15 @@ type Row struct {
 // Scan copies the single result row into dest (see Rows.Scan), closing
 // the underlying cursor. It returns ErrNoRows if the query matched
 // nothing.
-func (row *Row) Scan(dest ...any) error {
+func (row *Row) Scan(dest ...any) (err error) {
 	if row.err != nil {
 		return row.err
 	}
-	defer row.rows.Close()
+	defer func() {
+		if cerr := row.rows.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	if !row.rows.Next() {
 		if err := row.rows.Err(); err != nil {
 			return err

@@ -27,7 +27,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer d.Close()
+	defer func() {
+		if err := d.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 	engine := d.Engine()
 	if _, err := engine.CreateTable("metrics", bench.MetricsSchema()); err != nil {
 		log.Fatal(err)

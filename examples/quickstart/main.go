@@ -20,7 +20,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer d.Close()
+	defer func() {
+		if err := d.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	exec := func(q string, args ...any) {
 		if _, err := d.Exec(ctx, q, args...); err != nil {

@@ -1,0 +1,258 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer encapsulates
+// one diagnostic pass over a type-checked package, and a driver (the
+// checker package, cmd/oadb-vet) runs a set of them. The x/tools module
+// is deliberately not imported — the build must work with no module
+// downloads — but the shapes match its API closely enough that an
+// analyzer written here ports to the real framework mechanically.
+//
+// Repo-specific conventions layered on top:
+//
+//   - Escape hatches. A diagnostic from analyzer NAME is suppressed by
+//     a comment of the form
+//
+//     //oadb:allow-NAME reason...
+//
+//     placed on the flagged line, on the line directly above it, or in
+//     the doc comment of the enclosing function (which suppresses the
+//     whole function). The reason text is free-form but should say why
+//     the invariant does not apply; bare hatches are legal but frowned
+//     upon in review.
+//
+//   - Test files (*_test.go) are never analyzed: the invariants guard
+//     production paths, and tests legitimately hold batches, ignore
+//     cleanup errors, and use context.Background.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in the
+	// //oadb:allow-Name escape hatch.
+	Name string
+	// Doc is the one-paragraph description shown by oadb-vet -help.
+	Doc string
+	// Run performs the analysis on one package, reporting findings via
+	// pass.Report / pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's worth of analysis inputs to an Analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's syntax, comments included, test files
+	// excluded.
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. The driver applies escape-hatch
+	// suppression after this call, so analyzers report unconditionally.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+const allowPrefix = "//oadb:allow-"
+
+// Suppressions indexes the //oadb:allow-NAME escape hatches of one
+// package: line-scoped hatches and function-scoped hatches (doc
+// comment), per analyzer name.
+type Suppressions struct {
+	fset *token.FileSet
+	// lines maps analyzer name -> file -> set of line numbers whose
+	// diagnostics are suppressed.
+	lines map[string]map[string]map[int]bool
+	// spans maps analyzer name -> file -> [start line, end line] pairs.
+	spans map[string]map[string][][2]int
+}
+
+// NewSuppressions scans files for escape-hatch comments.
+func NewSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{
+		fset:  fset,
+		lines: make(map[string]map[string]map[int]bool),
+		spans: make(map[string]map[string][][2]int),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byFile := s.lines[name]
+				if byFile == nil {
+					byFile = make(map[string]map[int]bool)
+					s.lines[name] = byFile
+				}
+				set := byFile[pos.Filename]
+				if set == nil {
+					set = make(map[int]bool)
+					byFile[pos.Filename] = set
+				}
+				// The hatch covers its own line (trailing comment) and
+				// the next line (comment on its own line above the code).
+				set[pos.Line] = true
+				set[pos.Line+1] = true
+			}
+		}
+		// Function-scoped hatches: a hatch in the doc comment covers the
+		// whole declaration.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					name, ok := parseAllow(c.Text)
+					if !ok {
+						continue
+					}
+					start := fset.Position(fd.Pos())
+					end := fset.Position(fd.End())
+					byFile := s.spans[name]
+					if byFile == nil {
+						byFile = make(map[string][][2]int)
+						s.spans[name] = byFile
+					}
+					byFile[start.Filename] = append(byFile[start.Filename], [2]int{start.Line, end.Line})
+				}
+			}
+		}
+	}
+	return s
+}
+
+// parseAllow extracts the analyzer name from an //oadb:allow-NAME
+// comment.
+func parseAllow(text string) (string, bool) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", false
+	}
+	rest := text[len(allowPrefix):]
+	end := 0
+	for end < len(rest) && (rest[end] == '-' || rest[end] >= 'a' && rest[end] <= 'z' || rest[end] >= '0' && rest[end] <= '9') {
+		end++
+	}
+	if end == 0 {
+		return "", false
+	}
+	return rest[:end], true
+}
+
+// Suppressed reports whether d is covered by an escape hatch.
+func (s *Suppressions) Suppressed(d Diagnostic) bool {
+	pos := s.fset.Position(d.Pos)
+	if byFile := s.lines[d.Analyzer]; byFile != nil {
+		if set := byFile[pos.Filename]; set != nil && set[pos.Line] {
+			return true
+		}
+	}
+	if byFile := s.spans[d.Analyzer]; byFile != nil {
+		for _, span := range byFile[pos.Filename] {
+			if pos.Line >= span[0] && pos.Line <= span[1] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PathHasSuffix reports whether an import path is suffix itself or ends
+// with "/"+suffix. It is how analyzers match repo packages without
+// hard-coding the module name, so the same analyzer fires on
+// repro/internal/wal and on a testdata fixture named
+// lockio/internal/wal.
+func PathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// Deref strips one level of pointer.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// NamedOf returns the named type of t (through one pointer), if any.
+func NamedOf(t types.Type) (*types.Named, bool) {
+	n, ok := Deref(t).(*types.Named)
+	return n, ok
+}
+
+// TypeIn reports whether t (through one pointer) is a named type with
+// the given name declared in a package whose path has pkgSuffix.
+func TypeIn(t types.Type, pkgSuffix, name string) bool {
+	n, ok := NamedOf(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return PathHasSuffix(obj.Pkg().Path(), pkgSuffix)
+}
+
+// IsContextType reports whether t is context.Context.
+func IsContextType(t types.Type) bool {
+	n, ok := NamedOf(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// HasContextParam reports whether sig takes a context.Context.
+func HasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if IsContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// CalleeFunc resolves the static callee of call as a *types.Func
+// (package function or method), or nil for indirect calls, conversions,
+// and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// ReceiverExpr returns the receiver expression of a method call
+// (the x in x.M(...)), or nil.
+func ReceiverExpr(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Package analysistest runs one analyzer over fixture packages and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the repo's own
+// framework. Fixture packages live in a GOPATH-style tree
+// (testdata/src/<path>), need no go.mod, and are loaded purely from
+// source (see load.Tree).
+//
+// An expectation is a comment on the line the diagnostic is reported
+// at:
+//
+//	x.f = b // want `pooled batch`
+//	y()     // want "first" "second"
+//
+// Each quoted or backquoted string is a regexp that must match the
+// message of exactly one diagnostic on that line; diagnostics without
+// a matching expectation, and expectations without a matching
+// diagnostic, fail the test.
+package analysistest
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/load"
+)
+
+// expectation is one want pattern with its match state.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads pkgPaths from the fixture tree at root, applies a, and
+// compares the surviving diagnostics with the fixtures' want
+// annotations.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	pkgs, err := load.Tree(root, pkgPaths...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s does not type-check: %v", pkg.PkgPath, terr)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					for _, w := range parseWant(t, pos.String(), c.Text) {
+						w.file, w.line = pos.Filename, pos.Line
+						wants = append(wants, w)
+					}
+				}
+			}
+		}
+	}
+
+	findings, err := checker.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, f := range findings {
+		if w := match(wants, f); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected diagnostic:\n  %s", f)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched `%s`", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// match finds the first unmatched expectation on the finding's line
+// whose pattern matches its message.
+func match(wants []*expectation, f checker.Finding) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+			return w
+		}
+	}
+	return nil
+}
+
+// wantPatterns extracts the "..." and `...` tokens after a want marker.
+var wantPatterns = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// parseWant extracts the expectations from one comment's text, if it
+// carries a want marker.
+func parseWant(t *testing.T, at, text string) []*expectation {
+	t.Helper()
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(text, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var out []*expectation
+	for _, tok := range wantPatterns.FindAllString(body, -1) {
+		pat := tok
+		if strings.HasPrefix(tok, "\"") {
+			var err error
+			pat, err = strconv.Unquote(tok)
+			if err != nil {
+				t.Fatalf("%s: bad want string %s: %v", at, tok, err)
+			}
+		} else {
+			pat = strings.Trim(tok, "`")
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", at, tok, err)
+		}
+		out = append(out, &expectation{re: re, raw: pat})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment carries no patterns: %s", at, text)
+	}
+	return out
+}

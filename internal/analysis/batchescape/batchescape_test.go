@@ -1,0 +1,13 @@
+package batchescape_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/batchescape"
+)
+
+func TestBatchescape(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", batchescape.Analyzer,
+		"batchescape/internal/exec")
+}

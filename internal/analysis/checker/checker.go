@@ -1,0 +1,69 @@
+// Package checker runs a set of analyzers over loaded packages and
+// collects their diagnostics, applying the //oadb:allow-NAME escape
+// hatches. It is the shared core of cmd/oadb-vet's standalone mode,
+// its `go vet -vettool` mode, and the analysistest harness.
+package checker
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// Finding is one unsuppressed diagnostic with its resolved position.
+type Finding struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+// String formats the finding the way go vet does, with the analyzer
+// name appended.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over every package and returns the
+// surviving findings sorted by position.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := analysis.NewSuppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				if sup.Suppressed(d) {
+					return
+				}
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Message:  d.Message,
+					Analyzer: d.Analyzer,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("checker: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}

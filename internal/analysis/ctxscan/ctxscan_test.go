@@ -1,0 +1,13 @@
+package ctxscan_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxscan"
+)
+
+func TestCtxscan(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", ctxscan.Analyzer,
+		"ctxscan/internal/exec", "ctxscan/app")
+}

@@ -1,0 +1,269 @@
+// Package load turns Go packages into the type-checked form the
+// analysis framework consumes. Two loaders are provided, both working
+// fully offline:
+//
+//   - Module: shells out to `go list -export -deps -json` and
+//     type-checks each target package from source, importing
+//     dependencies through their compiled export data. This is the
+//     fast path cmd/oadb-vet uses for real packages.
+//
+//   - Tree: a pure-source loader for analysistest fixtures. Import
+//     paths are resolved as directories under a root (the moral
+//     equivalent of a GOPATH testdata/src), falling back to the
+//     standard library via go/importer's source importer. No go
+//     toolchain subprocess is involved, so fixture packages need no
+//     go.mod and never touch the build cache.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	// Files holds the parsed syntax, comments included, _test.go files
+	// excluded.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects type-checking problems. Analysis still runs
+	// on partially checked packages, mirroring go/analysis drivers.
+	TypeErrors []error
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Module loads the packages matching patterns (e.g. "./...") in the
+// module rooted at or above dir, using the go command for package
+// discovery and dependency export data.
+func Module(dir string, patterns []string) ([]*Package, error) {
+	args := []string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,Standard,DepOnly,GoFiles,ImportMap,Error",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if derr := dec.Decode(&p); derr == io.EOF {
+			break
+		} else if derr != nil {
+			return nil, fmt.Errorf("load: go list output: %w", derr)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{
+		exports: exports,
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkTarget(fset, t, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter imports dependencies through compiled export data,
+// mapping vendored import paths first.
+type exportImporter struct {
+	exports map[string]string
+	impMap  map[string]string
+	gc      types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := e.impMap[path]; ok {
+		path = mapped
+	}
+	return e.gc.Import(path)
+}
+
+// checkTarget parses and type-checks one go-list package from source.
+func checkTarget(fset *token.FileSet, t *listPkg, imp *exportImporter) (*Package, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{PkgPath: t.ImportPath, Fset: fset, Files: files, Info: newInfo()}
+	imp.impMap = t.ImportMap
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(t.ImportPath, fset, files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		return nil, fmt.Errorf("load: %s: %w", t.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Tree loads the packages named by pkgPaths from a source tree rooted
+// at root, where the import path of a package is its directory path
+// relative to root. Imports outside the tree resolve from the standard
+// library (type-checked from GOROOT source, no network).
+func Tree(root string, pkgPaths ...string) ([]*Package, error) {
+	fset := token.NewFileSet()
+	tl := &treeLoader{
+		root:   root,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: make(map[string]*Package),
+	}
+	var pkgs []*Package
+	for _, path := range pkgPaths {
+		p, err := tl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+type treeLoader struct {
+	root   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Package
+}
+
+// load type-checks the tree package at import path, memoized.
+func (tl *treeLoader) load(path string) (*Package, error) {
+	if p, ok := tl.loaded[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("load: import cycle through %q", path)
+		}
+		return p, nil
+	}
+	tl.loaded[path] = nil // cycle marker
+	dir := filepath.Join(tl.root, filepath.FromSlash(path))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var files []*ast.File
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, perr := parser.ParseFile(tl.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if perr != nil {
+			return nil, fmt.Errorf("load: %w", perr)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("load: no Go files in %s", dir)
+	}
+	pkg := &Package{PkgPath: path, Fset: tl.fset, Files: files, Info: newInfo()}
+	conf := types.Config{
+		Importer: (*treeImporter)(tl),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(path, tl.fset, files, pkg.Info)
+	if err != nil && len(pkg.TypeErrors) == 0 {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	tl.loaded[path] = pkg
+	return pkg, nil
+}
+
+// treeImporter resolves imports for tree packages: tree-internal paths
+// recursively, everything else from the standard library.
+type treeImporter treeLoader
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	tl := (*treeLoader)(ti)
+	if dirExists(filepath.Join(tl.root, filepath.FromSlash(path))) {
+		p, err := tl.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return tl.std.Import(path)
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}

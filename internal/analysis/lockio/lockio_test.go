@@ -1,0 +1,13 @@
+package lockio_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockio"
+)
+
+func TestLockio(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", lockio.Analyzer,
+		"lockio/internal/wal", "lockio/internal/core")
+}

@@ -1,0 +1,22 @@
+// Package registry enumerates the repo's analyzer suite. It exists as
+// its own package (rather than a slice in package analysis) so the
+// framework does not import the analyzers that import it.
+package registry
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/batchescape"
+	"repro/internal/analysis/ctxscan"
+	"repro/internal/analysis/lockio"
+	"repro/internal/analysis/syncerr"
+)
+
+// All returns every analyzer in the oadb-vet suite, in report order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		batchescape.Analyzer,
+		ctxscan.Analyzer,
+		lockio.Analyzer,
+		syncerr.Analyzer,
+	}
+}

@@ -1,0 +1,13 @@
+package syncerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/syncerr"
+)
+
+func TestSyncerr(t *testing.T) {
+	analysistest.Run(t, "../testdata/src", syncerr.Analyzer,
+		"syncerr/internal/wal", "syncerr/app")
+}

@@ -1,0 +1,83 @@
+// Package exec is the batchescape fixture: pooled batches from
+// Next/NextBatch and scan callbacks must not outlive their validity
+// window.
+package exec
+
+import "batchescape/internal/types"
+
+// Op is a pooled-batch producer.
+type Op struct{ b types.Batch }
+
+// Next returns a pooled batch, valid until the next call.
+func (o *Op) Next() (*types.Batch, error) { return &o.b, nil }
+
+// NextBatch is the cursor-surface variant.
+func (o *Op) NextBatch() (*types.Batch, error) { return &o.b, nil }
+
+// Table delivers pooled batches to a scan callback.
+type Table struct{}
+
+// Scan invokes fn once per pooled batch.
+func (t *Table) Scan(fn func(*types.Batch) bool) {}
+
+type sink struct {
+	cur *types.Batch
+	all []*types.Batch
+}
+
+var global *types.Batch
+
+func escapes(o *Op, s *sink, ch chan *types.Batch) {
+	b, err := o.Next()
+	_ = err
+	s.cur = b // want `pooled batch b stored in field s.cur`
+
+	s.all = append(s.all, b) // want `pooled batch b appended to a slice`
+
+	global = b // want `pooled batch b stored in package-level variable global`
+
+	ch <- b // want `pooled batch b sent on a channel`
+
+	go use(b) // want `pooled batch b passed to a goroutine`
+
+	_ = []*types.Batch{b} // want `pooled batch b stored in a composite literal`
+}
+
+func direct(o *Op, s *sink) {
+	var err error
+	s.cur, err = o.NextBatch() // want `pooled batch from NextBatch stored directly without Copy`
+	_ = err
+}
+
+func laundered(o *Op, s *sink) {
+	b, _ := o.Next()
+	b = b.Copy()
+	s.cur = b // caller-owned after Copy: no diagnostic
+}
+
+func held(o *Op, s *sink) {
+	b, _ := o.Next()
+	//oadb:allow-batchescape cursor contract: the field is released before the next Next call
+	s.cur = b
+}
+
+func callback(t *Table, s *sink) {
+	t.Scan(func(b *types.Batch) bool {
+		s.cur = b // want `pooled batch b stored in field s.cur`
+		return true
+	})
+}
+
+// consume only reads the batch inside its window: no diagnostics.
+func consume(o *Op) int {
+	total := 0
+	for {
+		b, err := o.Next()
+		if err != nil || b == nil {
+			return total
+		}
+		total += b.Len()
+	}
+}
+
+func use(b *types.Batch) {}

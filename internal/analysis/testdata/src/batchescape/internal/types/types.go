@@ -1,0 +1,15 @@
+// Package types is a batchescape fixture standing in for the engine's
+// column-batch type (matched by the internal/types path suffix).
+package types
+
+// Batch is a pooled column batch.
+type Batch struct{ n int }
+
+// Len returns the row count.
+func (b *Batch) Len() int { return b.n }
+
+// Copy returns a caller-owned deep copy.
+func (b *Batch) Copy() *Batch { return &Batch{n: b.n} }
+
+// Compact copies b's live rows into dst and returns it.
+func (b *Batch) Compact(dst *Batch) *Batch { dst.n = b.n; return dst }

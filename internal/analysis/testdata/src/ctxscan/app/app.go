@@ -1,0 +1,12 @@
+// Package app is a ctxscan negative fixture: it is not under an
+// internal/ path, so the analyzer leaves it alone — the db/cmd layer is
+// exactly where context chains are allowed to start.
+package app
+
+import "context"
+
+// Serve legitimately roots a context chain.
+func Serve() {
+	ctx := context.Background()
+	go func() { <-ctx.Done() }()
+}

@@ -1,0 +1,55 @@
+// Package exec is a ctxscan fixture: it sits below the db layer (path
+// contains /internal/) and on the scan path (suffix internal/exec), so
+// both rules apply.
+package exec
+
+import "context"
+
+func background() context.Context {
+	return context.Background() // want `context.Background below the db layer severs cancellation`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context.TODO below the db layer severs cancellation`
+}
+
+// Run spawns workers with no way to cancel them.
+func Run(n int) { // want `exported Run spawns goroutines but takes no context.Context`
+	for i := 0; i < n; i++ {
+		go func() {}()
+	}
+}
+
+// RunPool hides the go statement in a nested literal; still flagged.
+func RunPool(n int) { // want `exported RunPool spawns goroutines but takes no context.Context`
+	spawn := func() {
+		go func() {}()
+	}
+	spawn()
+}
+
+// RunCtx is the compliant variant.
+func RunCtx(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		go func() { <-ctx.Done() }()
+	}
+}
+
+// runInternal is unexported: not part of the enforced surface.
+func runInternal() {
+	go func() {}()
+}
+
+// Legacy is a deliberate compatibility boundary.
+func Legacy() {
+	//oadb:allow-ctxscan compatibility wrapper for pre-context callers
+	ctx := context.Background()
+	_ = ctx
+}
+
+// Daemon has an engine-scoped lifetime, annotated at the declaration.
+//
+//oadb:allow-ctxscan daemon lifetime is owned by Close, not a ctx
+func Daemon() {
+	go func() {}()
+}

@@ -1,0 +1,66 @@
+// Package core is the lockio fixture's engine layer: commitMu and the
+// catalog lock (mu) are critical short-hold locks that must never be
+// held across WAL I/O or a durability wait.
+package core
+
+import (
+	"sync"
+
+	"lockio/internal/wal"
+)
+
+// Engine owns the commit path and the catalog.
+type Engine struct {
+	commitMu sync.Mutex
+	mu       sync.Mutex
+	tables   map[string]int
+	log      *wal.Log
+}
+
+// BadCommit waits for durability while holding the commit lock: every
+// other committer convoys behind the disk.
+func (e *Engine) BadCommit(rec []byte) error {
+	e.commitMu.Lock()
+	lsn := e.log.Enqueue(rec)
+	err := e.log.WaitAcked(lsn) // want `Log.WaitAcked reached while e.commitMu \(commit/LSN ordering lock\) is held`
+	e.commitMu.Unlock()
+	return err
+}
+
+// GoodCommit enqueues under the lock (memory-only, exempt) and waits
+// after releasing it — the group-commit protocol.
+func (e *Engine) GoodCommit(rec []byte) error {
+	e.commitMu.Lock()
+	lsn := e.log.Enqueue(rec)
+	e.commitMu.Unlock()
+	return e.log.WaitAcked(lsn)
+}
+
+// BadCreateTable is the PR 6 review bug, mechanized: the catalog lock
+// held (via defer) across the durability wait stalls every table
+// lookup behind the disk.
+func (e *Engine) BadCreateTable(name string, rec []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tables[name] = len(e.tables)
+	lsn := e.log.Enqueue(rec)
+	return e.log.WaitAcked(lsn) // want `Log.WaitAcked reached while e.mu \(catalog lock\) is held`
+}
+
+// flushNow reaches the WAL through one call level.
+func (e *Engine) flushNow() error { return e.log.Sync() }
+
+// BadTransitive reaches I/O through a same-package helper.
+func (e *Engine) BadTransitive() error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	return e.flushNow() // want `flushNow → Log.Sync reached while e.commitMu \(commit/LSN ordering lock\) is held`
+}
+
+// Allowed is a deliberate convoy: the baseline an experiment measures.
+func (e *Engine) Allowed() error {
+	e.commitMu.Lock()
+	defer e.commitMu.Unlock()
+	//oadb:allow-lockio convoy baseline: deliberately measures the cost lockio exists to prevent
+	return e.log.Sync()
+}

@@ -1,0 +1,69 @@
+// Package wal is the lockio fixture's WAL layer: its File/FS/Log
+// methods are the I/O sinks, and Log.mu is the staging lock.
+package wal
+
+import "sync"
+
+// File is the I/O surface.
+type File struct{}
+
+// Write appends bytes.
+func (*File) Write(p []byte) (int, error) { return len(p), nil }
+
+// Sync flushes to stable storage.
+func (*File) Sync() error { return nil }
+
+// Close releases the handle.
+func (*File) Close() error { return nil }
+
+// FS is the filesystem surface.
+type FS struct{}
+
+// Create makes a new file.
+func (FS) Create(name string) (*File, error) { return &File{}, nil }
+
+// SyncDir fsyncs a directory.
+func (FS) SyncDir(dir string) error { return nil }
+
+// Log is the write-ahead log; mu is the staging lock (memory-only by
+// protocol).
+type Log struct {
+	mu  sync.Mutex
+	buf []byte
+	cur *File
+}
+
+// Enqueue stages a record in memory. Exempt from lockio by design:
+// staging under a critical lock IS the group-commit protocol.
+func (l *Log) Enqueue(rec []byte) uint64 {
+	l.buf = append(l.buf, rec...)
+	return uint64(len(l.buf))
+}
+
+// WaitAcked blocks until the group-commit flusher has synced lsn.
+func (l *Log) WaitAcked(lsn uint64) error { return nil }
+
+// Sync forces a flush.
+func (l *Log) Sync() error { return nil }
+
+// BadStage holds the staging lock across file I/O.
+func (l *Log) BadStage(rec []byte) error {
+	l.mu.Lock()
+	l.buf = append(l.buf, rec...)
+	if _, err := l.cur.Write(l.buf); err != nil { // want `File.Write reached while l.mu \(WAL staging lock\) is held`
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// GoodStage stages under the lock and writes after releasing it.
+func (l *Log) GoodStage(rec []byte) error {
+	l.mu.Lock()
+	l.buf = append(l.buf, rec...)
+	chunk := l.buf
+	l.mu.Unlock()
+	_, err := l.cur.Write(chunk)
+	return err
+}

@@ -1,0 +1,19 @@
+// Package app is a syncerr fixture for code outside the durability
+// packages: only receivers whose type is declared in internal/wal (or
+// core.Engine / db.DB) are enforced there.
+package app
+
+import "syncerr/internal/wal"
+
+type buffer struct{}
+
+func (buffer) Close() error { return nil }
+func (buffer) Flush() error { return nil }
+
+func use(w *wal.File, b buffer) {
+	w.Close() // want `error from File.Close is discarded \(call result unused\)`
+
+	// Not durability-relevant outside wal/core/db: no diagnostics.
+	b.Close()
+	b.Flush()
+}

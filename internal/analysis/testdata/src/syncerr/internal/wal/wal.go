@@ -1,0 +1,44 @@
+// Package wal is a syncerr fixture modeling the durability-owning
+// package: every discarded Sync/SyncDir/Close/Flush error is flagged,
+// whatever the receiver.
+package wal
+
+import "os"
+
+// File wraps an os.File.
+type File struct{ f *os.File }
+
+// Sync flushes to stable storage.
+func (f *File) Sync() error { return f.f.Sync() }
+
+// Close releases the handle.
+func (f *File) Close() error { return f.f.Close() }
+
+// FS is the filesystem surface.
+type FS struct{}
+
+// SyncDir fsyncs a directory.
+func (FS) SyncDir(dir string) error { return nil }
+
+func use(f *File, fs FS) error {
+	defer f.Close() // want `error from File.Close is discarded \(deferred without checking the error\)`
+
+	f.Sync() // want `error from File.Sync is discarded \(call result unused\)`
+
+	_ = f.Sync() // want `error from File.Sync is discarded \(error assigned to _\)`
+
+	go f.Sync() // want `error from File.Sync is discarded \(spawned without checking the error\)`
+
+	// Regression (PR 6 review): a dropped SyncDir error loses the
+	// directory entry of a freshly created segment.
+	fs.SyncDir("d") // want `error from FS.SyncDir is discarded \(call result unused\)`
+
+	// Handled errors are fine.
+	if err := f.Sync(); err != nil {
+		return err
+	}
+
+	//oadb:allow-syncerr best-effort cleanup on an already-failing path
+	_ = f.Close()
+	return nil
+}

@@ -1,0 +1,21 @@
+// Package wal is a deliberately buggy module used by the oadb-vet
+// smoke tests: running the tool over this module (standalone or via
+// go vet -vettool) must produce syncerr and ctxscan diagnostics.
+package wal
+
+import (
+	"context"
+	"os"
+)
+
+// File wraps an os.File.
+type File struct{ f *os.File }
+
+// Sync flushes to stable storage.
+func (f *File) Sync() error { return f.f.Sync() }
+
+func flush(f *File) {
+	f.Sync() // syncerr: discarded durability error
+
+	_ = context.Background() // ctxscan: Background below the db layer
+}

@@ -1,0 +1,196 @@
+// Package unit implements the cmd/go vet-tool protocol (the x/tools
+// "unitchecker" contract) over the repo's analysis framework, so
+// oadb-vet can run as `go vet -vettool=oadb-vet ./...`:
+//
+//   - cmd/go probes the tool with -V=full for a build identity it can
+//     cache results under, and with -flags for the analyzer flags it
+//     may pass through;
+//   - per package, cmd/go writes a JSON config file (file list, import
+//     map, compiled export data of every dependency) and invokes the
+//     tool with that single .cfg argument;
+//   - the tool type-checks the files, runs its analyzers, prints
+//     diagnostics, writes the (possibly empty) facts file named by
+//     VetxOutput, and exits 0 on success, 2 on findings.
+package unit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checker"
+	"repro/internal/analysis/load"
+)
+
+// Config is the JSON schema of the file cmd/go hands a vet tool; the
+// field set tracks cmd/go/internal/work's vetConfig (unknown fields are
+// ignored on decode).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// PrintVersion emits the -V=full line cmd/go uses as the tool's build
+// identity: the executable's content hash, in the same shape the
+// x/tools unitchecker prints.
+func PrintVersion() {
+	progname := filepath.Base(os.Args[0])
+	sum := [sha256.Size]byte{}
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum = sha256.Sum256(data)
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, sum)
+}
+
+// Main runs the suite for one package config and exits: 0 clean, 1 on
+// protocol/typecheck errors, 2 on findings.
+func Main(cfgFile string, analyzers []*analysis.Analyzer) {
+	code, err := run(cfgFile, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "oadb-vet: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(cfgFile string, analyzers []*analysis.Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", cfgFile, err)
+	}
+
+	// The facts file must exist even when empty: cmd/go records it as
+	// the action's output and caches it.
+	writeVetx := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only for facts; the suite keeps none.
+		return 0, writeVetx()
+	}
+
+	fset := token.NewFileSet()
+	pkg, perr := check(fset, &cfg)
+	if perr != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, writeVetx()
+		}
+		return 0, perr
+	}
+
+	findings, err := checker.Run(analyzers, []*load.Package{pkg})
+	if err != nil {
+		return 0, err
+	}
+	if err := writeVetx(); err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// check parses and type-checks the config's package, importing
+// dependencies through the compiled export data cmd/go listed in
+// PackageFile.
+func check(fset *token.FileSet, cfg *Config) (*load.Package, error) {
+	gc := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return gc.Import(path)
+	})
+	pkg := &load.Package{PkgPath: cfg.ImportPath, Fset: fset, Info: newInfo()}
+	for _, name := range cfg.GoFiles {
+		// Repo convention: invariants guard production code; test files
+		// are exempt (see package analysis).
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		pkg.Types = types.NewPackage(cfg.ImportPath, "p")
+		return pkg, nil
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor(cfg.Compiler, buildArch())}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func buildArch() string {
+	if v := os.Getenv("GOARCH"); v != "" {
+		return v
+	}
+	return runtime.GOARCH
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}

@@ -380,16 +380,22 @@ func (c *Cluster) RestartServer(sid int) {
 	}
 }
 
-// Close shuts down all tablet groups and engines.
-func (c *Cluster) Close() {
+// Close shuts down all tablet groups and engines, returning the first
+// engine close error (an engine that cannot flush its WAL on close is
+// reporting lost durability, not a cosmetic failure).
+func (c *Cluster) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var err error
 	for _, dt := range c.tables {
 		for _, tb := range dt.tablets {
 			tb.group.Close()
 		}
 	}
 	for _, s := range c.servers {
-		s.Engine.Close()
+		if cerr := s.Engine.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
+	return err
 }

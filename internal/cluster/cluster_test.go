@@ -28,7 +28,7 @@ func newTestCluster(t *testing.T, nodes, parts int) *Cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(c.Close)
+	t.Cleanup(func() { _ = c.Close() })
 	if _, err := c.CreateTable("kv", testSchema()); err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -426,7 +427,7 @@ func TestScanOperatorBridgesToExec(t *testing.T) {
 	e.Merge("items")
 	tx := e.Begin()
 	defer tx.Abort()
-	op, err := tx.ScanOperator("items", nil, nil)
+	op, err := tx.ScanOperator(context.Background(), "items", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

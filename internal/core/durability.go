@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -140,7 +141,9 @@ func (e *Engine) loadCheckpoint(seq uint64) (ckptLSN uint64, ok bool, err error)
 		return 0, false, fmt.Errorf("core: checkpoint %s: %w", path, err)
 	}
 	recs, _ := wal.ScanRecords(f)
-	f.Close()
+	if cerr := f.Close(); cerr != nil {
+		return 0, false, fmt.Errorf("core: checkpoint %s: close: %w", path, cerr)
+	}
 	if len(recs) < 2 {
 		return 0, false, nil
 	}
@@ -189,10 +192,19 @@ const ckptFlushSize = 256 << 10
 // atomically with the covered LSN, so the checkpoint plus the WAL tail
 // above it reconstruct exactly the committed state. Returns the LSN the
 // checkpoint covers. Concurrent commits proceed while the snapshot is
-// written; concurrent Checkpoint calls serialize.
-func (e *Engine) Checkpoint() (uint64, error) {
+// written; concurrent Checkpoint calls serialize. A cancelled ctx stops
+// the snapshot scan at a zone boundary and abandons the temp file; the
+// published checkpoint set is untouched.
+func (e *Engine) Checkpoint(ctx context.Context) (uint64, error) {
 	if e.log == nil {
 		return 0, errors.New("core: checkpoint requires Options.Dir durability")
+	}
+	if ctx == nil {
+		//oadb:allow-ctxscan nil ctx is the caller's explicit no-cancellation choice, not a severed chain
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	e.ckptMu.Lock()
 	defer e.ckptMu.Unlock()
@@ -249,7 +261,7 @@ func (e *Engine) Checkpoint() (uint64, error) {
 			break
 		}
 		var emitErr error
-		_, scanErr := snap.Scan(name, nil, nil, func(b *types.Batch) bool {
+		_, scanErr := snap.ScanCtx(ctx, name, nil, nil, func(b *types.Batch) bool {
 			for i := 0; i < b.Len(); i++ {
 				if emitErr = emit(wal.Record{Kind: wal.KindInsert, Table: name, Row: b.Row(i)}); emitErr != nil {
 					return false

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -128,7 +129,7 @@ func TestDirCheckpointTruncatesAndRecovers(t *testing.T) {
 	if len(segsBefore) < 3 {
 		t.Fatalf("want several segments before checkpoint, got %v", segsBefore)
 	}
-	ckptLSN, err := e.Checkpoint()
+	ckptLSN, err := e.Checkpoint(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestDirCheckpointTruncatesAndRecovers(t *testing.T) {
 		t.Fatalf("recovered state wrong: %v", got)
 	}
 	// A second checkpoint cycle on the recovered engine still works.
-	if _, err := e2.Checkpoint(); err != nil {
+	if _, err := e2.Checkpoint(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	mustExec(t, e2, func(tx *Tx) error { return tx.Insert("items", row(200, "c", 1)) })
@@ -279,7 +280,7 @@ func durWorkload(fs wal.FS, dir string, commits, ckptAt int) (acked int) {
 		}
 		acked++
 		if i == ckptAt {
-			if _, err := e.Checkpoint(); err != nil {
+			if _, err := e.Checkpoint(context.Background()); err != nil {
 				return acked
 			}
 		}

@@ -718,6 +718,7 @@ func (t *Tx) Get(table string, key types.Row) (types.Row, bool, error) {
 // multiversioned systems eliminate): analytic readers block behind
 // writers and vice versa, which is exactly what E4/E5 measure.
 func (t *Tx) Scan(table string, proj []int, preds []colstore.Predicate, fn func(b *types.Batch) bool) (colstore.ScanStats, error) {
+	//oadb:allow-ctxscan Scan is the deliberate context-free compatibility surface; ScanCtx is the cancellable path
 	return t.ScanCtx(context.Background(), table, proj, preds, fn)
 }
 

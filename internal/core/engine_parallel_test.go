@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/exec"
@@ -96,7 +97,7 @@ func TestScanOperatorUnderParallelism(t *testing.T) {
 		defer e.Close()
 		tx := e.Begin()
 		defer tx.Abort()
-		op, err := tx.ScanOperator("t", []int{0, 1}, nil)
+		op, err := tx.ScanOperator(context.Background(), "t", []int{0, 1}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestTypedAggregateOverParallelScan(t *testing.T) {
 	defer e.Close()
 	tx := e.Begin()
 	defer tx.Abort()
-	op, err := tx.ScanOperator("t", []int{1}, nil)
+	op, err := tx.ScanOperator(context.Background(), "t", []int{1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

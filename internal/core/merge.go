@@ -113,6 +113,8 @@ func (e *Engine) AutoMergeAll() int {
 // in-flight merge pass to finish; it is idempotent. Engine.Close also
 // stops and awaits every auto-merge daemon, so callers that close the
 // engine need not call stop themselves.
+//
+//oadb:allow-ctxscan daemon lifetime is engine-scoped by design: the stop func and Engine.Close are the cancellation surface
 func (e *Engine) StartAutoMerge(interval time.Duration) (stop func()) {
 	ch := make(chan struct{})
 	e.daemonMu.Lock()

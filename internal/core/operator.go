@@ -259,13 +259,18 @@ func (t *TableScan) Reset() {
 
 // ScanOperator returns an exec.Operator streaming the visible rows of a
 // table at this transaction's snapshot, with optional projection and
-// pushed-down predicates — a TableScan pre-bound to t with a background
-// context. Callers that do not drain it to end-of-stream must Close it.
-func (t *Tx) ScanOperator(table string, proj []int, preds []colstore.Predicate) (*TableScan, error) {
+// pushed-down predicates — a TableScan pre-bound to t and ctx (nil ctx
+// means no cancellation). Callers that do not drain it to end-of-stream
+// must Close it.
+func (t *Tx) ScanOperator(ctx context.Context, table string, proj []int, preds []colstore.Predicate) (*TableScan, error) {
 	ts, err := NewTableScan(t.engine, table, proj, preds)
 	if err != nil {
 		return nil, err
 	}
-	ts.Bind(t, context.Background())
+	if ctx == nil {
+		//oadb:allow-ctxscan nil ctx is the caller's explicit no-cancellation choice, not a severed chain
+		ctx = context.Background()
+	}
+	ts.Bind(t, ctx)
 	return ts, nil
 }

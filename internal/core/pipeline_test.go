@@ -130,7 +130,7 @@ func TestParallelPipelineParityMixed(t *testing.T) {
 	aggOver := func(e *Engine, par int) []string {
 		tx := e.Begin()
 		defer tx.Abort()
-		ts, err := tx.ScanOperator("t", []int{1, 2, 3}, nil)
+		ts, err := tx.ScanOperator(context.Background(), "t", []int{1, 2, 3}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -158,7 +158,7 @@ func TestParallelPipelineParityMixed(t *testing.T) {
 	sortOver := func(e *Engine, par int) []string {
 		tx := e.Begin()
 		defer tx.Abort()
-		ts, err := tx.ScanOperator("t", []int{0, 1, 2}, nil)
+		ts, err := tx.ScanOperator(context.Background(), "t", []int{0, 1, 2}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +187,7 @@ func TestTableScanScanWorkersMatchesSerial(t *testing.T) {
 	tx := e.Begin()
 	defer tx.Abort()
 
-	ts, err := tx.ScanOperator("t", []int{0, 2}, nil)
+	ts, err := tx.ScanOperator(context.Background(), "t", []int{0, 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestTableScanScanWorkersMatchesSerial(t *testing.T) {
 		}
 	}
 
-	ts2, err := tx.ScanOperator("t", []int{0, 2}, nil)
+	ts2, err := tx.ScanOperator(context.Background(), "t", []int{0, 2}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -212,6 +212,7 @@ func (j *HashJoin) Next() (*types.Batch, error) {
 			if b == nil {
 				return j.flush(), nil
 			}
+			//oadb:allow-batchescape probe batch is fully consumed before the next left.Next() call, so it never outlives its validity window
 			j.probe = b
 			j.probePos = 0
 			j.chainRow = -1

@@ -69,6 +69,8 @@ func NewClockScan(src ChunkSource) *ClockScan {
 // Attach registers a consumer; fn is called once per chunk (from the
 // scanner goroutine — fn must be internally synchronized if it shares
 // state). The returned Query's Wait unblocks after a full revolution.
+//
+//oadb:allow-ctxscan the scanner goroutine is shared by all attached queries and exits when the last detaches; per-query cancellation is Query.Wait/Detach, not a ctx
 func (c *ClockScan) Attach(fn func(*types.Batch)) *Query {
 	c.mu.Lock()
 	defer c.mu.Unlock()

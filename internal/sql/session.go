@@ -46,7 +46,17 @@ func (s *Session) InTxn() bool { return s.tx != nil }
 
 // Exec parses and executes one statement. Statements with `?`
 // placeholders are rejected here — prepare them and supply arguments.
+// Exec is the context-free convenience surface; ExecCtx threads
+// cancellation into scans and joins.
 func (s *Session) Exec(query string) (*Result, error) {
+	//oadb:allow-ctxscan Exec is the deliberate context-free compatibility surface; ExecCtx is the cancellable path
+	return s.ExecCtx(context.Background(), query)
+}
+
+// ExecCtx parses and executes one statement like Exec, with ctx
+// threaded through the execution pipeline: a cancelled ctx stops scans
+// at a zone boundary and surfaces ctx.Err().
+func (s *Session) ExecCtx(ctx context.Context, query string) (*Result, error) {
 	q := strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";"))
 	switch strings.ToUpper(q) {
 	case "BEGIN":
@@ -77,12 +87,12 @@ func (s *Session) Exec(query string) (*Result, error) {
 	if nParams > 0 {
 		return nil, fmt.Errorf("sql: statement has %d parameter(s); prepare it and supply arguments", nParams)
 	}
-	return s.execStmt(st)
+	return s.execStmt(ctx, st)
 }
 
 // execStmt runs a parsed statement inside the session transaction (or
 // an auto-commit transaction).
-func (s *Session) execStmt(st Stmt) (*Result, error) {
+func (s *Session) execStmt(ctx context.Context, st Stmt) (*Result, error) {
 	if res, handled, err := execDDL(s.engine, st); handled {
 		return res, err
 	}
@@ -93,7 +103,7 @@ func (s *Session) execStmt(st Stmt) (*Result, error) {
 		auto = true
 	}
 	pc := &planCtx{engine: s.engine, binder: newParamBinder(0)}
-	res, err := execStmtInTx(context.Background(), s.engine, tx, st, pc)
+	res, err := execStmtInTx(ctx, s.engine, tx, st, pc)
 	if auto {
 		if err != nil {
 			tx.Abort()

@@ -237,6 +237,8 @@ func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicat
 // worker-owned and valid only until fn returns. fn returning false stops
 // the whole scan. Stats merge across workers; done cancels between zones
 // as in ScanParallel. All workers have exited when the call returns.
+//
+//oadb:allow-ctxscan cancellation is the done channel (hot path avoids ctx plumbing per zone); callers thread ctx.Done() into done
 func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(worker int, b *types.Batch) bool) ScanStats {
 	nz := (s.n + ZoneSize - 1) / ZoneSize
 	if workers > nz {

@@ -75,11 +75,15 @@ func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, s
 
 // SyncDir fsyncs a directory so entry changes (rename, remove) are
 // durable.
-func (OSFS) SyncDir(dir string) error {
+func (OSFS) SyncDir(dir string) (err error) {
 	f, err := os.Open(filepath.Clean(dir))
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return f.Sync()
 }

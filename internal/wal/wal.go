@@ -368,8 +368,10 @@ func ReadAll(path string) ([]Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	defer f.Close()
 	out, _ := ScanRecords(f)
+	if cerr := f.Close(); cerr != nil {
+		return nil, fmt.Errorf("wal: %w", cerr)
+	}
 	return out, nil
 }
 
