@@ -22,10 +22,11 @@ lint: vet
 
 # Race-enabled run of the packages with internal concurrency
 # (morsel-parallel scans, clock scans, txn machinery, group-commit WAL,
-# the public db cursor layer). This list is canonical: CI runs this
-# target rather than maintaining its own copy.
+# the public db cursor layer, the network server and its scheduler).
+# This list is canonical: CI runs this target rather than maintaining
+# its own copy.
 race:
-	go test -race ./db ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn ./internal/wal
+	go test -race ./db ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn ./internal/wal ./internal/sched ./internal/server ./internal/wire ./client
 
 # Durability gauntlet: the kill-and-recover fault matrix, torn-tail
 # property tests, and crash-recovery round trips, race-enabled.
@@ -41,12 +42,13 @@ OUT_JSON ?= BENCH_local.json
 bench:
 	OUT_TXT=$(OUT_TXT) OUT_JSON=$(OUT_JSON) scripts/bench.sh
 
-# Quick smoke: the E10/E13/E14/E15 scoreboards at minimal iterations.
+# Quick smoke: the E10/E13/E14/E15/E16 scoreboards at minimal iterations.
 bench-smoke:
 	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .
 	go test -run '^$$' -bench 'E13_JoinSort' -benchtime=3x -benchmem .
 	go test -run '^$$' -bench 'E14_ParallelPipeline' -benchtime=3x -benchmem .
 	go test -run '^$$' -bench 'E15_CommitThroughput' -benchtime=100x .
+	go test -run '^$$' -bench 'E16_MixedWorkload' -benchtime=20x .
 
 # Diff two bench.sh JSON recordings (quick trajectory view). Override
 # for newer recordings: make bench-compare NEW=BENCH_pr5.json

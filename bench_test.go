@@ -12,18 +12,22 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/client"
+	"repro/db"
 	"repro/internal/bench"
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/numa"
 	"repro/internal/scan"
+	"repro/internal/server"
 	"repro/internal/storage/colstore"
 	"repro/internal/storage/delta"
 	"repro/internal/txn"
@@ -1258,4 +1262,149 @@ func BenchmarkE15_CommitThroughput(b *testing.B) {
 			})
 		}
 	}
+}
+
+// ---------------------------------------------------------------------
+// E16 — the network front door: OLTP tail latency under analytic
+// saturation, with and without the server's priority lanes + admission
+// control. Clients connect over loopback TCP and speak the real wire
+// protocol, so the measurement includes framing, the session layer, and
+// the scheduler — the whole front door, not just the engine.
+//
+// lanes=on : OLTP/OLAP classification, strict OLTP priority, MaxOLAP=1.
+// lanes=off: one FIFO lane, no admission control (the ablation) — point
+// lookups queue behind every analytic statement ahead of them.
+// ---------------------------------------------------------------------
+
+func BenchmarkE16_MixedWorkload(b *testing.B) {
+	b.Run("lanes=on", func(b *testing.B) { runE16(b, true) })
+	b.Run("lanes=off", func(b *testing.B) { runE16(b, false) })
+}
+
+func runE16(b *testing.B, lanes bool) {
+	d, err := db.Open(db.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	ctx := context.Background()
+	if _, err := d.Exec(ctx, "CREATE TABLE orders (id INT, cust INT, amount INT, PRIMARY KEY (id))"); err != nil {
+		b.Fatal(err)
+	}
+	const rows = 100_000
+	tx, err := d.Begin(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := tx.Exec(ctx, "INSERT INTO orders (id, cust, amount) VALUES (?, ?, ?)",
+			i, i%100, i%997); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Engine().Merge("orders"); err != nil {
+		b.Fatal(err)
+	}
+
+	srv := server.New(d, server.Config{Workers: 2, MaxOLAP: 1, DisableLanes: !lanes})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			b.Error(err)
+		}
+		<-serveDone
+	}()
+	addr := ln.Addr().String()
+
+	// Analytic saturators: a steady backlog of group-by scans.
+	const analysts = 4
+	stop := make(chan struct{})
+	var olapDone atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < analysts; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			c, err := client.Dial(dctx, addr)
+			cancel()
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := c.Exec("SELECT cust, COUNT(*), SUM(amount) FROM orders GROUP BY cust"); err != nil {
+					if client.IsBusy(err) || client.IsQueueTimeout(err) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if client.IsShutdown(err) {
+						return
+					}
+					b.Error(err)
+					return
+				}
+				olapDone.Add(1)
+			}
+		}()
+	}
+
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	oltp, err := client.Dial(dctx, addr)
+	cancel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer oltp.Close()
+	st, err := oltp.Prepare("SELECT amount FROM orders WHERE id = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Let the analytic backlog build before measuring.
+	for deadline := time.Now().Add(5 * time.Second); olapDone.Load() < 1 && time.Now().Before(deadline); {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	rng := rand.New(rand.NewSource(16))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := rng.Intn(rows)
+		t0 := time.Now()
+		if _, err := st.Exec(id); err != nil {
+			b.Fatal(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	b.ReportMetric(float64(pct(0.50).Microseconds()), "oltp_p50_us")
+	b.ReportMetric(float64(pct(0.99).Microseconds()), "oltp_p99_us")
+	b.ReportMetric(float64(olapDone.Load())/b.Elapsed().Seconds(), "olap/s")
 }

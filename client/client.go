@@ -1,0 +1,721 @@
+// Package client is the Go driver for oadbd, the network server in
+// front of the oadms engine. It speaks the internal/wire protocol:
+// length-prefixed binary frames, a Hello handshake, then strictly
+// synchronous request/response.
+//
+// A Conn is one server session. It is NOT safe for concurrent use —
+// open one Conn per worker goroutine, exactly like a database/sql
+// driver connection. The protocol is synchronous, so at most one
+// statement is in flight per Conn, and a Rows cursor must be drained or
+// closed before the next request.
+//
+// Server-side errors arrive as *ServerError with a structured code:
+// IsBusy recognizes admission-control load shedding (the statement did
+// not run; retry with backoff), IsQueueTimeout recognizes a statement
+// abandoned after overstaying its lane's queue bound.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// ServerError is a structured error returned by the server.
+type ServerError struct {
+	Code uint16 // wire.Code* constant
+	Msg  string
+}
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// IsBusy reports admission-control load shedding: the statement was
+// rejected before executing because its lane's queue was full (or the
+// connection limit was reached). Safe to retry with backoff.
+func IsBusy(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeBusy
+}
+
+// IsQueueTimeout reports a statement abandoned unexecuted after waiting
+// in its lane queue longer than the server's bound.
+func IsQueueTimeout(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeQueueTimeout
+}
+
+// IsShutdown reports a server that is draining for shutdown.
+func IsShutdown(err error) bool {
+	var se *ServerError
+	return errors.As(err, &se) && se.Code == wire.CodeShutdown
+}
+
+// ErrConnBusy is returned when a request is issued while a previous
+// query's Rows is still open on the same Conn.
+var ErrConnBusy = errors.New("client: previous query's Rows not closed")
+
+// ErrConnBroken is returned once the connection is unusable (protocol
+// desync, I/O failure, or a mid-stream server failure).
+var ErrConnBroken = errors.New("client: connection is broken")
+
+// Lane identifies which server lane executed a statement.
+type Lane byte
+
+// Lanes (mirroring the server's scheduler classes).
+const (
+	LaneOLTP Lane = Lane(wire.LaneOLTP)
+	LaneOLAP Lane = Lane(wire.LaneOLAP)
+	// LaneNone marks work that bypassed the scheduler (transaction
+	// control, statement-handle bookkeeping).
+	LaneNone Lane = Lane(wire.LaneNone)
+)
+
+func (l Lane) String() string {
+	switch l {
+	case LaneOLTP:
+		return "oltp"
+	case LaneOLAP:
+		return "olap"
+	default:
+		return "none"
+	}
+}
+
+// Result reports what a statement did, including the server-side lane
+// accounting that the mixed-workload benchmark keys on.
+type Result struct {
+	// RowsAffected counts written rows (Exec) or streamed rows (Query).
+	RowsAffected uint64
+	// Lane is the lane the statement executed on.
+	Lane Lane
+	// QueueWait is how long the statement waited for admission.
+	QueueWait time.Duration
+	// ExecTime is the server-side execution time.
+	ExecTime time.Duration
+}
+
+// Conn is one client session. Not safe for concurrent use.
+type Conn struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	enc       wire.Enc
+	sessionID uint64
+	maxFrame  int
+	broken    bool
+	pending   *Rows // open query cursor, if any
+}
+
+// Dial connects to an oadbd server and performs the handshake. ctx
+// bounds connection establishment and the handshake only.
+func Dial(ctx context.Context, addr string) (*Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		conn:     nc,
+		br:       bufio.NewReaderSize(nc, 8<<10),
+		bw:       bufio.NewWriterSize(nc, 32<<10),
+		maxFrame: wire.DefaultMaxFrame,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if err := nc.SetDeadline(dl); err != nil {
+			nc.Close()
+			return nil, err
+		}
+	}
+	c.enc.Reset()
+	c.enc.U32(wire.Magic)
+	c.enc.U16(wire.Version)
+	if err := c.send(wire.FrameHello); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	switch typ {
+	case wire.FrameHelloOK:
+		d := wire.NewDec(payload)
+		_ = d.U16() // server protocol version (== ours, or it would have errored)
+		c.sessionID = d.U64()
+		if d.Err() != nil {
+			nc.Close()
+			return nil, fmt.Errorf("client: handshake: %w", d.Err())
+		}
+	case wire.FrameError:
+		se := decodeError(payload)
+		nc.Close()
+		return nil, se
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected frame %#x", typ)
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// SessionID returns the server-assigned session identifier.
+func (c *Conn) SessionID() uint64 { return c.sessionID }
+
+// Close sends an orderly goodbye and closes the connection.
+func (c *Conn) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	if !c.broken && c.pending == nil {
+		c.enc.Reset()
+		_ = c.send(wire.FrameTerminate) // best-effort
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.broken = true
+	return err
+}
+
+// Abort closes the connection abruptly: no Terminate frame, no drain.
+// The server is expected to cancel in-flight work, roll back any open
+// transaction, and free the session's statement handles.
+func (c *Conn) Abort() {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = true
+}
+
+// Exec runs a statement that returns no rows (a SELECT is drained and
+// counted). BEGIN/COMMIT/ROLLBACK run here too: the session's explicit
+// transaction lives server-side.
+func (c *Conn) Exec(sql string, args ...any) (Result, error) {
+	if err := c.startRequest(); err != nil {
+		return Result{}, err
+	}
+	if err := c.sendQuery(sql, args); err != nil {
+		return Result{}, err
+	}
+	return c.readExecResponse()
+}
+
+// Query runs a SELECT and returns a streaming cursor. The caller must
+// drain or Close it before issuing the next request on this Conn.
+func (c *Conn) Query(sql string, args ...any) (*Rows, error) {
+	if err := c.startRequest(); err != nil {
+		return nil, err
+	}
+	if err := c.sendQuery(sql, args); err != nil {
+		return nil, err
+	}
+	return c.readQueryResponse()
+}
+
+// Prepare registers a server-side prepared statement and returns its
+// handle. The server compiles (or reuses) the plan once; Execute
+// round-trips only the handle id and the arguments.
+func (c *Conn) Prepare(sql string) (*Stmt, error) {
+	if err := c.startRequest(); err != nil {
+		return nil, err
+	}
+	c.enc.Reset()
+	c.enc.Str(sql)
+	if err := c.send(wire.FramePrepare); err != nil {
+		return nil, err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.FramePrepareOK:
+		d := wire.NewDec(payload)
+		st := &Stmt{c: c, id: d.U32(), numParams: int(d.U16()), isQuery: d.U8() == 1}
+		if d.Err() != nil {
+			return nil, c.fail(d.Err())
+		}
+		return st, nil
+	case wire.FrameError:
+		return nil, decodeError(payload)
+	default:
+		return nil, c.fail(fmt.Errorf("client: unexpected frame %#x to Prepare", typ))
+	}
+}
+
+// Stats fetches the server's metrics snapshot ("name value" lines).
+func (c *Conn) Stats() (string, error) {
+	if err := c.startRequest(); err != nil {
+		return "", err
+	}
+	c.enc.Reset()
+	if err := c.send(wire.FrameStats); err != nil {
+		return "", err
+	}
+	typ, payload, err := c.read()
+	if err != nil {
+		return "", err
+	}
+	switch typ {
+	case wire.FrameStatsText:
+		d := wire.NewDec(payload)
+		text := d.Str()
+		if d.Err() != nil {
+			return "", c.fail(d.Err())
+		}
+		return text, nil
+	case wire.FrameError:
+		return "", decodeError(payload)
+	default:
+		return "", c.fail(fmt.Errorf("client: unexpected frame %#x to Stats", typ))
+	}
+}
+
+// Stmt is a server-side prepared statement handle.
+type Stmt struct {
+	c         *Conn
+	id        uint32
+	numParams int
+	isQuery   bool
+	closed    bool
+}
+
+// NumParams returns the statement's `?` placeholder count.
+func (s *Stmt) NumParams() int { return s.numParams }
+
+// IsQuery reports whether the statement returns rows.
+func (s *Stmt) IsQuery() bool { return s.isQuery }
+
+// Exec runs the prepared statement with args (SELECTs are drained).
+func (s *Stmt) Exec(args ...any) (Result, error) {
+	if err := s.startExecute(args); err != nil {
+		return Result{}, err
+	}
+	return s.c.readExecResponse()
+}
+
+// Query runs the prepared SELECT with args, returning a cursor.
+func (s *Stmt) Query(args ...any) (*Rows, error) {
+	if err := s.startExecute(args); err != nil {
+		return nil, err
+	}
+	return s.c.readQueryResponse()
+}
+
+func (s *Stmt) startExecute(args []any) error {
+	if s.closed {
+		return errors.New("client: statement is closed")
+	}
+	if err := s.c.startRequest(); err != nil {
+		return err
+	}
+	s.c.enc.Reset()
+	s.c.enc.U32(s.id)
+	if err := encodeArgs(&s.c.enc, args); err != nil {
+		return err
+	}
+	return s.c.send(wire.FrameExecute)
+}
+
+// Close releases the server-side handle.
+func (s *Stmt) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.c.startRequest(); err != nil {
+		return err
+	}
+	s.c.enc.Reset()
+	s.c.enc.U32(s.id)
+	if err := s.c.send(wire.FrameCloseStmt); err != nil {
+		return err
+	}
+	_, err := s.c.readExecResponse()
+	return err
+}
+
+// Column describes one result column.
+type Column struct {
+	Name string
+	Type string // engine type name (BIGINT, DOUBLE, VARCHAR, BOOLEAN)
+}
+
+// Rows is a streaming cursor over a query result. It must be drained or
+// closed before the Conn accepts another request.
+type Rows struct {
+	c    *Conn
+	cols []Column
+
+	batch [][]types.Value
+	idx   int
+
+	done bool
+	res  Result
+	err  error
+}
+
+// Columns describes the result columns.
+func (r *Rows) Columns() []Column { return r.cols }
+
+// Next advances to the next row, fetching batches from the server as
+// needed. It returns false at end of stream or on error (check Err).
+func (r *Rows) Next() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.idx+1 < len(r.batch) {
+		r.idx++
+		return true
+	}
+	r.batch, r.idx = nil, 0
+	for !r.done {
+		typ, payload, err := r.c.read()
+		if err != nil {
+			r.err = err
+			r.finish()
+			return false
+		}
+		switch typ {
+		case wire.FrameRowBatch:
+			batch, err := decodeBatch(payload, len(r.cols))
+			if err != nil {
+				r.err = r.c.fail(err)
+				r.finish()
+				return false
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			r.batch = batch
+			return true
+		case wire.FrameDone:
+			r.res, r.err = decodeDone(payload)
+			if r.err != nil {
+				r.c.fail(r.err)
+			}
+			r.done = true
+			r.finish()
+			return false
+		default:
+			// The protocol forbids FrameError mid-stream, so anything
+			// but a batch or Done means the stream is desynchronized.
+			r.err = r.c.fail(fmt.Errorf("client: unexpected frame %#x in row stream", typ))
+			r.finish()
+			return false
+		}
+	}
+	return false
+}
+
+// Scan copies the current row into dest pointers: *int64, *int,
+// *float64, *string, *bool, or *any.
+func (r *Rows) Scan(dest ...any) error {
+	if r.batch == nil || r.idx >= len(r.batch) {
+		return errors.New("client: Scan called without a successful Next")
+	}
+	row := r.batch[r.idx]
+	if len(dest) != len(row) {
+		return fmt.Errorf("client: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, v := range row {
+		if err := scanValue(v, dest[i]); err != nil {
+			return fmt.Errorf("client: column %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Err returns the error that terminated iteration, if any.
+func (r *Rows) Err() error { return r.err }
+
+// Result returns the statement's server-side accounting (valid after
+// the cursor is drained or closed).
+func (r *Rows) Result() Result { return r.res }
+
+// Close drains any unread rows so the connection is ready for the next
+// request, then returns the iteration error, if any.
+func (r *Rows) Close() error {
+	for !r.done && r.err == nil {
+		if !r.Next() {
+			break
+		}
+	}
+	r.batch, r.idx = nil, 0
+	r.finish()
+	return r.err
+}
+
+// finish releases the connection for the next request.
+func (r *Rows) finish() {
+	if r.c.pending == r {
+		r.c.pending = nil
+	}
+}
+
+// --- connection internals ---
+
+// startRequest checks the connection is idle and usable.
+func (c *Conn) startRequest() error {
+	if c.conn == nil || c.broken {
+		return ErrConnBroken
+	}
+	if c.pending != nil {
+		return ErrConnBusy
+	}
+	return nil
+}
+
+// send frames and flushes the encoder's payload.
+func (c *Conn) send(typ byte) error {
+	if err := wire.WriteFrame(c.bw, typ, c.enc.B); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// read fetches one frame, marking the connection broken on I/O failure.
+func (c *Conn) read() (byte, []byte, error) {
+	typ, payload, err := wire.ReadFrame(c.br, c.maxFrame)
+	if err != nil {
+		return 0, nil, c.fail(err)
+	}
+	return typ, payload, nil
+}
+
+// fail marks the connection broken and passes err through.
+func (c *Conn) fail(err error) error {
+	c.broken = true
+	return err
+}
+
+func (c *Conn) sendQuery(sql string, args []any) error {
+	c.enc.Reset()
+	c.enc.Str(sql)
+	if err := encodeArgs(&c.enc, args); err != nil {
+		return err
+	}
+	return c.send(wire.FrameQuery)
+}
+
+// readExecResponse consumes a response where rows are not wanted: a
+// row-returning response is drained and its count reported.
+func (c *Conn) readExecResponse() (Result, error) {
+	for {
+		typ, payload, err := c.read()
+		if err != nil {
+			return Result{}, err
+		}
+		switch typ {
+		case wire.FrameDone:
+			res, err := decodeDone(payload)
+			if err != nil {
+				return Result{}, c.fail(err)
+			}
+			return res, nil
+		case wire.FrameError:
+			return Result{}, decodeError(payload)
+		case wire.FrameRowHeader, wire.FrameRowBatch:
+			continue // SELECT via Exec: drain to Done
+		default:
+			return Result{}, c.fail(fmt.Errorf("client: unexpected frame %#x to Exec", typ))
+		}
+	}
+}
+
+// readQueryResponse consumes the RowHeader (or error) and hands the
+// stream to a Rows cursor.
+func (c *Conn) readQueryResponse() (*Rows, error) {
+	typ, payload, err := c.read()
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case wire.FrameRowHeader:
+		d := wire.NewDec(payload)
+		n := int(d.U16())
+		cols := make([]Column, n)
+		for i := range cols {
+			cols[i] = Column{Name: d.Str(), Type: types.Type(d.U8()).String()}
+		}
+		if d.Err() != nil {
+			return nil, c.fail(d.Err())
+		}
+		r := &Rows{c: c, cols: cols}
+		c.pending = r
+		return r, nil
+	case wire.FrameDone:
+		// Non-query executed via Query: present an empty, finished cursor.
+		res, err := decodeDone(payload)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		return &Rows{c: c, done: true, res: res}, nil
+	case wire.FrameError:
+		return nil, decodeError(payload)
+	default:
+		return nil, c.fail(fmt.Errorf("client: unexpected frame %#x to Query", typ))
+	}
+}
+
+// --- codec helpers ---
+
+func decodeError(payload []byte) error {
+	d := wire.NewDec(payload)
+	code, msg := d.U16(), d.Str()
+	if d.Err() != nil {
+		return fmt.Errorf("client: malformed error frame: %w", d.Err())
+	}
+	return &ServerError{Code: code, Msg: msg}
+}
+
+func decodeDone(payload []byte) (Result, error) {
+	d := wire.NewDec(payload)
+	res := Result{
+		Lane:         Lane(d.U8()),
+		RowsAffected: d.U64(),
+		QueueWait:    time.Duration(d.U64()),
+		ExecTime:     time.Duration(d.U64()),
+	}
+	return res, d.Err()
+}
+
+func decodeBatch(payload []byte, ncols int) ([][]types.Value, error) {
+	d := wire.NewDec(payload)
+	n := int(d.U32())
+	rows := make([][]types.Value, 0, n)
+	for i := 0; i < n; i++ {
+		row := make([]types.Value, ncols)
+		for c := range row {
+			row[c] = d.Value()
+		}
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		rows = append(rows, row)
+	}
+	return rows, d.Err()
+}
+
+func encodeArgs(e *wire.Enc, args []any) error {
+	e.U16(uint16(len(args)))
+	for i, a := range args {
+		v, err := toValue(a)
+		if err != nil {
+			return fmt.Errorf("client: argument %d: %w", i+1, err)
+		}
+		e.Value(v)
+	}
+	return nil
+}
+
+func toValue(a any) (types.Value, error) {
+	switch v := a.(type) {
+	case nil:
+		return types.Value{Null: true}, nil
+	case int:
+		return types.NewInt(int64(v)), nil
+	case int32:
+		return types.NewInt(int64(v)), nil
+	case int64:
+		return types.NewInt(v), nil
+	case float32:
+		return types.NewFloat(float64(v)), nil
+	case float64:
+		return types.NewFloat(v), nil
+	case string:
+		return types.NewString(v), nil
+	case bool:
+		return types.NewBool(v), nil
+	case types.Value:
+		return v, nil
+	default:
+		return types.Value{}, fmt.Errorf("unsupported type %T", a)
+	}
+}
+
+func scanValue(v types.Value, dest any) error {
+	switch d := dest.(type) {
+	case *any:
+		if v.Null {
+			*d = nil
+			return nil
+		}
+		switch v.Typ {
+		case types.Int64:
+			*d = v.I
+		case types.Float64:
+			*d = v.F
+		case types.String:
+			*d = v.S
+		case types.Bool:
+			*d = v.I != 0
+		}
+	case *int64:
+		if v.Null {
+			*d = 0
+			return nil
+		}
+		switch v.Typ {
+		case types.Int64, types.Bool:
+			*d = v.I
+		case types.Float64:
+			*d = int64(v.F)
+		default:
+			return fmt.Errorf("cannot scan %s into *int64", v.Typ)
+		}
+	case *int:
+		var x int64
+		if err := scanValue(v, &x); err != nil {
+			return fmt.Errorf("cannot scan %s into *int", v.Typ)
+		}
+		*d = int(x)
+	case *float64:
+		if v.Null {
+			*d = 0
+			return nil
+		}
+		switch v.Typ {
+		case types.Float64:
+			*d = v.F
+		case types.Int64:
+			*d = float64(v.I)
+		default:
+			return fmt.Errorf("cannot scan %s into *float64", v.Typ)
+		}
+	case *string:
+		if v.Null {
+			*d = ""
+			return nil
+		}
+		if v.Typ != types.String {
+			return fmt.Errorf("cannot scan %s into *string", v.Typ)
+		}
+		*d = v.S
+	case *bool:
+		if v.Null {
+			*d = false
+			return nil
+		}
+		if v.Typ != types.Bool {
+			return fmt.Errorf("cannot scan %s into *bool", v.Typ)
+		}
+		*d = v.I != 0
+	default:
+		return fmt.Errorf("unsupported destination type %T", dest)
+	}
+	return nil
+}

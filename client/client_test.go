@@ -1,0 +1,86 @@
+package client
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+func TestToValueScanValueRoundTrip(t *testing.T) {
+	cases := []any{nil, int(7), int64(-3), 3.5, "hello", true, false}
+	for _, in := range cases {
+		v, err := toValue(in)
+		if err != nil {
+			t.Fatalf("toValue(%v): %v", in, err)
+		}
+		var out any
+		if err := scanValue(v, &out); err != nil {
+			t.Fatalf("scanValue(%v): %v", in, err)
+		}
+		switch want := in.(type) {
+		case nil:
+			if out != nil {
+				t.Errorf("nil round-tripped to %v", out)
+			}
+		case int:
+			if out.(int64) != int64(want) {
+				t.Errorf("%v round-tripped to %v", in, out)
+			}
+		default:
+			if out != in {
+				t.Errorf("%v round-tripped to %v", in, out)
+			}
+		}
+	}
+	if _, err := toValue(struct{}{}); err == nil {
+		t.Error("toValue accepted a struct")
+	}
+}
+
+func TestScanValueTypedDestinations(t *testing.T) {
+	var i64 int64
+	if err := scanValue(types.NewInt(9), &i64); err != nil || i64 != 9 {
+		t.Errorf("int64 scan: %v, %d", err, i64)
+	}
+	var f float64
+	if err := scanValue(types.NewFloat(2.5), &f); err != nil || f != 2.5 {
+		t.Errorf("float scan: %v, %v", err, f)
+	}
+	var s string
+	if err := scanValue(types.NewString("x"), &s); err != nil || s != "x" {
+		t.Errorf("string scan: %v, %q", err, s)
+	}
+	var b bool
+	if err := scanValue(types.NewBool(true), &b); err != nil || !b {
+		t.Errorf("bool scan: %v, %v", err, b)
+	}
+	if err := scanValue(types.NewString("x"), &i64); err == nil {
+		t.Error("string scanned into *int64")
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	busy := &ServerError{Code: wire.CodeBusy, Msg: "busy"}
+	if !IsBusy(busy) || IsQueueTimeout(busy) || IsShutdown(busy) {
+		t.Error("CodeBusy misclassified")
+	}
+	qt := &ServerError{Code: wire.CodeQueueTimeout, Msg: "late"}
+	if !IsQueueTimeout(qt) || IsBusy(qt) {
+		t.Error("CodeQueueTimeout misclassified")
+	}
+	sd := error(&ServerError{Code: wire.CodeShutdown, Msg: "bye"})
+	if !IsShutdown(sd) {
+		t.Error("CodeShutdown misclassified")
+	}
+	if IsBusy(errors.New("plain")) {
+		t.Error("plain error classified as busy")
+	}
+}
+
+func TestLaneString(t *testing.T) {
+	if LaneOLTP.String() != "oltp" || LaneOLAP.String() != "olap" || LaneNone.String() != "none" {
+		t.Error("lane strings wrong")
+	}
+}

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	oadb [-dir path] [-sync group|sync|async|each] [-wal path] [-mode mvcc|2pl] [-demo]
+//	oadb -connect host:port
+//
+// With -connect the shell runs as a network client of an oadbd server
+// instead of embedding the engine: statements travel the wire protocol,
+// and the result footer reports the server-side lane, queue wait, and
+// execution time (see docs/server.md).
 //
 // With -dir the database is durable: commits go through a segmented
 // group-commit WAL in that directory, and restarting oadb on the same
@@ -38,7 +44,12 @@ func main() {
 	walPath := flag.String("wal", "", "enable legacy single-file write-ahead logging to this file")
 	mode := flag.String("mode", "mvcc", "concurrency mode: mvcc or 2pl")
 	demo := flag.Bool("demo", false, "pre-load the CH-benCHmark demo dataset")
+	connect := flag.String("connect", "", "connect to an oadbd server at host:port instead of embedding the engine")
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runRemote(*connect))
+	}
 
 	opts := db.Options{Dir: *dir, WALPath: *walPath}
 	if strings.EqualFold(*mode, "2pl") {

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/client"
+)
+
+// runRemote is the shell's client mode (-connect): the same REPL shape
+// as the embedded mode, but every statement travels the wire protocol
+// to an oadbd server. Transaction state lives server-side; the prompt
+// tracks it from BEGIN/COMMIT/ROLLBACK outcomes. Meta commands:
+// \stats (server metrics), \quit.
+func runRemote(addr string) int {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	c, err := client.Dial(ctx, addr)
+	cancel()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "oadb:", err)
+		return 1
+	}
+	defer c.Close()
+
+	fmt.Printf("oadb — connected to %s (session %d). \\quit to exit, \\stats for server metrics.\n", addr, c.SessionID())
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	inTxn := false
+	for {
+		if inTxn {
+			fmt.Print("oadb*> ")
+		} else {
+			fmt.Print("oadb> ")
+		}
+		if !in.Scan() {
+			return 0
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "\\") {
+			switch strings.Fields(line)[0] {
+			case "\\quit", "\\q":
+				return 0
+			case "\\stats":
+				text, err := c.Stats()
+				if err != nil {
+					fmt.Println("error:", err)
+					if remoteFatal(err) {
+						return 1
+					}
+					continue
+				}
+				for _, l := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+					fmt.Println(" ", l)
+				}
+			default:
+				fmt.Println("unknown meta command; available: \\stats \\quit")
+			}
+			continue
+		}
+		start := time.Now()
+		if isQuery(line) {
+			rows, err := c.Query(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				if remoteFatal(err) {
+					return 1
+				}
+				continue
+			}
+			printRemoteRows(rows, time.Since(start))
+			continue
+		}
+		res, err := c.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			if remoteFatal(err) {
+				return 1
+			}
+			continue
+		}
+		switch strings.ToUpper(strings.TrimSuffix(line, ";")) {
+		case "BEGIN":
+			inTxn = true
+		case "COMMIT", "ROLLBACK":
+			inTxn = false
+		}
+		fmt.Printf("ok (%d rows affected, %v; lane %s, queued %v, exec %v)\n",
+			res.RowsAffected, time.Since(start).Round(time.Microsecond),
+			res.Lane, res.QueueWait.Round(time.Microsecond), res.ExecTime.Round(time.Microsecond))
+	}
+}
+
+// remoteFatal reports errors after which the session cannot continue.
+func remoteFatal(err error) bool {
+	return client.IsShutdown(err) || err == client.ErrConnBroken
+}
+
+// printRemoteRows streams a wire cursor to stdout in the same format as
+// the embedded shell's printRows.
+func printRemoteRows(rows *client.Rows, bindTime time.Duration) {
+	defer rows.Close()
+	cols := rows.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	header := strings.Join(names, " | ")
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	const maxPrint = 50
+	n := 0
+	start := time.Now()
+	for rows.Next() {
+		if n < maxPrint {
+			row := make([]any, len(cols))
+			dests := make([]any, len(row))
+			for i := range row {
+				dests[i] = &row[i]
+			}
+			if err := rows.Scan(dests...); err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = fmt.Sprint(v)
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		n++
+	}
+	if err := rows.Err(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if n > maxPrint {
+		fmt.Printf("... (%d more rows)\n", n-maxPrint)
+	}
+	res := rows.Result()
+	fmt.Printf("(%d rows, %v; lane %s, queued %v, exec %v)\n",
+		n, (bindTime + time.Since(start)).Round(time.Microsecond),
+		res.Lane, res.QueueWait.Round(time.Microsecond), res.ExecTime.Round(time.Microsecond))
+}

@@ -283,6 +283,30 @@ func (d *DB) Checkpoint(ctx context.Context) (uint64, error) {
 	return d.engine.Checkpoint(ctx)
 }
 
+// Workload partitions statements into the server's priority lanes:
+// short latency-critical OLTP work vs long throughput-oriented OLAP
+// work. See sql.ClassifyStmt for the classification rules.
+type Workload = sql.Workload
+
+// Workload classes.
+const (
+	// WorkloadOLTP: DML, DDL, and filtered single-table lookups.
+	WorkloadOLTP = sql.WorkloadOLTP
+	// WorkloadOLAP: joins, aggregates, sorts, unpredicated scans, and
+	// delta merges.
+	WorkloadOLAP = sql.WorkloadOLAP
+)
+
+// Classify reports which workload class query belongs to, parsing it
+// through the plan cache (a cached text classifies without a parse).
+func (d *DB) Classify(query string) (Workload, error) {
+	s, err := d.stmtFor(query)
+	if err != nil {
+		return WorkloadOLTP, err
+	}
+	return s.Workload(), nil
+}
+
 // Stats is a snapshot of the DB's statement-cache counters.
 type Stats struct {
 	// PlanCacheHits counts statement executions that found their text

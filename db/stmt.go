@@ -2,6 +2,8 @@ package db
 
 import (
 	"context"
+
+	"repro/internal/sql"
 )
 
 // Stmt is a prepared statement: parsed and planned once, executed many
@@ -24,6 +26,17 @@ func (s *Stmt) Text() string { return s.text }
 
 // NumParams returns the number of `?` placeholders.
 func (s *Stmt) NumParams() int { return s.plan.nParams }
+
+// IsQuery reports whether the statement is a SELECT (returns rows).
+func (s *Stmt) IsQuery() bool {
+	_, ok := s.plan.ast.(*sql.SelectStmt)
+	return ok
+}
+
+// Workload reports the statement's workload class (OLTP point work vs
+// OLAP scan work) from its parsed form — the server uses this to pick
+// the priority lane without re-parsing.
+func (s *Stmt) Workload() Workload { return sql.ClassifyStmt(s.plan.ast) }
 
 // Exec runs the statement with args in an auto-commit transaction.
 func (s *Stmt) Exec(ctx context.Context, args ...any) (Result, error) {

@@ -7,15 +7,22 @@
 // convoy behind the disk (the CreateTable-holding-the-catalog-lock bug
 // from the PR 6 review, mechanized).
 //
+// The server's session-table lock (server.Server.mu) is critical for
+// the same reason with a different disk: it must never be held across
+// network I/O — a slow client mid-write would stall every accept,
+// registration, and session count behind that one peer's socket.
+//
 // For every Lock()→Unlock() span of a critical lock the analyzer walks
 // the statements in between — following calls through the enclosing
 // package's static call graph — and reports any reachable I/O: wal.FS /
-// wal.File operations (Write, Sync, SyncDir, Create, Rename, ...), and
-// the blocking wal.Log surface (Append, WaitAcked, WaitDurable, Sync,
-// Close, TruncateBelow). wal.Log.Enqueue is exempt by design: staging
-// under commitMu is the group-commit protocol. The WAL's writer mutex
-// (wmu) is likewise not a critical lock — serializing the flusher's own
-// writes is its purpose.
+// wal.File operations (Write, Sync, SyncDir, Create, Rename, ...), the
+// blocking wal.Log surface (Append, WaitAcked, WaitDurable, Sync,
+// Close, TruncateBelow), socket I/O through net / bufio receivers
+// (Read, Write, Flush, Close, Accept, ...), and the internal/wire frame
+// codec (WriteFrame, ReadFrame). wal.Log.Enqueue is exempt by design:
+// staging under commitMu is the group-commit protocol. The WAL's writer
+// mutex (wmu) is likewise not a critical lock — serializing the
+// flusher's own writes is its purpose.
 //
 // Deliberate exceptions (e.g. the SyncEach convoy baseline) are
 // annotated //oadb:allow-lockio <reason>.
@@ -47,6 +54,7 @@ var criticalLocks = []criticalLock{
 	{"internal/core", "Engine", "commitMu", "commit/LSN ordering lock"},
 	{"internal/core", "Engine", "mu", "catalog lock"},
 	{"internal/wal", "Log", "mu", "WAL staging lock"},
+	{"internal/server", "Server", "mu", "session-table lock"},
 }
 
 // ioMethods are method names that perform I/O or block on durability
@@ -64,6 +72,21 @@ var ioMethods = map[string]bool{
 var ioFuncs = map[string]bool{
 	"ReadSegments": true, "ReplayDir": true, "ReadAll": true,
 	"Replay": true, "OpenLog": true, "Create": true,
+}
+
+// netIOMethods are method names that perform socket I/O (or block on a
+// peer) when invoked on a net or bufio receiver.
+var netIOMethods = map[string]bool{
+	"Read": true, "Write": true, "Flush": true, "Close": true,
+	"Accept": true, "ReadByte": true, "WriteByte": true,
+	"ReadString": true, "ReadBytes": true, "WriteString": true,
+	"ReadFrom": true, "WriteTo": true, "Peek": true,
+}
+
+// wireFuncs are package-level internal/wire functions that perform
+// frame I/O on the stream they are handed.
+var wireFuncs = map[string]bool{
+	"WriteFrame": true, "ReadFrame": true,
 }
 
 func run(pass *analysis.Pass) error {
@@ -311,7 +334,7 @@ func (w *walker) callSink(call *ast.CallExpr) (string, bool) {
 	}
 	sig, _ := fn.Type().(*types.Signature)
 	if sig != nil && sig.Recv() != nil {
-		if !ioMethods[fn.Name()] {
+		if !ioMethods[fn.Name()] && !netIOMethods[fn.Name()] {
 			return "", false
 		}
 		// The receiver's static type decides: wal.File embeds io.Writer,
@@ -327,15 +350,28 @@ func (w *walker) callSink(call *ast.CallExpr) (string, bool) {
 		}
 		if n, ok := analysis.NamedOf(tv.Type); ok {
 			obj := n.Obj()
-			if obj.Pkg() != nil && analysis.PathHasSuffix(obj.Pkg().Path(), "internal/wal") {
+			if obj.Pkg() == nil {
+				return "", false
+			}
+			pkgPath := obj.Pkg().Path()
+			switch {
+			case analysis.PathHasSuffix(pkgPath, "internal/wal") && ioMethods[fn.Name()]:
+				return obj.Name() + "." + fn.Name(), true
+			case (pkgPath == "net" || pkgPath == "bufio") && netIOMethods[fn.Name()]:
 				return obj.Name() + "." + fn.Name(), true
 			}
 		}
 		return "", false
 	}
 	// Package-level function.
-	if fn.Pkg() != nil && analysis.PathHasSuffix(fn.Pkg().Path(), "internal/wal") && ioFuncs[fn.Name()] {
-		return "wal." + fn.Name(), true
+	if fn.Pkg() != nil {
+		pkgPath := fn.Pkg().Path()
+		if analysis.PathHasSuffix(pkgPath, "internal/wal") && ioFuncs[fn.Name()] {
+			return "wal." + fn.Name(), true
+		}
+		if analysis.PathHasSuffix(pkgPath, "internal/wire") && wireFuncs[fn.Name()] {
+			return "wire." + fn.Name(), true
+		}
 	}
 	return "", false
 }

@@ -9,5 +9,5 @@ import (
 
 func TestLockio(t *testing.T) {
 	analysistest.Run(t, "../testdata/src", lockio.Analyzer,
-		"lockio/internal/wal", "lockio/internal/core")
+		"lockio/internal/wal", "lockio/internal/core", "lockio/internal/server")
 }

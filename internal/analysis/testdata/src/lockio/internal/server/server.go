@@ -1,0 +1,68 @@
+// Package server is the lockio fixture's network layer: mu is the
+// session-table lock, and socket I/O (net/bufio methods, wire frame
+// functions) must never happen while it is held — one slow peer would
+// stall every accept and registration behind its socket.
+package server
+
+import (
+	"bufio"
+	"sync"
+
+	"lockio/internal/wire"
+)
+
+// session is one connected client.
+type session struct {
+	id uint64
+	bw *bufio.Writer
+}
+
+// Server owns the session table.
+type Server struct {
+	mu       sync.Mutex
+	sessions map[uint64]*session
+}
+
+// BadBroadcast writes to every client while holding the session-table
+// lock: one slow peer stalls all registration behind its socket.
+func (s *Server) BadBroadcast(msg []byte) {
+	s.mu.Lock()
+	for _, sess := range s.sessions {
+		sess.bw.Write(msg) // want `Writer.Write reached while s.mu \(session-table lock\) is held`
+	}
+	s.mu.Unlock()
+}
+
+// BadDrain pushes a shutdown frame under the lock (via defer).
+func (s *Server) BadDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sess := range s.sessions {
+		wire.WriteFrame(sess.bw, 1, nil) // want `wire.WriteFrame reached while s.mu \(session-table lock\) is held`
+	}
+}
+
+// GoodDrain snapshots the table under the lock and does I/O after — the
+// pattern the real server uses for shutdown notification.
+func (s *Server) GoodDrain() {
+	s.mu.Lock()
+	snap := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		snap = append(snap, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range snap {
+		wire.WriteFrame(sess.bw, 1, nil)
+		sess.bw.Flush()
+	}
+}
+
+// notifyOne reaches socket I/O through one call level.
+func (s *Server) notifyOne(sess *session) error { return sess.bw.Flush() }
+
+// BadTransitive reaches the socket through a same-package helper.
+func (s *Server) BadTransitive(sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.notifyOne(sess) // want `notifyOne → Writer.Flush reached while s.mu \(session-table lock\) is held`
+}

@@ -1,0 +1,19 @@
+// Package wire is the lockio fixture's frame codec: its package-level
+// WriteFrame/ReadFrame functions perform socket I/O on the stream they
+// are handed.
+package wire
+
+import "io"
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	_, err := w.Write(append([]byte{typ}, payload...))
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var b [1]byte
+	_, err := r.Read(b[:])
+	return b[0], nil, err
+}

@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -171,10 +173,227 @@ func TestStatsTimings(t *testing.T) {
 	}
 }
 
+func TestRunCtxBasic(t *testing.T) {
+	m := New(Config{Workers: 2})
+	defer m.Close()
+	ran := false
+	if err := m.RunCtx(context.Background(), OLTP, func() { ran = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestRunCtxCancelWhileQueued(t *testing.T) {
+	m := New(Config{Workers: 1, MaxOLAP: 1})
+	defer m.Close()
+	// Occupy the single worker.
+	block := make(chan struct{})
+	wait, err := m.Submit(OLTP, func() { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	ran := atomic.Bool{}
+	go func() {
+		errCh <- m.RunCtx(ctx, OLTP, func() { ran.Store(true) })
+	}()
+	time.Sleep(5 * time.Millisecond) // let it enqueue behind the blocker
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	wait()
+	// The abandoned task must never execute, even after the worker frees.
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if ran.Load() {
+			t.Fatal("abandoned task executed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Stats(OLTP).Abandoned; got != 1 {
+		t.Fatalf("Abandoned = %d, want 1", got)
+	}
+}
+
+func TestRunCtxQueueTimeout(t *testing.T) {
+	m := New(Config{Workers: 1, OLTPQueueTimeout: 10 * time.Millisecond})
+	defer m.Close()
+	block := make(chan struct{})
+	wait, err := m.Submit(OLTP, func() { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err = m.RunCtx(context.Background(), OLTP, func() {})
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	close(block)
+	wait()
+	if got := m.Stats(OLTP).Abandoned; got != 1 {
+		t.Fatalf("Abandoned = %d, want 1", got)
+	}
+}
+
+func TestRunCtxCancelledBeforeSubmit(t *testing.T) {
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.RunCtx(ctx, OLAP, func() { t.Error("ran") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := m.Stats(OLAP).Submitted; got != 0 {
+		t.Fatalf("Submitted = %d, want 0", got)
+	}
+}
+
+func TestRunCtxClaimedTaskCompletes(t *testing.T) {
+	// A context cancelled after the worker claims the task must not
+	// abandon it: RunCtx waits for completion and returns nil.
+	m := New(Config{Workers: 1})
+	defer m.Close()
+	started := make(chan struct{})
+	finish := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	ran := false
+	go func() {
+		errCh <- m.RunCtx(ctx, OLTP, func() {
+			close(started)
+			<-finish
+			ran = true
+		})
+	}()
+	<-started
+	cancel()
+	close(finish)
+	if err := <-errCh; err != nil {
+		t.Fatalf("err = %v, want nil (task already executing)", err)
+	}
+	if !ran {
+		t.Fatal("claimed task did not finish")
+	}
+}
+
+func TestPerClassQueueDepth(t *testing.T) {
+	m := New(Config{Workers: 1, QueueDepth: 64, OLAPQueueDepth: 1, MaxOLAP: 1})
+	defer m.Close()
+	block := make(chan struct{})
+	// Occupy the worker with OLTP so OLAP stays queued.
+	wait, err := m.Submit(OLTP, func() { <-block })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []func()
+	full := 0
+	for i := 0; i < 5; i++ {
+		w, err := m.Submit(OLAP, func() {})
+		if errors.Is(err, ErrQueueFull) {
+			full++
+		} else if err != nil {
+			t.Fatal(err)
+		} else {
+			waits = append(waits, w)
+		}
+	}
+	if full != 4 {
+		t.Fatalf("rejected %d of 5 with depth-1 OLAP queue, want 4", full)
+	}
+	close(block)
+	wait()
+	for _, w := range waits {
+		w()
+	}
+}
+
+func TestCloseRunsQueuedTasks(t *testing.T) {
+	m := New(Config{Workers: 1})
+	var n atomic.Int64
+	block := make(chan struct{})
+	wait, err := m.Submit(OLTP, func() { <-block; n.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var waits []func()
+	for i := 0; i < 8; i++ {
+		w, err := m.Submit(OLTP, func() { n.Add(1) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		waits = append(waits, w)
+	}
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	time.Sleep(2 * time.Millisecond)
+	close(block)
+	<-done
+	wait()
+	for _, w := range waits {
+		w()
+	}
+	if n.Load() != 9 {
+		t.Fatalf("completed %d of 9 queued tasks across Close", n.Load())
+	}
+}
+
 func TestDefaults(t *testing.T) {
 	m := New(Config{})
 	defer m.Close()
 	if err := m.Run(OLAP, func() {}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestOLTPNotStarvedByAdmissionWait pins the fix for a starvation
+// hazard: a worker carrying an OLAP task while waiting for the
+// admission semaphore must keep serving the OLTP queue, or every
+// worker can end up parked on OLAP and the latency-critical lane
+// stalls for a full analytic execution.
+func TestOLTPNotStarvedByAdmissionWait(t *testing.T) {
+	m := New(Config{Workers: 2, MaxOLAP: 1})
+	defer m.Close()
+
+	release := make(chan struct{})
+	running := make(chan struct{})
+	// olap1 occupies the single OLAP slot until released.
+	w1, err := m.Submit(OLAP, func() {
+		close(running)
+		<-release
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// olap2 is picked up by the second worker, which must now wait for
+	// the semaphore...
+	w2, err := m.Submit(OLAP, func() {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // let the worker reach the admission wait
+	// ...while still serving OLTP work.
+	oltpDone := make(chan struct{})
+	if _, err := m.Submit(OLTP, func() { close(oltpDone) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-oltpDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("OLTP task starved while workers awaited OLAP admission")
+	}
+	close(release)
+	w1()
+	w2()
 }

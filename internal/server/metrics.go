@@ -1,0 +1,150 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// laneMetrics counts per-lane server-side outcomes. Queue-wait and
+// execution time live in the scheduler's Stats; these cover what the
+// scheduler cannot see (admission rejections are counted here by cause,
+// where the scheduler only counts them in aggregate).
+type laneMetrics struct {
+	// statements counts statements that entered execution on this lane.
+	statements atomic.Uint64
+	// rejectedFull counts statements shed because the lane queue was
+	// full (wire.CodeBusy).
+	rejectedFull atomic.Uint64
+	// rejectedTimeout counts statements abandoned after waiting longer
+	// than the lane's queue timeout (wire.CodeQueueTimeout).
+	rejectedTimeout atomic.Uint64
+}
+
+// metrics is the server-wide counter set behind \stats and the metrics
+// endpoint. Everything is atomic: sessions update counters without
+// touching the session-table lock.
+type metrics struct {
+	accepted      atomic.Uint64
+	rejectedConns atomic.Uint64
+	closedConns   atomic.Uint64
+	peakSessions  atomic.Int64
+
+	bytesIn  atomic.Uint64
+	bytesOut atomic.Uint64
+
+	preparedStmts atomic.Int64
+
+	txnBegun            atomic.Uint64
+	txnCommitted        atomic.Uint64
+	txnRolledBack       atomic.Uint64
+	disconnectRollbacks atomic.Uint64
+	rollbackErrs        atomic.Uint64
+
+	lanes [2]laneMetrics
+}
+
+// lane returns the counter block for a scheduler class.
+func (m *metrics) lane(c sched.Class) *laneMetrics {
+	if c == sched.OLAP {
+		return &m.lanes[1]
+	}
+	return &m.lanes[0]
+}
+
+// noteSessions folds a live-session count into the peak high-water mark.
+func (m *metrics) noteSessions(n int) {
+	for {
+		cur := m.peakSessions.Load()
+		if int64(n) <= cur || m.peakSessions.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// countReader / countWriter wrap the connection to meter wire traffic.
+type countReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+type countWriter struct {
+	w io.Writer
+	n *atomic.Uint64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// StatsText renders the server's counters as sorted "name value" lines
+// (expvar-style plain text): connection counts, wire traffic, per-lane
+// statement/rejection counters, and the scheduler's queue-wait and
+// execution-time accumulators. Served to clients via the Stats frame
+// (\stats in the shell) and over HTTP via MetricsHandler.
+func (s *Server) StatsText() string {
+	kv := map[string]uint64{
+		"conns_accepted":    s.m.accepted.Load(),
+		"conns_rejected":    s.m.rejectedConns.Load(),
+		"conns_closed":      s.m.closedConns.Load(),
+		"conns_live":        uint64(s.NumSessions()),
+		"conns_peak":        uint64(s.m.peakSessions.Load()),
+		"bytes_in":          s.m.bytesIn.Load(),
+		"bytes_out":         s.m.bytesOut.Load(),
+		"prepared_stmts":    uint64(max(s.m.preparedStmts.Load(), 0)),
+		"txn_begun":         s.m.txnBegun.Load(),
+		"txn_committed":     s.m.txnCommitted.Load(),
+		"txn_rolled_back":   s.m.txnRolledBack.Load(),
+		"txn_disconnect_rb": s.m.disconnectRollbacks.Load(),
+		"txn_rollback_errs": s.m.rollbackErrs.Load(),
+		"sched_workers":     uint64(s.cfg.Workers),
+		"sched_max_olap":    uint64(s.sch.Config().MaxOLAP),
+	}
+	for _, lane := range []struct {
+		name  string
+		class sched.Class
+	}{{"oltp", sched.OLTP}, {"olap", sched.OLAP}} {
+		lm := s.m.lane(lane.class)
+		st := s.sch.Stats(lane.class)
+		kv["lane_"+lane.name+"_statements"] = lm.statements.Load()
+		kv["lane_"+lane.name+"_rejected_full"] = lm.rejectedFull.Load()
+		kv["lane_"+lane.name+"_rejected_timeout"] = lm.rejectedTimeout.Load()
+		kv["lane_"+lane.name+"_submitted"] = st.Submitted
+		kv["lane_"+lane.name+"_completed"] = st.Completed
+		kv["lane_"+lane.name+"_abandoned"] = st.Abandoned
+		kv["lane_"+lane.name+"_wait_ns"] = st.WaitNS
+		kv["lane_"+lane.name+"_exec_ns"] = st.ExecNS
+	}
+	names := make([]string, 0, len(kv))
+	for k := range kv {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s %d\n", k, kv[k])
+	}
+	return b.String()
+}
+
+// MetricsHandler serves StatsText over HTTP for scraping — mount it on
+// an operator-facing mux, separate from the wire-protocol listener.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, s.StatsText())
+	})
+}

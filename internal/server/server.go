@@ -1,0 +1,321 @@
+// Package server implements oadbd's network front door: a
+// length-prefixed binary wire protocol (internal/wire) multiplexing
+// many client connections onto a bounded worker pool driven by the
+// mixed-workload scheduler (internal/sched).
+//
+// Every statement arriving over the wire is classified OLTP vs OLAP
+// from its parsed form (db.Stmt.Workload): transactional statements and
+// point lookups ride the latency-critical OLTP lane, scans / joins /
+// aggregates ride the admission-controlled OLAP lane. Each lane has a
+// bounded queue — when a queue is full the statement is rejected with a
+// structured "server busy" error instead of queueing unboundedly, and a
+// statement that waits longer than the lane's queue timeout is
+// abandoned before it executes. That is the paper's mixed-workload
+// story made operational: analytic floods shed load; they do not grow
+// the OLTP tail.
+//
+// Sessions hold server-side prepared statements (per-session handles
+// over the db layer's shared plan cache) and at most one explicit
+// transaction. A dropped connection cancels its in-flight statement,
+// rolls back its open transaction, and frees its handles. Shutdown
+// drains gracefully: in-flight statements finish, idle sessions are
+// told the server is closing, and stragglers are cut off at the drain
+// deadline.
+//
+// docs/server.md documents the protocol, the session lifecycle, and the
+// admission-control tuning knobs.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/db"
+	"repro/internal/sched"
+	"repro/internal/wire"
+)
+
+// Config tunes the server.
+type Config struct {
+	// Workers is the statement worker pool size shared by both lanes
+	// (default: max(4, GOMAXPROCS)). This bounds statements executing
+	// concurrently; each analytic statement may additionally fan out
+	// morsel workers inside the engine per db.Options.Parallelism.
+	Workers int
+	// MaxOLAP bounds concurrently executing OLAP statements (admission
+	// control; default: half the workers, at least 1).
+	MaxOLAP int
+	// OLTPQueueDepth / OLAPQueueDepth bound each lane's queue (default
+	// 1024 each). A statement arriving at a full lane is rejected with
+	// wire.CodeBusy.
+	OLTPQueueDepth int
+	OLAPQueueDepth int
+	// OLTPQueueTimeout / OLAPQueueTimeout bound queue wait per lane
+	// (default: none). A statement that waits longer is abandoned with
+	// wire.CodeQueueTimeout.
+	OLTPQueueTimeout time.Duration
+	OLAPQueueTimeout time.Duration
+	// DisableLanes routes every statement through the OLTP lane in
+	// submission order with no admission control — the "no lanes"
+	// ablation BenchmarkE16_MixedWorkload measures against.
+	DisableLanes bool
+	// MaxConns bounds concurrent sessions (default 16384). Connections
+	// beyond it receive wire.CodeBusy and are closed.
+	MaxConns int
+	// MaxFrame bounds a client frame (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// HandshakeTimeout bounds how long a fresh connection may take to
+	// send its Hello frame (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+func (c *Config) withDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+		if c.Workers < 4 {
+			c.Workers = 4
+		}
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 16384
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown completes the
+// drain, mirroring net/http.ErrServerClosed.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server multiplexes wire-protocol clients onto one db.DB.
+type Server struct {
+	db  *db.DB
+	cfg Config
+	sch *sched.Manager
+	m   metrics
+
+	// mu is the session-table lock. It protects the registry fields
+	// below and nothing else; no I/O happens while it is held
+	// (lockio-enforced — a slow client must never stall registration).
+	mu       sync.Mutex
+	sessions map[uint64]*session
+	nextSID  uint64
+	draining bool
+	ln       net.Listener
+
+	drainCh  chan struct{} // closed when Shutdown begins
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup // live session handlers
+	serveErr error
+}
+
+// New builds a server over d. Call Serve (or ListenAndServe) to start
+// accepting and Shutdown to drain.
+func New(d *db.DB, cfg Config) *Server {
+	cfg.withDefaults()
+	return &Server{
+		db:  d,
+		cfg: cfg,
+		sch: sched.New(sched.Config{
+			Workers:          cfg.Workers,
+			MaxOLAP:          olapSlots(cfg),
+			OLTPQueueDepth:   cfg.OLTPQueueDepth,
+			OLAPQueueDepth:   cfg.OLAPQueueDepth,
+			OLTPQueueTimeout: cfg.OLTPQueueTimeout,
+			OLAPQueueTimeout: cfg.OLAPQueueTimeout,
+		}),
+		sessions: make(map[uint64]*session),
+		drainCh:  make(chan struct{}),
+	}
+}
+
+// olapSlots resolves the admission bound: with lanes disabled every
+// worker may run any statement, so admission control is vacuous.
+func olapSlots(cfg Config) int {
+	if cfg.DisableLanes {
+		return cfg.Workers
+	}
+	return cfg.MaxOLAP
+}
+
+// DB returns the server's database handle.
+func (s *Server) DB() *db.DB { return s.db }
+
+// SchedStats returns the scheduler's counters for one lane.
+func (s *Server) SchedStats(class sched.Class) sched.Stats { return s.sch.Stats(class) }
+
+// Addr returns the listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// NumSessions returns the number of live sessions.
+func (s *Server) NumSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or a fatal
+// accept error.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve accepts connections on ln until Shutdown (returning
+// ErrServerClosed) or a fatal accept error. ctx is the root of every
+// session's context: cancelling it aborts all in-flight statements.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	baseCtx, cancel := context.WithCancel(ctx)
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		cancel()
+		if cerr := ln.Close(); cerr != nil {
+			return fmt.Errorf("server: close listener after shutdown: %w", cerr)
+		}
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.baseCtx = baseCtx
+	s.cancel = cancel
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.m.accepted.Add(1)
+		sess, admitted := s.register(conn)
+		if !admitted {
+			s.m.rejectedConns.Add(1)
+			// Best-effort courtesy frame; the conn is over either way.
+			var e wire.Enc
+			e.U16(wire.CodeBusy)
+			e.Str("connection limit reached")
+			_ = wire.WriteFrame(conn, wire.FrameError, e.B)
+			_ = conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.handle()
+		}()
+	}
+}
+
+// register admits conn into the session table.
+func (s *Server) register(conn net.Conn) (*session, bool) {
+	s.mu.Lock()
+	if s.draining || len(s.sessions) >= s.cfg.MaxConns {
+		s.mu.Unlock()
+		return nil, false
+	}
+	s.nextSID++
+	id := s.nextSID
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	sess := newSession(s, id, conn, ctx, cancel)
+	s.sessions[id] = sess
+	n := len(s.sessions)
+	s.mu.Unlock()
+	s.m.noteSessions(n)
+	return sess, true
+}
+
+// unregister removes a finished session.
+func (s *Server) unregister(id uint64) {
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+}
+
+// snapshotSessions copies the live session list (for drain/force-close
+// sweeps; the session-table lock is never held across the I/O those
+// sweeps do).
+func (s *Server) snapshotSessions() []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		out = append(out, sess)
+	}
+	return out
+}
+
+// Shutdown drains the server: it stops accepting, lets in-flight
+// statements finish, tells idle sessions the server is closing, and —
+// if ctx expires first — cancels remaining statements and force-closes
+// their connections. The statement scheduler is stopped before
+// returning. The db handle is not closed; that stays the caller's.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if !already {
+		close(s.drainCh)
+	}
+	if ln != nil {
+		if err := ln.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			return err
+		}
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Grace expired: cancel every in-flight statement and cut the
+		// connections out from under their readers.
+		s.mu.Lock()
+		cancel := s.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		for _, sess := range s.snapshotSessions() {
+			sess.forceClose()
+		}
+		<-done
+		err = ctx.Err()
+	}
+	s.sch.Close()
+	return err
+}

@@ -1,0 +1,549 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/db"
+	"repro/internal/sched"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// session is one client connection: its prepared-statement handles, its
+// open transaction (at most one), and the plumbing that ties statement
+// execution to the connection's lifetime. The protocol is synchronous —
+// one request in flight per session — so the write path needs no lock:
+// only the goroutine currently serving the request touches bw.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	// ctx is cancelled when the connection dies (reader error), when
+	// the session ends, or when the server force-closes during
+	// shutdown. Every statement executes under it, so a dropped client
+	// cancels its in-flight query inside the engine.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	stmts    map[uint32]*srvStmt
+	nextStmt uint32
+	tx       *db.Tx
+
+	enc    wire.Enc
+	broken bool // the response stream is unrecoverable; tear down
+}
+
+// srvStmt is a server-side prepared-statement handle: the shared-cache
+// statement plus the lane chosen at prepare time.
+type srvStmt struct {
+	stmt *db.Stmt
+	lane sched.Class
+	text string
+}
+
+// request is one decoded client frame.
+type request struct {
+	typ     byte
+	payload []byte
+}
+
+func newSession(s *Server, id uint64, conn net.Conn, ctx context.Context, cancel context.CancelFunc) *session {
+	return &session{
+		id:     id,
+		srv:    s,
+		conn:   conn,
+		br:     bufio.NewReaderSize(&countReader{r: conn, n: &s.m.bytesIn}, 8<<10),
+		bw:     bufio.NewWriterSize(&countWriter{w: conn, n: &s.m.bytesOut}, 32<<10),
+		ctx:    ctx,
+		cancel: cancel,
+		stmts:  make(map[uint32]*srvStmt),
+	}
+}
+
+// forceClose cuts the connection out from under the session (shutdown
+// deadline); the reader goroutine unblocks with an error and the
+// handler unwinds through its normal cleanup.
+func (s *session) forceClose() {
+	s.cancel()
+	_ = s.conn.Close()
+}
+
+// handle runs the session to completion. It owns all cleanup: the
+// in-flight statement is cancelled, the open transaction rolled back,
+// statement handles dropped, and the connection closed — exactly the
+// guarantees the abrupt-disconnect tests pin down.
+func (s *session) handle() {
+	defer func() {
+		s.cancel()
+		if s.tx != nil {
+			// Abrupt disconnect with an open transaction: roll it back
+			// so its writes and locks die with the connection.
+			if err := s.tx.Rollback(); err != nil && !errors.Is(err, db.ErrTxDone) {
+				s.srv.m.rollbackErrs.Add(1)
+			}
+			s.tx = nil
+			s.srv.m.disconnectRollbacks.Add(1)
+		}
+		clear(s.stmts)
+		_ = s.conn.Close()
+		s.srv.unregister(s.id)
+		s.srv.m.closedConns.Add(1)
+	}()
+
+	if !s.handshake() {
+		return
+	}
+
+	// The reader goroutine turns the connection into a request stream
+	// and cancels the session context when the peer goes away — that is
+	// what aborts an in-flight statement on abrupt disconnect.
+	reqCh := make(chan request)
+	go func() {
+		defer close(reqCh)
+		for {
+			typ, payload, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+			if err != nil {
+				s.cancel()
+				return
+			}
+			select {
+			case reqCh <- request{typ, payload}:
+			case <-s.ctx.Done():
+				return
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-s.srv.drainCh:
+			// Graceful drain: the current statement (if any) already
+			// finished; tell the client and go.
+			s.writeError(wire.CodeShutdown, "server is shutting down")
+			return
+		case req, ok := <-reqCh:
+			if !ok {
+				return // connection gone
+			}
+			if s.serveRequest(req) {
+				return
+			}
+			if s.broken {
+				return
+			}
+		}
+	}
+}
+
+// handshake performs the Hello/HelloOK exchange under a deadline.
+func (s *session) handshake() bool {
+	if err := s.conn.SetReadDeadline(time.Now().Add(s.srv.cfg.HandshakeTimeout)); err != nil {
+		return false
+	}
+	typ, payload, err := wire.ReadFrame(s.br, s.srv.cfg.MaxFrame)
+	if err != nil {
+		return false
+	}
+	if err := s.conn.SetReadDeadline(time.Time{}); err != nil {
+		return false
+	}
+	if typ != wire.FrameHello {
+		s.writeError(wire.CodeProtocol, "expected Hello")
+		return false
+	}
+	d := wire.NewDec(payload)
+	magic, version := d.U32(), d.U16()
+	if d.Err() != nil || magic != wire.Magic {
+		s.writeError(wire.CodeProtocol, "bad magic")
+		return false
+	}
+	if version != wire.Version {
+		s.writeError(wire.CodeProtocol, fmt.Sprintf("protocol version %d unsupported (server speaks %d)", version, wire.Version))
+		return false
+	}
+	s.enc.Reset()
+	s.enc.U16(wire.Version)
+	s.enc.U64(s.id)
+	s.writeFrame(wire.FrameHelloOK, s.enc.B)
+	return !s.broken
+}
+
+// serveRequest dispatches one frame; true means the session is over.
+func (s *session) serveRequest(req request) (done bool) {
+	switch req.typ {
+	case wire.FrameQuery:
+		d := wire.NewDec(req.payload)
+		text := d.Str()
+		args, err := decodeArgs(d)
+		if err != nil {
+			s.writeError(wire.CodeProtocol, err.Error())
+			return true
+		}
+		s.runStatement(nil, text, args)
+		return false
+	case wire.FramePrepare:
+		d := wire.NewDec(req.payload)
+		text := d.Str()
+		if d.Err() != nil {
+			s.writeError(wire.CodeProtocol, d.Err().Error())
+			return true
+		}
+		s.prepare(text)
+		return false
+	case wire.FrameExecute:
+		d := wire.NewDec(req.payload)
+		id := d.U32()
+		args, err := decodeArgs(d)
+		if err != nil {
+			s.writeError(wire.CodeProtocol, err.Error())
+			return true
+		}
+		st, ok := s.stmts[id]
+		if !ok {
+			s.writeError(wire.CodeSQL, fmt.Sprintf("unknown statement handle %d", id))
+			return false
+		}
+		s.runStatement(st, st.text, args)
+		return false
+	case wire.FrameCloseStmt:
+		d := wire.NewDec(req.payload)
+		id := d.U32()
+		if st, ok := s.stmts[id]; ok {
+			_ = st.stmt.Close()
+			delete(s.stmts, id)
+			s.srv.m.preparedStmts.Add(-1)
+		}
+		s.writeDone(wire.LaneNone, 0, 0, 0)
+		return false
+	case wire.FrameStats:
+		s.enc.Reset()
+		s.enc.Str(s.srv.StatsText())
+		s.writeFrame(wire.FrameStatsText, s.enc.B)
+		return false
+	case wire.FrameTerminate:
+		return true
+	default:
+		s.writeError(wire.CodeProtocol, fmt.Sprintf("unexpected frame %#x", req.typ))
+		return true
+	}
+}
+
+// prepare registers a server-side statement handle. The compiled plan
+// lives in the db layer's server-wide cache; the handle pins nothing
+// but the text, the lane, and the parameter count.
+func (s *session) prepare(text string) {
+	if isTxnControl(text) {
+		s.writeError(wire.CodeSQL, "transaction control cannot be prepared")
+		return
+	}
+	st, err := s.srv.db.Prepare(s.ctx, text)
+	if err != nil {
+		s.writeError(wire.CodeSQL, err.Error())
+		return
+	}
+	s.nextStmt++
+	id := s.nextStmt
+	s.stmts[id] = &srvStmt{stmt: st, lane: s.lane(st), text: text}
+	s.srv.m.preparedStmts.Add(1)
+	s.enc.Reset()
+	s.enc.U32(id)
+	s.enc.U16(uint16(st.NumParams()))
+	if st.IsQuery() {
+		s.enc.U8(1)
+	} else {
+		s.enc.U8(0)
+	}
+	s.writeFrame(wire.FramePrepareOK, s.enc.B)
+}
+
+// lane maps a statement to its scheduler class.
+func (s *session) lane(st *db.Stmt) sched.Class {
+	if s.srv.cfg.DisableLanes {
+		return sched.OLTP
+	}
+	if st.Workload() == db.WorkloadOLAP {
+		return sched.OLAP
+	}
+	return sched.OLTP
+}
+
+// isTxnControl matches BEGIN/COMMIT/ROLLBACK (optionally ;-terminated).
+func isTxnControl(text string) bool {
+	switch strings.ToUpper(strings.TrimSuffix(strings.TrimSpace(text), ";")) {
+	case "BEGIN", "COMMIT", "ROLLBACK":
+		return true
+	}
+	return false
+}
+
+// runStatement executes one statement (ad hoc when pre is nil,
+// prepared otherwise) through the scheduler and streams the response.
+func (s *session) runStatement(pre *srvStmt, text string, args []types.Value) {
+	if s.runTxnControl(text) {
+		return
+	}
+	var (
+		st   *db.Stmt
+		lane sched.Class
+		err  error
+	)
+	if pre != nil {
+		st, lane = pre.stmt, pre.lane
+	} else {
+		st, err = s.srv.db.Prepare(s.ctx, text)
+		if err != nil {
+			s.writeError(wire.CodeSQL, err.Error())
+			return
+		}
+		lane = s.lane(st)
+	}
+	// Statements inside an explicit transaction always ride the OLTP
+	// lane: the transaction holds locks and its latency is the point.
+	if s.tx != nil {
+		lane = sched.OLTP
+	}
+
+	submitted := time.Now()
+	var execErr error
+	var wroteRows bool
+	runErr := s.srv.sch.RunCtx(s.ctx, lane, func() {
+		wait := time.Since(submitted)
+		wroteRows, execErr = s.execute(st, lane, args, wait)
+	})
+	switch {
+	case runErr == nil:
+	case errors.Is(runErr, sched.ErrQueueFull):
+		s.srv.m.lane(lane).rejectedFull.Add(1)
+		s.writeError(wire.CodeBusy, fmt.Sprintf("server busy: %s lane queue full", lane))
+		return
+	case errors.Is(runErr, sched.ErrQueueTimeout):
+		s.srv.m.lane(lane).rejectedTimeout.Add(1)
+		s.writeError(wire.CodeQueueTimeout, fmt.Sprintf("server busy: %s lane queue wait exceeded", lane))
+		return
+	case errors.Is(runErr, sched.ErrClosed):
+		s.writeError(wire.CodeShutdown, "server is shutting down")
+		return
+	default:
+		// Context cancelled while queued: the connection is going away.
+		s.broken = true
+		return
+	}
+	if execErr != nil {
+		if wroteRows {
+			// Mid-stream failure: the client cannot tell remaining rows
+			// from an error marker, so the stream position is lost.
+			s.broken = true
+			return
+		}
+		s.writeError(errCode(execErr), execErr.Error())
+	}
+}
+
+// runTxnControl intercepts BEGIN/COMMIT/ROLLBACK; true if text was one.
+// Transaction control never touches the scheduler: it is pure session
+// state plus (for COMMIT) the group-commit path, which batches across
+// sessions on its own.
+func (s *session) runTxnControl(text string) bool {
+	switch strings.ToUpper(strings.TrimSuffix(strings.TrimSpace(text), ";")) {
+	case "BEGIN":
+		if s.tx != nil {
+			s.writeError(wire.CodeTxn, "transaction already open")
+			return true
+		}
+		tx, err := s.srv.db.Begin(s.ctx)
+		if err != nil {
+			s.writeError(errCode(err), err.Error())
+			return true
+		}
+		s.tx = tx
+		s.srv.m.txnBegun.Add(1)
+		s.writeDone(wire.LaneNone, 0, 0, 0)
+		return true
+	case "COMMIT":
+		if s.tx == nil {
+			s.writeError(wire.CodeTxn, "no open transaction")
+			return true
+		}
+		err := s.tx.Commit()
+		s.tx = nil
+		if err != nil {
+			s.writeError(errCode(err), err.Error())
+			return true
+		}
+		s.srv.m.txnCommitted.Add(1)
+		s.writeDone(wire.LaneNone, 0, 0, 0)
+		return true
+	case "ROLLBACK":
+		if s.tx == nil {
+			s.writeError(wire.CodeTxn, "no open transaction")
+			return true
+		}
+		err := s.tx.Rollback()
+		s.tx = nil
+		if err != nil && !errors.Is(err, db.ErrTxDone) {
+			s.writeError(errCode(err), err.Error())
+			return true
+		}
+		s.srv.m.txnRolledBack.Add(1)
+		s.writeDone(wire.LaneNone, 0, 0, 0)
+		return true
+	}
+	return false
+}
+
+// execute runs st on the session's connection, streaming row batches
+// for queries. It runs on a scheduler worker while the session's
+// handler goroutine waits in RunCtx, so it is the sole writer.
+// wroteRows reports whether any response frame hit the wire before a
+// failure (deciding between a recoverable Error frame and teardown).
+func (s *session) execute(st *db.Stmt, lane sched.Class, args []types.Value, wait time.Duration) (wroteRows bool, err error) {
+	s.srv.m.lane(lane).statements.Add(1)
+	anyArgs := make([]any, len(args))
+	for i, v := range args {
+		anyArgs[i] = v
+	}
+	start := time.Now()
+	if !st.IsQuery() {
+		var res db.Result
+		if s.tx != nil {
+			res, err = s.tx.Stmt(st).Exec(s.ctx, anyArgs...)
+		} else {
+			res, err = st.Exec(s.ctx, anyArgs...)
+		}
+		if err != nil {
+			return false, err
+		}
+		s.writeDone(laneByte(lane), uint64(res.RowsAffected), uint64(wait.Nanoseconds()), uint64(time.Since(start).Nanoseconds()))
+		return false, nil
+	}
+
+	var rows *db.Rows
+	if s.tx != nil {
+		rows, err = s.tx.Stmt(st).Query(s.ctx, anyArgs...)
+	} else {
+		rows, err = st.Query(s.ctx, anyArgs...)
+	}
+	if err != nil {
+		return false, err
+	}
+	defer func() {
+		if cerr := rows.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+
+	schema := rows.Schema()
+	s.enc.Reset()
+	s.enc.U16(uint16(len(schema.Cols)))
+	for _, c := range schema.Cols {
+		s.enc.Str(c.Name)
+		s.enc.U8(byte(c.Type))
+	}
+	s.writeFrame(wire.FrameRowHeader, s.enc.B)
+	if s.broken {
+		return true, errors.New("write failed")
+	}
+
+	var total uint64
+	for {
+		b, err := rows.NextBatch()
+		if err != nil {
+			return true, err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		total += uint64(n)
+		s.enc.Reset()
+		s.enc.U32(uint32(n))
+		for i := 0; i < n; i++ {
+			ri := b.RowIdx(i)
+			for c := range b.Cols {
+				s.enc.Value(b.Cols[c].Get(ri))
+			}
+		}
+		s.writeFrame(wire.FrameRowBatch, s.enc.B)
+		if s.broken {
+			return true, errors.New("write failed")
+		}
+	}
+	s.writeDone(laneByte(lane), total, uint64(wait.Nanoseconds()), uint64(time.Since(start).Nanoseconds()))
+	return true, nil
+}
+
+func laneByte(c sched.Class) byte {
+	if c == sched.OLAP {
+		return wire.LaneOLAP
+	}
+	return wire.LaneOLTP
+}
+
+// errCode maps an execution error to a wire code.
+func errCode(err error) uint16 {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeShutdown
+	case errors.Is(err, db.ErrClosed), errors.Is(err, db.ErrPoisoned):
+		return wire.CodeInternal
+	default:
+		return wire.CodeSQL
+	}
+}
+
+// decodeArgs reads the argument vector of a Query/Execute frame.
+func decodeArgs(d *wire.Dec) ([]types.Value, error) {
+	n := d.U16()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	args := make([]types.Value, n)
+	for i := range args {
+		args[i] = d.Value()
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return args, nil
+}
+
+// writeFrame writes and flushes one response frame; a failure marks the
+// session broken (the peer is gone or stuck past the kernel buffer).
+func (s *session) writeFrame(typ byte, payload []byte) {
+	if s.broken {
+		return
+	}
+	if err := wire.WriteFrame(s.bw, typ, payload); err == nil {
+		err = s.bw.Flush()
+		if err == nil {
+			return
+		}
+	}
+	s.broken = true
+	s.cancel()
+}
+
+func (s *session) writeDone(lane byte, rows, waitNS, execNS uint64) {
+	s.enc.Reset()
+	s.enc.U8(lane)
+	s.enc.U64(rows)
+	s.enc.U64(waitNS)
+	s.enc.U64(execNS)
+	s.writeFrame(wire.FrameDone, s.enc.B)
+}
+
+func (s *session) writeError(code uint16, msg string) {
+	s.enc.Reset()
+	s.enc.U16(code)
+	s.enc.Str(msg)
+	s.writeFrame(wire.FrameError, s.enc.B)
+}

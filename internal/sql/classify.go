@@ -1,0 +1,88 @@
+package sql
+
+// Workload partitions statements by the resources they consume, for the
+// server's priority lanes (internal/sched): OLTP statements are short
+// and latency-critical, OLAP statements are long and bandwidth-bound.
+type Workload int
+
+// Workload classes.
+const (
+	// WorkloadOLTP: transactional statements and point/short lookups —
+	// DML, DDL, and SELECTs that filter a single table without
+	// joins, grouping, aggregation, DISTINCT, or ORDER BY.
+	WorkloadOLTP Workload = iota
+	// WorkloadOLAP: scans, joins, aggregates, sorts — anything whose
+	// cost scales with table size rather than result size.
+	WorkloadOLAP
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	if w == WorkloadOLTP {
+		return "OLTP"
+	}
+	return "OLAP"
+}
+
+// ClassifyStmt assigns a parsed statement to a workload class. The
+// rules mirror the paper's split between latency-critical transactions
+// and throughput-oriented analytics:
+//
+//   - INSERT/UPDATE/DELETE and DDL are OLTP: short, index-driven, and
+//     on the commit path.
+//   - MERGE TABLE is OLAP: a delta merge scans and rewrites the whole
+//     column store, exactly the long-running work admission control
+//     exists to bound.
+//   - A SELECT is OLAP if anything about it forces work proportional to
+//     table size: a join, GROUP BY/HAVING, an aggregate in the select
+//     list, DISTINCT, ORDER BY (sorting materializes the input), or no
+//     WHERE clause at all (unpredicated scan). Otherwise — a filtered
+//     single-table lookup — it is OLTP.
+//
+// Classification is syntactic, not cost-based: a "point lookup" whose
+// predicate matches half the table still lands in the OLTP lane. That
+// is the deliberate trade — classification must be O(statement), not
+// O(data) — and matches how the HANA-style mixed-workload managers the
+// paper surveys route requests.
+func ClassifyStmt(st Stmt) Workload {
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		if _, merge := st.(*MergeStmt); merge {
+			return WorkloadOLAP
+		}
+		return WorkloadOLTP
+	}
+	if len(sel.Joins) > 0 || len(sel.GroupBy) > 0 || sel.Having != nil ||
+		sel.Distinct || len(sel.OrderBy) > 0 || sel.Where == nil {
+		return WorkloadOLAP
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			continue
+		}
+		if hasAgg(item.Expr) {
+			return WorkloadOLAP
+		}
+	}
+	return WorkloadOLTP
+}
+
+// hasAgg reports whether an aggregate call appears anywhere in e.
+func hasAgg(e AstExpr) bool {
+	switch e := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinExpr:
+		return hasAgg(e.L) || hasAgg(e.R)
+	case *NotExpr:
+		return hasAgg(e.E)
+	case *IsNullExpr:
+		return hasAgg(e.E)
+	case *InExpr:
+		return hasAgg(e.E)
+	case *LikeExpr:
+		return hasAgg(e.E)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,36 @@
+package sql
+
+import "testing"
+
+func TestClassifyStmt(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want Workload
+	}{
+		// Point lookups and DML: the OLTP lane.
+		{"SELECT c_balance FROM customer WHERE c_w_id = 1 AND c_id = 7", WorkloadOLTP},
+		{"SELECT c_balance FROM customer WHERE c_id = ? LIMIT 1", WorkloadOLTP},
+		{"INSERT INTO t (a) VALUES (1)", WorkloadOLTP},
+		{"UPDATE customer SET c_balance = 0 WHERE c_id = 1", WorkloadOLTP},
+		{"DELETE FROM t WHERE a = 1", WorkloadOLTP},
+		{"CREATE TABLE t (a INT, PRIMARY KEY (a))", WorkloadOLTP},
+		// Scans, joins, aggregates, sorts: the OLAP lane.
+		{"SELECT a FROM t", WorkloadOLAP},                             // unpredicated scan
+		{"SELECT COUNT(*) FROM t WHERE a = 1", WorkloadOLAP},          // aggregate
+		{"SELECT SUM(a) + 1 FROM t WHERE a > 0", WorkloadOLAP},        // aggregate in expr
+		{"SELECT a FROM t WHERE a > 0 ORDER BY a", WorkloadOLAP},      // sort
+		{"SELECT DISTINCT a FROM t WHERE a > 0", WorkloadOLAP},        // dedup
+		{"SELECT a, COUNT(*) FROM t GROUP BY a", WorkloadOLAP},        // grouping
+		{"SELECT a FROM t JOIN u ON a = b WHERE a = 1", WorkloadOLAP}, // join
+		{"MERGE TABLE t", WorkloadOLAP},                               // delta merge
+	}
+	for _, c := range cases {
+		st, _, err := ParseWithParams(c.sql)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.sql, err)
+		}
+		if got := ClassifyStmt(st); got != c.want {
+			t.Errorf("ClassifyStmt(%q) = %s, want %s", c.sql, got, c.want)
+		}
+	}
+}

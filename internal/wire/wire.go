@@ -1,0 +1,322 @@
+// Package wire defines oadbd's client/server protocol: length-prefixed
+// binary frames over a byte stream, shared by internal/server and the
+// public client package.
+//
+// # Framing
+//
+// Every frame is
+//
+//	uint32 big-endian  n   — length of what follows (type byte + payload)
+//	uint8              typ — frame type (Frame* constants)
+//	[n-1]byte              — payload, layout per frame type
+//
+// Integers are big-endian. Strings are uint32 length + UTF-8 bytes.
+// Values carry a 1-byte type tag (tag* constants) and a fixed or
+// length-prefixed body. A reader enforces MaxFrame to bound memory; a
+// frame longer than the limit poisons the connection (ErrFrameTooBig).
+//
+// # Conversation
+//
+// The client opens with FrameHello {magic, version}; the server answers
+// FrameHelloOK {version, session id} or FrameError and closes. After
+// the handshake the protocol is strictly synchronous: the client sends
+// one request frame (Query, Prepare, Execute, CloseStmt, Stats,
+// Terminate) and reads response frames until FrameDone, FrameError,
+// FramePrepareOK, or FrameStatsText. A SELECT response is FrameRowHeader,
+// zero or more FrameRowBatch, then FrameDone; everything else is a
+// single terminal frame. FrameError is always terminal for the request
+// (never mid-row-stream: a failure while streaming tears down the
+// connection instead, since the stream position is unrecoverable).
+//
+// docs/server.md documents the protocol and its invariants.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/types"
+)
+
+// Protocol identity.
+const (
+	// Magic opens every Hello frame ("OADB").
+	Magic uint32 = 0x4F414442
+	// Version is the protocol revision this package speaks.
+	Version uint16 = 1
+)
+
+// DefaultMaxFrame bounds a peer frame (16 MiB) unless overridden.
+const DefaultMaxFrame = 16 << 20
+
+// Frame types, client → server.
+const (
+	FrameHello     byte = 0x01 // u32 magic, u16 version
+	FrameQuery     byte = 0x02 // string sql, u16 nargs, values
+	FramePrepare   byte = 0x03 // string sql
+	FrameExecute   byte = 0x04 // u32 stmt id, u16 nargs, values
+	FrameCloseStmt byte = 0x05 // u32 stmt id
+	FrameStats     byte = 0x06 // (empty) server stats request
+	FrameTerminate byte = 0x07 // (empty) orderly goodbye
+)
+
+// Frame types, server → client.
+const (
+	FrameHelloOK   byte = 0x81 // u16 version, u64 session id
+	FramePrepareOK byte = 0x82 // u32 stmt id, u16 nparams, u8 isQuery
+	FrameRowHeader byte = 0x83 // u16 ncols, {string name, u8 type}...
+	FrameRowBatch  byte = 0x84 // u32 nrows, row-major values
+	FrameDone      byte = 0x85 // u8 lane, u64 rows, u64 waitNS, u64 execNS
+	FrameError     byte = 0x86 // u16 code, string message
+	FrameStatsText byte = 0x87 // string text
+)
+
+// Error codes carried by FrameError. The code is the structured part:
+// clients dispatch on it (retry on Busy, surface SQL errors verbatim).
+const (
+	// CodeSQL is a statement-level failure: parse, plan, type, conflict,
+	// constraint. The session stays usable.
+	CodeSQL uint16 = 1
+	// CodeBusy is admission-control load shedding: the target lane's
+	// queue is full. The statement was not executed; retry with backoff.
+	CodeBusy uint16 = 2
+	// CodeQueueTimeout reports a statement that waited in its lane queue
+	// longer than the server's per-class bound and was abandoned before
+	// executing.
+	CodeQueueTimeout uint16 = 3
+	// CodeProtocol is a malformed or out-of-order frame; the server
+	// closes the connection after sending it.
+	CodeProtocol uint16 = 4
+	// CodeShutdown reports a server draining for shutdown; the session
+	// is closed after the current response.
+	CodeShutdown uint16 = 5
+	// CodeTxn is a transaction-state error (BEGIN inside a txn, COMMIT
+	// outside one). The session stays usable.
+	CodeTxn uint16 = 6
+	// CodeInternal is an unexpected server-side failure.
+	CodeInternal uint16 = 7
+)
+
+// Lane identifiers carried by FrameDone.
+const (
+	LaneOLTP byte = 0
+	LaneOLAP byte = 1
+	// LaneNone marks work that bypassed the scheduler (txn control,
+	// server-side meta requests).
+	LaneNone byte = 0xFF
+)
+
+// Value type tags.
+const (
+	tagNull   byte = 0
+	tagInt    byte = 1
+	tagFloat  byte = 2
+	tagString byte = 3
+	tagBool   byte = 4
+)
+
+// ErrFrameTooBig reports a frame exceeding the reader's limit; the
+// stream position is lost and the connection must be closed.
+var ErrFrameTooBig = errors.New("wire: frame exceeds size limit")
+
+// WriteFrame writes one frame. The payload must already be encoded.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return nil
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, enforcing max (0 means DefaultMaxFrame).
+func ReadFrame(r io.Reader, max int) (typ byte, payload []byte, err error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return 0, nil, fmt.Errorf("wire: zero-length frame")
+	}
+	if int64(n) > int64(max) {
+		return 0, nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	typ = hdr[4]
+	if n == 1 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return typ, payload, nil
+}
+
+// Enc builds a frame payload. The zero value is ready to use; methods
+// append and never fail.
+type Enc struct{ B []byte }
+
+// U8 appends a byte.
+func (e *Enc) U8(v byte) { e.B = append(e.B, v) }
+
+// U16 appends a big-endian uint16.
+func (e *Enc) U16(v uint16) { e.B = binary.BigEndian.AppendUint16(e.B, v) }
+
+// U32 appends a big-endian uint32.
+func (e *Enc) U32(v uint32) { e.B = binary.BigEndian.AppendUint32(e.B, v) }
+
+// U64 appends a big-endian uint64.
+func (e *Enc) U64(v uint64) { e.B = binary.BigEndian.AppendUint64(e.B, v) }
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U32(uint32(len(s)))
+	e.B = append(e.B, s...)
+}
+
+// Value appends one tagged engine value.
+func (e *Enc) Value(v types.Value) {
+	if v.Null {
+		e.U8(tagNull)
+		return
+	}
+	switch v.Typ {
+	case types.Int64:
+		e.U8(tagInt)
+		e.U64(uint64(v.I))
+	case types.Float64:
+		e.U8(tagFloat)
+		e.U64(math.Float64bits(v.F))
+	case types.String:
+		e.U8(tagString)
+		e.Str(v.S)
+	case types.Bool:
+		e.U8(tagBool)
+		if v.I != 0 {
+			e.U8(1)
+		} else {
+			e.U8(0)
+		}
+	default:
+		// Unknown types travel as NULL rather than corrupting the frame.
+		e.U8(tagNull)
+	}
+}
+
+// Reset clears the buffer, retaining capacity.
+func (e *Enc) Reset() { e.B = e.B[:0] }
+
+// ErrShortPayload reports a payload ending before a declared field.
+var ErrShortPayload = errors.New("wire: truncated frame payload")
+
+// Dec consumes a frame payload. Errors are sticky: after the first
+// failure every read returns the zero value and Err stays set.
+type Dec struct {
+	B   []byte
+	off int
+	err error
+}
+
+// NewDec wraps payload.
+func NewDec(payload []byte) *Dec { return &Dec{B: payload} }
+
+// Err returns the first decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Rest returns the unconsumed remainder of the payload.
+func (d *Dec) Rest() []byte { return d.B[d.off:] }
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.off+n > len(d.B) {
+		d.err = ErrShortPayload
+		return nil
+	}
+	b := d.B[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U8 reads a byte.
+func (d *Dec) U8() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (d *Dec) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (d *Dec) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Str reads a length-prefixed string.
+func (d *Dec) Str() string {
+	n := d.U32()
+	if d.err != nil {
+		return ""
+	}
+	if int64(n) > int64(len(d.B)-d.off) {
+		d.err = ErrShortPayload
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// Value reads one tagged engine value.
+func (d *Dec) Value() types.Value {
+	switch tag := d.U8(); tag {
+	case tagNull:
+		return types.Value{Null: true}
+	case tagInt:
+		return types.NewInt(int64(d.U64()))
+	case tagFloat:
+		return types.NewFloat(math.Float64frombits(d.U64()))
+	case tagString:
+		return types.NewString(d.Str())
+	case tagBool:
+		return types.NewBool(d.U8() != 0)
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("wire: unknown value tag %d", tag)
+		}
+		return types.Value{Null: true}
+	}
+}

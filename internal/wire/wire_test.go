@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	var e Enc
+	e.Str("SELECT 1")
+	e.U16(2)
+	e.Value(types.NewInt(42))
+	e.Value(types.NewString("x"))
+	if err := WriteFrame(&buf, FrameQuery, e.B); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != FrameQuery {
+		t.Fatalf("type = %#x", typ)
+	}
+	d := NewDec(payload)
+	if got := d.Str(); got != "SELECT 1" {
+		t.Fatalf("sql = %q", got)
+	}
+	if got := d.U16(); got != 2 {
+		t.Fatalf("nargs = %d", got)
+	}
+	if v := d.Value(); v.I != 42 || v.Typ != types.Int64 {
+		t.Fatalf("arg0 = %+v", v)
+	}
+	if v := d.Value(); v.S != "x" {
+		t.Fatalf("arg1 = %+v", v)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+	if len(d.Rest()) != 0 {
+		t.Fatalf("left over %d bytes", len(d.Rest()))
+	}
+}
+
+func TestEmptyPayloadFrame(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameTerminate, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf, 0)
+	if err != nil || typ != FrameTerminate || len(payload) != 0 {
+		t.Fatalf("typ=%#x payload=%v err=%v", typ, payload, err)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		{Null: true},
+		types.NewInt(-7),
+		types.NewFloat(3.25),
+		types.NewString(""),
+		types.NewString("héllo"),
+		types.NewBool(true),
+		types.NewBool(false),
+	}
+	var e Enc
+	for _, v := range vals {
+		e.Value(v)
+	}
+	d := NewDec(e.B)
+	for i, want := range vals {
+		got := d.Value()
+		if got != want {
+			t.Fatalf("value %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestFrameTooBig(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameQuery, make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := ReadFrame(&buf, 16)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	var buf bytes.Buffer
+	var e Enc
+	e.Str("hello world")
+	if err := WriteFrame(&buf, FrameQuery, e.B); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("truncation at %d/%d bytes read a full frame", cut, len(full))
+		}
+		if cut > 0 && cut < 5 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("truncated header at %d: err = %v", cut, err)
+		}
+	}
+}
+
+func TestDecoderSticksOnError(t *testing.T) {
+	d := NewDec([]byte{0x00, 0x00}) // too short for a u32
+	_ = d.U32()
+	if !errors.Is(d.Err(), ErrShortPayload) {
+		t.Fatalf("err = %v", d.Err())
+	}
+	// Every later read is a zero value, no panic.
+	if d.U64() != 0 || d.Str() != "" || !d.Value().Null {
+		t.Fatal("sticky error should zero all reads")
+	}
+}
+
+func TestDecoderBadTag(t *testing.T) {
+	d := NewDec([]byte{0x99})
+	v := d.Value()
+	if !v.Null || d.Err() == nil {
+		t.Fatalf("v=%+v err=%v", v, d.Err())
+	}
+}
+
+func TestStrLengthOverrun(t *testing.T) {
+	var e Enc
+	e.U32(1 << 30) // declared length far beyond the payload
+	d := NewDec(e.B)
+	if d.Str() != "" || !errors.Is(d.Err(), ErrShortPayload) {
+		t.Fatalf("err = %v", d.Err())
+	}
+}
