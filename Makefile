@@ -42,13 +42,14 @@ OUT_JSON ?= BENCH_local.json
 bench:
 	OUT_TXT=$(OUT_TXT) OUT_JSON=$(OUT_JSON) scripts/bench.sh
 
-# Quick smoke: the E10/E13/E14/E15/E16 scoreboards at minimal iterations.
+# Quick smoke: the E10/E13/E14/E15/E16/E17 scoreboards at minimal iterations.
 bench-smoke:
 	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .
 	go test -run '^$$' -bench 'E13_JoinSort' -benchtime=3x -benchmem .
 	go test -run '^$$' -bench 'E14_ParallelPipeline' -benchtime=3x -benchmem .
 	go test -run '^$$' -bench 'E15_CommitThroughput' -benchtime=100x .
 	go test -run '^$$' -bench 'E16_MixedWorkload' -benchtime=20x .
+	go test -run '^$$' -bench 'E17_ScanSkipping' -benchtime=3x -benchmem .
 
 # Diff two bench.sh JSON recordings (quick trajectory view). Override
 # for newer recordings: make bench-compare NEW=BENCH_pr5.json

@@ -1408,3 +1408,103 @@ func runE16(b *testing.B, lanes bool) {
 	b.ReportMetric(float64(pct(0.99).Microseconds()), "oltp_p99_us")
 	b.ReportMetric(float64(olapDone.Load())/b.Elapsed().Seconds(), "olap/s")
 }
+
+// ---------------------------------------------------------------------
+// E17 — Scan skipping and predicate evaluation over compressed data
+// (PR 9): a selectivity sweep (0.001%–100%) over int (FOR-coded) and
+// string (dictionary-coded) filter columns, on clustered data — where
+// segment/zone maps prune before any byte is decoded — vs shuffled
+// data, where pruning cannot help and the win comes from code-domain
+// predicate evaluation plus late materialization. The clustered:
+// shuffled throughput ratio at <=0.1% selectivity is the headline
+// number; segpruned%/decoded-per-row prove WHY it is fast.
+// ---------------------------------------------------------------------
+
+const (
+	e17Rows    = 64 * colstore.ZoneSize // 4 segments x 16 zones
+	e17SegRows = 16 * colstore.ZoneSize
+)
+
+func e17Store(clustered bool) *colstore.Store {
+	schema := types.MustSchema([]types.Column{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.Int64},
+		{Name: "cat", Type: types.String},
+		{Name: "pay", Type: types.Float64},
+	}, "id")
+	vals := make([]int64, e17Rows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	if !clustered {
+		rng := rand.New(rand.NewSource(17))
+		rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	}
+	st := colstore.NewStore(schema)
+	for lo := 0; lo < e17Rows; lo += e17SegRows {
+		bld := colstore.NewBuilder(schema, 1)
+		for i := lo; i < lo+e17SegRows; i++ {
+			bld.Add(types.Row{
+				types.NewInt(int64(i)),
+				types.NewInt(vals[i]),
+				types.NewString(fmt.Sprintf("s%06d", vals[i])),
+				types.NewFloat(float64(i) * 0.25),
+			})
+		}
+		st.AddSegment(bld.Build())
+	}
+	return st
+}
+
+func BenchmarkE17_ScanSkipping(b *testing.B) {
+	sels := []struct {
+		name string
+		pct  float64
+	}{
+		{"0.001%", 0.001}, {"0.1%", 0.1}, {"1%", 1}, {"10%", 10}, {"100%", 100},
+	}
+	for _, layout := range []string{"clustered", "shuffled"} {
+		st := e17Store(layout == "clustered")
+		for _, colKind := range []string{"int", "dict"} {
+			for _, sel := range sels {
+				k := int64(float64(e17Rows) * sel.pct / 100)
+				if k < 1 {
+					k = 1
+				}
+				var preds []colstore.Predicate
+				if colKind == "int" {
+					preds = []colstore.Predicate{
+						{Col: 1, Op: colstore.OpGe, Val: types.NewInt(0)},
+						{Col: 1, Op: colstore.OpLt, Val: types.NewInt(k)},
+					}
+				} else {
+					preds = []colstore.Predicate{
+						{Col: 2, Op: colstore.OpGe, Val: types.NewString("s000000")},
+						{Col: 2, Op: colstore.OpLt, Val: types.NewString(fmt.Sprintf("s%06d", k))},
+					}
+				}
+				name := fmt.Sprintf("layout=%s/col=%s/sel=%s", layout, colKind, sel.name)
+				b.Run(name, func(b *testing.B) {
+					var stats colstore.ScanStats
+					rows := 0
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						rows = 0
+						stats = st.Scan(100, 0, []int{0, 3}, preds, func(batch *types.Batch) bool {
+							rows += batch.Len()
+							return true
+						})
+					}
+					if rows != int(k) {
+						b.Fatalf("rows = %d, want %d", rows, k)
+					}
+					b.ReportMetric(float64(e17Rows)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mrows/s")
+					b.ReportMetric(100*float64(stats.SegmentsPruned)/float64(stats.SegmentsTotal), "segpruned%")
+					b.ReportMetric(100*float64(stats.ZonesPruned)/float64(stats.ZonesTotal), "zonepruned%")
+					b.ReportMetric(float64(stats.RowsDecoded)/float64(e17Rows), "decoded/row")
+				})
+			}
+		}
+	}
+}

@@ -206,6 +206,11 @@ func runMeta(d *db.DB, line string) bool {
 		fmt.Printf("  column rows:   %d (%d segments, %d bytes encoded)\n",
 			tbl.ColdRows(), tbl.Cold().NumSegments(), tbl.Cold().SizeBytes())
 		fmt.Printf("  merges run:    %d\n", tbl.Merges())
+		ss := tbl.ScanStats()
+		fmt.Printf("  scans:         segments pruned %d/%d, zones pruned %d/%d\n",
+			ss.SegmentsPruned, ss.SegmentsTotal, ss.ZonesPruned, ss.ZonesTotal)
+		fmt.Printf("                 rows scanned %d, matched %d, values decoded %d\n",
+			ss.RowsScanned, ss.RowsMatched, ss.RowsDecoded)
 	case "\\merge":
 		if len(fields) < 2 {
 			fmt.Println("usage: \\merge <table>")

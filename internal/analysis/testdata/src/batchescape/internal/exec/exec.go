@@ -68,6 +68,39 @@ func callback(t *Table, s *sink) {
 	})
 }
 
+// ScanParallelWorkers delivers worker-owned pooled batches — each
+// worker reuses one batch plus gather/scratch buffers across zones, so
+// the batch is overwritten the moment the callback returns.
+func (t *Table) ScanParallelWorkers(workers int, fn func(worker int, b *types.Batch) bool) {}
+
+type gatherSink struct {
+	last    *types.Batch
+	store   types.Batch
+	batches []*types.Batch
+}
+
+// workerCallback covers the per-worker scan surface: the worker's
+// reused gather batch must not escape the callback.
+func workerCallback(t *Table, s *gatherSink) {
+	t.ScanParallelWorkers(4, func(w int, b *types.Batch) bool {
+		s.last = b // want `pooled batch b stored in field s.last`
+
+		s.batches = append(s.batches, b) // want `pooled batch b appended to a slice`
+
+		s.store.AppendBatch(b) // copy into caller-owned store: no diagnostic
+		return true
+	})
+}
+
+// workerCallbackCopied launders before retaining: no diagnostics.
+func workerCallbackCopied(t *Table, s *gatherSink) {
+	t.ScanParallelWorkers(2, func(w int, b *types.Batch) bool {
+		b = b.Copy()
+		s.last = b
+		return true
+	})
+}
+
 // consume only reads the batch inside its window: no diagnostics.
 func consume(o *Op) int {
 	total := 0

@@ -13,3 +13,7 @@ func (b *Batch) Copy() *Batch { return &Batch{n: b.n} }
 
 // Compact copies b's live rows into dst and returns it.
 func (b *Batch) Compact(dst *Batch) *Batch { dst.n = b.n; return dst }
+
+// AppendBatch copies src's rows into b — retention into caller-owned
+// memory, the sanctioned way breaker sinks keep scan output.
+func (b *Batch) AppendBatch(src *Batch) { b.n += src.n }

@@ -834,11 +834,13 @@ func scanTableFn(tbl *Table, readTS, self uint64, proj []int, preds []colstore.P
 		stats = tbl.cold.Scan(readTS, self, proj, preds, coldFn)
 	}
 	if stop || cancelled() {
+		tbl.recordScan(stats)
 		return stats
 	}
 	scanDelta(tbl, readTS, self, proj, preds, parallel, done, &stats, func(b *types.Batch) bool {
 		return fn(b, parallel)
 	})
+	tbl.recordScan(stats)
 	return stats
 }
 
@@ -923,11 +925,13 @@ func scanTableWorkers(tbl *Table, readTS, self uint64, proj []int, preds []colst
 		return true
 	})
 	if stopped.Load() || colstore.IsDone(done) {
+		tbl.recordScan(stats)
 		return stats
 	}
 	scanDelta(tbl, readTS, self, proj, preds, true, done, &stats, func(b *types.Batch) bool {
 		return fn(0, b)
 	})
+	tbl.recordScan(stats)
 	return stats
 }
 

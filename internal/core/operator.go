@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/storage/colstore"
@@ -189,6 +190,38 @@ func (t *TableScan) start() {
 			})
 		t.Stats = stats
 	}()
+}
+
+// DescribePlan implements exec.PlanDescriber: one line naming the
+// table, projection width, pushed-down predicates, and — when the scan
+// has run — the pruning statistics of the last execution, so EXPLAIN
+// output shows whether zone maps actually skipped work.
+func (t *TableScan) DescribePlan() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TableScan(%s cols=%d", t.tbl.name, len(t.proj))
+	if len(t.preds) > 0 {
+		sb.WriteString(" preds=[")
+		for i, p := range t.preds {
+			if i > 0 {
+				sb.WriteString(" AND ")
+			}
+			name := t.tbl.schema.Cols[p.Col].Name
+			switch p.Op {
+			case colstore.OpIsNull, colstore.OpIsNotNull:
+				fmt.Fprintf(&sb, "%s %s", name, p.Op)
+			default:
+				fmt.Fprintf(&sb, "%s%s%s", name, p.Op, p.Val)
+			}
+		}
+		sb.WriteString("]")
+	}
+	if s := t.Stats; s.SegmentsTotal > 0 || s.RowsScanned > 0 {
+		fmt.Fprintf(&sb, " last[segments=%d/%d pruned zones=%d/%d pruned rows=%d matched=%d decoded=%d]",
+			s.SegmentsPruned, s.SegmentsTotal, s.ZonesPruned, s.ZonesTotal,
+			s.RowsScanned, s.RowsMatched, s.RowsDecoded)
+	}
+	sb.WriteString(")")
+	return sb.String()
 }
 
 // MaxWorkers implements exec.ParallelSource: the engine's configured

@@ -43,6 +43,11 @@ type Table struct {
 
 	// stats
 	merges atomic.Int64
+	// scanMu guards scanStats, the cumulative pruning counters folded in
+	// after every scan of this table (surfaced by Table.ScanStats and the
+	// shell's \stats).
+	scanMu    sync.Mutex
+	scanStats colstore.ScanStats
 }
 
 func newTable(name string, schema *types.Schema) (*Table, error) {
@@ -72,6 +77,24 @@ func (t *Table) ColdRows() int { return t.cold.NumRows() }
 
 // Merges returns how many delta-merges have run.
 func (t *Table) Merges() int { return int(t.merges.Load()) }
+
+// ScanStats returns the cumulative scan/pruning statistics of the
+// table: every completed scan folds its ScanStats in, so the
+// SegmentsPruned/ZonesPruned/RowsDecoded counters show how much work
+// zone maps and late materialization have been skipping over the
+// table's lifetime.
+func (t *Table) ScanStats() colstore.ScanStats {
+	t.scanMu.Lock()
+	defer t.scanMu.Unlock()
+	return t.scanStats
+}
+
+// recordScan folds one scan's stats into the cumulative counters.
+func (t *Table) recordScan(s colstore.ScanStats) {
+	t.scanMu.Lock()
+	t.scanStats.Add(s)
+	t.scanMu.Unlock()
+}
 
 // Delta exposes the row store (benchmarks and tests).
 func (t *Table) Delta() *rowstore.Store { return t.delta }

@@ -60,6 +60,18 @@ func describeInto(sb *strings.Builder, op Operator, depth int) {
 		describeInto(sb, v.left, depth+1)
 		describeInto(sb, v.right, depth+1)
 	default:
+		if d, ok := op.(PlanDescriber); ok {
+			sb.WriteString(d.DescribePlan())
+			sb.WriteString("\n")
+			return
+		}
 		fmt.Fprintf(sb, "%T\n", op)
 	}
+}
+
+// PlanDescriber lets operators defined outside this package (the
+// engine's TableScan leaf, notably) render themselves in DescribePlan
+// instead of falling back to their type name.
+type PlanDescriber interface {
+	DescribePlan() string
 }

@@ -271,6 +271,26 @@ func pushdown(conjuncts []AstExpr, tm tableMeta, singleTable bool) ([]colstore.P
 	var rest []AstExpr
 	alias := strings.ToLower(tm.ref.Alias)
 	for _, c := range conjuncts {
+		// `col IS [NOT] NULL` pushes down as a null-test predicate:
+		// zone null-counts let the scan prune zones (and whole
+		// segments) that cannot contain a matching row.
+		if n, ok := c.(*IsNullExpr); ok {
+			colE, ok := n.E.(*ColExpr)
+			if ok &&
+				((colE.Table == "" && singleTable) ||
+					(colE.Table != "" && strings.ToLower(colE.Table) == alias)) {
+				if ci := tm.schema.ColIndex(colE.Name); ci >= 0 {
+					op := colstore.OpIsNull
+					if n.Negate {
+						op = colstore.OpIsNotNull
+					}
+					preds = append(preds, colstore.Predicate{Col: ci, Op: op})
+					continue
+				}
+			}
+			rest = append(rest, c)
+			continue
+		}
 		b, ok := c.(*BinExpr)
 		if !ok {
 			rest = append(rest, c)

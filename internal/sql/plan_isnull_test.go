@@ -1,0 +1,87 @@
+package sql
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+)
+
+// setupNullItems extends the shared fixture with NULL-bearing rows.
+func setupNullItems(t *testing.T, s *Session) {
+	t.Helper()
+	setupItems(t, s)
+	mustExec(t, s, `INSERT INTO items VALUES (6, NULL, 60, NULL), (7, NULL, 70, 3.5)`)
+}
+
+// TestIsNullPushdown verifies `col IS [NOT] NULL` compiles into a
+// pushed-down storage predicate (no residual Filter operator) and that
+// results stay correct over both the delta and, after a merge, the
+// compressed column store where zone null-counts prune.
+func TestIsNullPushdown(t *testing.T) {
+	s := newSession(t)
+	setupNullItems(t, s)
+
+	plan := planOf(t, s, "SELECT id FROM items WHERE cat IS NULL")
+	if !strings.Contains(plan, "cat IS NULL") {
+		t.Fatalf("IS NULL must push into the scan, got:\n%s", plan)
+	}
+	if strings.Contains(plan, "Filter(") || strings.Contains(plan, "IsNull") {
+		t.Fatalf("IS NULL must not leave a residual filter, got:\n%s", plan)
+	}
+	plan = planOf(t, s, "SELECT id FROM items WHERE price IS NOT NULL AND qty > 10")
+	if !strings.Contains(plan, "price IS NOT NULL") || !strings.Contains(plan, "qty>10") {
+		t.Fatalf("IS NOT NULL + comparison must both push down, got:\n%s", plan)
+	}
+
+	check := func(stage string) {
+		r := mustExec(t, s, "SELECT id FROM items WHERE cat IS NULL ORDER BY id")
+		if len(r.Rows) != 2 || r.Rows[0][0].I != 6 || r.Rows[1][0].I != 7 {
+			t.Fatalf("%s: IS NULL rows = %v", stage, r.Rows)
+		}
+		r = mustExec(t, s, "SELECT id FROM items WHERE price IS NOT NULL AND cat IS NULL")
+		if len(r.Rows) != 1 || r.Rows[0][0].I != 7 {
+			t.Fatalf("%s: combined null test rows = %v", stage, r.Rows)
+		}
+		r = mustExec(t, s, "SELECT id FROM items WHERE cat IS NOT NULL")
+		if len(r.Rows) != 5 {
+			t.Fatalf("%s: IS NOT NULL rows = %v", stage, r.Rows)
+		}
+	}
+	check("delta")
+	if _, err := s.engine.Merge("items"); err != nil {
+		t.Fatal(err)
+	}
+	check("cold")
+}
+
+// TestDescribePlanScanStats pins the TableScan leaf's DescribePlan
+// rendering: predicates before execution, pruning counters after.
+func TestDescribePlanScanStats(t *testing.T) {
+	s := newSession(t)
+	setupNullItems(t, s)
+	if _, err := s.engine.Merge("items"); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(s.engine, "SELECT id FROM items WHERE qty > 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := exec.DescribePlan(p.sel.root)
+	if !strings.Contains(plan, "TableScan(items") || !strings.Contains(plan, "qty>30") {
+		t.Fatalf("unexecuted plan must show table and preds, got:\n%s", plan)
+	}
+	if strings.Contains(plan, "last[") {
+		t.Fatalf("unexecuted plan must not show stats, got:\n%s", plan)
+	}
+	tx := s.engine.Begin()
+	defer tx.Abort()
+	if _, err := p.ExecTx(context.Background(), tx, nil); err != nil {
+		t.Fatal(err)
+	}
+	plan = exec.DescribePlan(p.sel.root)
+	if !strings.Contains(plan, "last[segments=") || !strings.Contains(plan, "decoded=") {
+		t.Fatalf("executed plan must show scan stats, got:\n%s", plan)
+	}
+}

@@ -1,16 +1,19 @@
 package colstore
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/compress"
 	"repro/internal/types"
 )
 
 // Op is a comparison operator for pushed-down predicates.
 type Op uint8
 
-// Predicate operators.
+// Predicate operators. OpIsNull/OpIsNotNull test nullness and ignore
+// the predicate value entirely.
 const (
 	OpEq Op = iota
 	OpNe
@@ -18,6 +21,8 @@ const (
 	OpLe
 	OpGt
 	OpGe
+	OpIsNull
+	OpIsNotNull
 )
 
 // String names the operator.
@@ -35,26 +40,44 @@ func (o Op) String() string {
 		return ">"
 	case OpGe:
 		return ">="
+	case OpIsNull:
+		return "IS NULL"
+	case OpIsNotNull:
+		return "IS NOT NULL"
 	default:
 		return "?"
 	}
 }
 
 // Predicate is a single-column comparison pushed into the scan. A scan
-// evaluates the conjunction of its predicates.
+// evaluates the conjunction of its predicates. For OpIsNull and
+// OpIsNotNull, Val is ignored.
 type Predicate struct {
 	Col int
 	Op  Op
 	Val types.Value
 }
 
-// Matches evaluates the predicate against a value (NULL never matches).
+// Matches evaluates the predicate against a value (NULL never matches
+// a comparison; the null tests match on nullness alone).
 func (p Predicate) Matches(v types.Value) bool {
+	switch p.Op {
+	case OpIsNull:
+		return v.Null
+	case OpIsNotNull:
+		return !v.Null
+	}
 	if v.Null || p.Val.Null {
 		return false
 	}
 	c := types.Compare(v, p.Val)
-	switch p.Op {
+	return opMatchesCmp(p.Op, c)
+}
+
+// opMatchesCmp folds a three-way comparison result through a comparison
+// operator.
+func opMatchesCmp(op Op, c int) bool {
+	switch op {
 	case OpEq:
 		return c == 0
 	case OpNe:
@@ -72,14 +95,23 @@ func (p Predicate) Matches(v types.Value) bool {
 	}
 }
 
-// zoneCanMatch reports whether a zone's [min,max] could contain a value
-// matching p. This is the zone-map prune test (E11).
+// zoneCanMatch reports whether a zone summary could contain a row
+// matching p. This is the prune test applied per zone AND — via the
+// folded segment summary — per segment, before any morsel is dealt
+// (the paper's "storage index"/"synopsis" skip). All-null ranges are
+// detected by NullCount == Rows, never by a sentinel min/max.
 func zoneCanMatch(p Predicate, z Zone) bool {
+	switch p.Op {
+	case OpIsNull:
+		return z.NullCount > 0
+	case OpIsNotNull:
+		return z.NullCount < z.Rows
+	}
 	if p.Val.Null {
 		return false
 	}
-	if z.Min.Null && z.Max.Null {
-		return false // all-null zone matches no comparison
+	if z.AllNull() {
+		return false // no non-null value: no comparison can match
 	}
 	cMin := types.Compare(z.Min, p.Val)
 	cMax := types.Compare(z.Max, p.Val)
@@ -101,6 +133,42 @@ func zoneCanMatch(p Predicate, z Zone) bool {
 	}
 }
 
+// canMatch reports whether any row of the segment could satisfy the
+// conjunction of preds, consulting the per-segment zone summaries and,
+// for dictionary-encoded columns, dictionary membership: an equality
+// literal absent from the dictionary excludes every row of the segment
+// even when it falls inside [min, max].
+func (s *Segment) canMatch(preds []Predicate) bool {
+	for _, p := range preds {
+		if !zoneCanMatch(p, s.summary[p.Col]) {
+			return false
+		}
+		if p.Op != OpEq || p.Val.Null {
+			continue
+		}
+		switch c := s.cols[p.Col].(type) {
+		case *stringColumn:
+			if p.Val.Typ == types.String {
+				if _, ok := c.dict.Code(p.Val.S); !ok {
+					return false
+				}
+			}
+		case *intDictColumn:
+			if p.Val.Typ == types.Int64 {
+				if _, ok := c.dict.Code(p.Val.I); !ok {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// CanMatch is the exported prune test (planner selectivity probes and
+// tests); it mirrors exactly what the scan consults before dealing
+// morsels.
+func (s *Segment) CanMatch(preds []Predicate) bool { return s.canMatch(preds) }
+
 // IsDone reports (without blocking) whether the cancellation channel is
 // closed; a nil channel never cancels. Scan drivers poll it between
 // zones/batches.
@@ -117,21 +185,40 @@ func IsDone(done <-chan struct{}) bool {
 }
 
 // ScanStats reports the pruning behaviour of one scan.
+//
+// RowsDecoded counts column VALUES decoded or gathered from encoded
+// storage: filter columns decode once per surviving selection position,
+// projected columns only for rows that passed every predicate — so on a
+// selective scan RowsDecoded ≪ RowsScanned × columns, which is the
+// late-materialization win made observable.
 type ScanStats struct {
-	ZonesTotal    int
-	ZonesPruned   int
-	RowsScanned   int
-	RowsMatched   int
-	RowsConcealed int
+	SegmentsTotal  int
+	SegmentsPruned int
+	ZonesTotal     int
+	ZonesPruned    int
+	RowsScanned    int
+	RowsMatched    int
+	RowsConcealed  int
+	RowsDecoded    int
 }
 
-// merge folds o into s (ZonesTotal is set by the scan driver, not
-// accumulated per zone range).
+// merge folds o into s (SegmentsTotal and ZonesTotal are set by the
+// scan driver, not accumulated per zone range).
 func (s *ScanStats) merge(o ScanStats) {
+	s.SegmentsPruned += o.SegmentsPruned
 	s.ZonesPruned += o.ZonesPruned
 	s.RowsScanned += o.RowsScanned
 	s.RowsMatched += o.RowsMatched
 	s.RowsConcealed += o.RowsConcealed
+	s.RowsDecoded += o.RowsDecoded
+}
+
+// Add accumulates o into s including the driver-owned totals — the
+// cross-scan aggregation the engine's per-table counters use.
+func (s *ScanStats) Add(o ScanStats) {
+	s.SegmentsTotal += o.SegmentsTotal
+	s.ZonesTotal += o.ZonesTotal
+	s.merge(o)
 }
 
 // scanScratch holds the reusable buffers of one scanning goroutine:
@@ -151,10 +238,12 @@ type scanScratch struct {
 // visible at (readTS, self), one batch per zone, to fn; fn returning
 // false stops the scan. It returns pruning statistics.
 //
-// Predicates are evaluated column-at-a-time per zone (vectorized in the
-// batch-processing sense the tutorial attributes to HANA/BLU scans):
-// zone maps prune first, then each predicate narrows a selection vector
-// before the next runs, and only surviving rows are materialized.
+// The scan is filter-then-gather: the per-segment zone map is consulted
+// first (a fully excluded segment does no per-zone work at all), then
+// per-zone maps prune, then each predicate narrows a selection vector
+// over bulk-decoded filter-column values — dictionary predicates
+// compare raw codes and never materialize strings — and only rows that
+// survive every predicate have their projected columns gathered.
 //
 // Each delivered batch is freshly allocated and may be retained by fn;
 // the pooled, transient-batch variant is ScanParallel.
@@ -163,13 +252,19 @@ func (s *Segment) Scan(readTS, self uint64, proj []int, preds []Predicate, fn fu
 	if s.n == 0 {
 		return stats
 	}
-	nz := (s.n + ZoneSize - 1) / ZoneSize
+	nz := s.NumZones()
+	stats.SegmentsTotal = 1
 	stats.ZonesTotal = nz
+	if !s.canMatch(preds) {
+		stats.SegmentsPruned = 1
+		stats.ZonesPruned = nz
+		return stats
+	}
 	projSchema := s.projSchema(proj)
 	sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
 	emit := func(sel []int) bool {
 		batch := types.NewBatch(projSchema, len(sel))
-		s.fillBatch(batch, proj, sel, sc)
+		s.fillBatch(batch, proj, sel, sc, &stats)
 		return fn(batch)
 	}
 	s.scanZones(0, nz, readTS, self, preds, sc, &stats, emit)
@@ -238,19 +333,32 @@ func (s *Segment) ScanParallel(readTS, self uint64, proj []int, preds []Predicat
 // the whole scan. Stats merge across workers; done cancels between zones
 // as in ScanParallel. All workers have exited when the call returns.
 //
+// The per-segment zone map is consulted BEFORE any worker is started or
+// morsel dealt: a segment whose summaries exclude the predicates costs
+// one map probe, no goroutines, and no decoded bytes.
+//
 //oadb:allow-ctxscan cancellation is the done channel (hot path avoids ctx plumbing per zone); callers thread ctx.Done() into done
 func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []Predicate, workers int, done <-chan struct{}, fn func(worker int, b *types.Batch) bool) ScanStats {
-	nz := (s.n + ZoneSize - 1) / ZoneSize
+	var total ScanStats
+	if s.n == 0 {
+		return total
+	}
+	nz := s.NumZones()
 	if workers > nz {
 		workers = nz
+	}
+	total.SegmentsTotal = 1
+	total.ZonesTotal = nz
+	if !s.canMatch(preds) {
+		total.SegmentsPruned = 1
+		total.ZonesPruned = nz
+		return total
 	}
 	projSchema := s.projSchema(proj)
 	var (
 		cursor  atomic.Int64
 		stopped atomic.Bool
-		total   ScanStats
 	)
-	total.ZonesTotal = nz
 	runWorker := func(w int) ScanStats {
 		sc := &scanScratch{sel: make([]int, 0, ZoneSize)}
 		batch := types.NewBatch(projSchema, ZoneSize)
@@ -260,7 +368,7 @@ func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []P
 				return false
 			}
 			batch.Reset()
-			s.fillBatch(batch, proj, sel, sc)
+			s.fillBatch(batch, proj, sel, sc, &local)
 			if !fn(w, batch) {
 				stopped.Store(true)
 				return false
@@ -279,9 +387,7 @@ func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []P
 		return local
 	}
 	if workers <= 1 {
-		if nz > 0 {
-			total.merge(runWorker(0))
-		}
+		total.merge(runWorker(0))
 		return total
 	}
 	var (
@@ -305,7 +411,7 @@ func (s *Segment) ScanParallelWorkers(readTS, self uint64, proj []int, preds []P
 // scanZones scans zones [zlo, zhi): zone-map pruning, visibility filter,
 // predicate kernels, then emit(sel) with the surviving physical row
 // indexes. It returns false when emit stopped the scan. Stats accumulate
-// everything except ZonesTotal (the driver sets that).
+// everything except the driver-owned totals.
 func (s *Segment) scanZones(zlo, zhi int, readTS, self uint64, preds []Predicate, sc *scanScratch, stats *ScanStats, emit func(sel []int) bool) bool {
 	sel := sc.sel
 	defer func() { sc.sel = sel[:0] }()
@@ -331,12 +437,14 @@ zones:
 				stats.RowsConcealed++
 			}
 		}
-		// Predicate kernels narrow the selection column-at-a-time.
+		// Predicate kernels narrow the selection column-at-a-time over
+		// bulk-decoded filter columns; projected columns are gathered
+		// only for the rows that survive every predicate (emit).
 		for _, p := range preds {
 			if len(sel) == 0 {
 				break
 			}
-			sel = s.filterSel(p, sel)
+			sel = s.filterSel(p, sel, sc, stats)
 		}
 		if len(sel) == 0 {
 			continue
@@ -357,107 +465,224 @@ func (s *Segment) projSchema(proj []int) *types.Schema {
 	return &types.Schema{Cols: cols}
 }
 
-// filterSel narrows sel to rows matching p, using typed kernels to avoid
-// a Value materialization per row.
-func (s *Segment) filterSel(p Predicate, sel []int) []int {
-	out := sel[:0]
-	switch c := s.cols[p.Col].(type) {
-	case *intColumn:
-		if !p.Val.IsNumeric() {
-			return out
-		}
-		// Fast path for int comparison against an int literal.
-		if p.Val.Typ == types.Int64 {
-			v := p.Val.I
-			for _, i := range sel {
-				if c.nulls.IsNull(i) {
-					continue
-				}
-				if cmpMatch(p.Op, c.enc.Get(i), v) {
-					out = append(out, i)
-				}
-			}
+// filterSel narrows sel to rows matching p with vectorized typed
+// kernels: the filter column is bulk-decoded (or its raw codes
+// bulk-gathered — dictionary predicates never materialize values) for
+// exactly the positions in sel, then a tight typed loop narrows the
+// selection. No types.Value is boxed per row on any typed path.
+func (s *Segment) filterSel(p Predicate, sel []int, sc *scanScratch, stats *ScanStats) []int {
+	col := s.cols[p.Col]
+	nulls := col.nullMask()
+	// Null tests need only the mask — no decode at all.
+	switch p.Op {
+	case OpIsNull:
+		out := sel[:0]
+		if !nulls.AnyNull() {
 			return out
 		}
 		for _, i := range sel {
-			if c.nulls.IsNull(i) {
-				continue
-			}
-			if p.Matches(types.NewInt(c.enc.Get(i))) {
+			if nulls.IsNull(i) {
 				out = append(out, i)
 			}
 		}
 		return out
-	case *floatColumn:
+	case OpIsNotNull:
+		if !nulls.AnyNull() {
+			return sel
+		}
+		out := sel[:0]
 		for _, i := range sel {
-			if c.nulls.IsNull(i) {
+			if !nulls.IsNull(i) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if p.Val.Null {
+		return sel[:0]
+	}
+	switch c := col.(type) {
+	case *intColumn:
+		if !p.Val.IsNumeric() {
+			return sel[:0]
+		}
+		sc.ints = c.enc.Gather(sel, sc.ints)
+		stats.RowsDecoded += len(sel)
+		return filterInts(p, sc.ints, nulls, sel)
+	case *intDictColumn:
+		if !p.Val.IsNumeric() {
+			return sel[:0]
+		}
+		sc.codes = c.codes.Gather(sel, sc.codes)
+		stats.RowsDecoded += len(sel)
+		if p.Val.Typ == types.Int64 {
+			// Code-domain rewrite: =/<> become a single code test,
+			// ranges a half-open code-range test via the sorted
+			// dictionary — values are never reconstructed.
+			ne := int64(-1)
+			if p.Op == OpNe {
+				if code, found := c.dict.Code(p.Val.I); found {
+					ne = int64(code)
+				}
+			}
+			lo, hi, ok := predCodeRange[int64](c.dict, p.Op, p.Val.I)
+			if !ok {
+				return sel[:0]
+			}
+			return filterDictCodes(p.Op, sc.codes, lo, hi, ne, nulls, sel)
+		}
+		// Non-int numeric literal: decode through the (in-cache)
+		// dictionary values array, then the typed int kernel.
+		sc.ints = decodeIntCodes(c.dict, sc.codes, sc.ints)
+		return filterInts(p, sc.ints, nulls, sel)
+	case *floatColumn:
+		stats.RowsDecoded += len(sel)
+		if !p.Val.IsNumeric() {
+			return filterGeneric(p, col, sel)
+		}
+		f := p.Val.AsFloat()
+		out := sel[:0]
+		for _, i := range sel {
+			if nulls.IsNull(i) {
 				continue
 			}
-			if p.Matches(types.NewFloat(c.vals[i])) {
+			if opMatchesCmp(p.Op, cmpFloat(c.vals[i], f)) {
 				out = append(out, i)
 			}
 		}
 		return out
 	case *stringColumn:
 		if p.Val.Typ != types.String {
-			return out
+			return sel[:0]
 		}
-		// Code-domain evaluation via the order-preserving dictionary:
-		// translate the predicate into a code range once, then compare
-		// packed codes — no string materialization.
-		loCode, hiCode, ok := stringPredCodeRange(c.dict, p)
-		if !ok {
-			return out
-		}
-		neCode := int64(-1)
+		ne := int64(-1)
 		if p.Op == OpNe {
 			if code, found := c.dict.Code(p.Val.S); found {
-				neCode = int64(code)
-			} else {
-				// Value absent: every non-null row matches.
-				for _, i := range sel {
-					if c.nulls.IsNull(i) {
-						continue
-					}
-					out = append(out, i)
-				}
-				return out
+				ne = int64(code)
 			}
 		}
-		for _, i := range sel {
-			if c.nulls.IsNull(i) {
-				continue
-			}
-			code := c.codes.Get(i)
-			if p.Op == OpNe {
-				if int64(code) != neCode {
-					out = append(out, i)
-				}
-				continue
-			}
-			if code >= loCode && code < hiCode {
-				out = append(out, i)
-			}
+		lo, hi, ok := predCodeRange[string](c.dict, p.Op, p.Val.S)
+		if !ok {
+			return sel[:0]
 		}
-		return out
+		sc.codes = c.codes.Gather(sel, sc.codes)
+		stats.RowsDecoded += len(sel)
+		return filterDictCodes(p.Op, sc.codes, lo, hi, ne, nulls, sel)
 	case *boolColumn:
-		for _, i := range sel {
-			if c.nulls.IsNull(i) {
+		sc.codes = c.bits.Gather(sel, sc.codes)
+		stats.RowsDecoded += len(sel)
+		out := sel[:0]
+		for k, i := range sel {
+			if nulls.IsNull(i) {
 				continue
 			}
-			if p.Matches(types.NewBool(c.bits.Get(i) != 0)) {
+			if p.Matches(types.NewBool(sc.codes[k] != 0)) {
 				out = append(out, i)
 			}
 		}
 		return out
 	default:
-		for _, i := range sel {
-			if p.Matches(s.cols[p.Col].get(i)) {
+		stats.RowsDecoded += len(sel)
+		return filterGeneric(p, col, sel)
+	}
+}
+
+// filterGeneric is the per-row fallback for exotic column/literal
+// pairings; typed kernels handle every hot combination.
+func filterGeneric(p Predicate, col column, sel []int) []int {
+	out := sel[:0]
+	for _, i := range sel {
+		if p.Matches(col.get(i)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// filterInts narrows sel over bulk-decoded int64 values: an integer
+// literal compares in the int domain, any other numeric literal through
+// exact float comparison — mirroring types.Compare without boxing.
+func filterInts(p Predicate, vals []int64, nulls *types.NullMask, sel []int) []int {
+	out := sel[:0]
+	if p.Val.Typ == types.Int64 {
+		v := p.Val.I
+		if !nulls.AnyNull() {
+			for k, i := range sel {
+				if cmpMatch(p.Op, vals[k], v) {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		for k, i := range sel {
+			if nulls.IsNull(i) {
+				continue
+			}
+			if cmpMatch(p.Op, vals[k], v) {
 				out = append(out, i)
 			}
 		}
 		return out
 	}
+	f := p.Val.AsFloat()
+	for k, i := range sel {
+		if nulls.IsNull(i) {
+			continue
+		}
+		if opMatchesCmp(p.Op, cmpFloat(float64(vals[k]), f)) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// filterDictCodes narrows sel in the code domain over bulk-gathered
+// codes. For OpNe, ne is the excluded code, or -1 when the literal is
+// absent from the dictionary (every non-null row matches); for every
+// other operator rows with lo <= code < hi survive.
+func filterDictCodes(op Op, codes []uint64, lo, hi uint64, ne int64, nulls *types.NullMask, sel []int) []int {
+	out := sel[:0]
+	if op == OpNe {
+		for k, i := range sel {
+			if nulls.IsNull(i) {
+				continue
+			}
+			if ne < 0 || codes[k] != uint64(ne) {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	if !nulls.AnyNull() {
+		for k, i := range sel {
+			if c := codes[k]; c >= lo && c < hi {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for k, i := range sel {
+		if nulls.IsNull(i) {
+			continue
+		}
+		if c := codes[k]; c >= lo && c < hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// decodeIntCodes expands dictionary codes to values through the sorted
+// values array (an L1-resident gather, no allocation in steady state).
+func decodeIntCodes(dict *compress.IntDictionary, codes []uint64, dst []int64) []int64 {
+	if cap(dst) < len(codes) {
+		dst = make([]int64, len(codes))
+	}
+	dst = dst[:len(codes)]
+	for k, code := range codes {
+		dst[k] = dict.Value(int(code))
+	}
+	return dst
 }
 
 func cmpMatch(op Op, a, b int64) bool {
@@ -479,31 +704,57 @@ func cmpMatch(op Op, a, b int64) bool {
 	}
 }
 
-// stringPredCodeRange converts a string predicate into a half-open code
-// range [lo, hi). For OpNe it returns the full range (the caller handles
-// exclusion). ok is false when no code can match.
-func stringPredCodeRange(dict interface {
+// cmpFloat mirrors types.Compare's float ordering (NaN sorts below
+// every non-NaN value) so kernel results match the boxed path exactly.
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case math.IsNaN(a) && !math.IsNaN(b):
+		return -1
+	case !math.IsNaN(a) && math.IsNaN(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortedDict is the order-preserving dictionary surface predCodeRange
+// rewrites through: codes sort like values, so value comparisons become
+// code-range tests via binary-search bounds.
+type sortedDict[T any] interface {
 	Size() int
-	LowerBound(string) int
-	UpperBound(string) int
-}, p Predicate) (lo, hi uint64, ok bool) {
-	n := uint64(dict.Size())
-	switch p.Op {
+	LowerBound(T) int
+	UpperBound(T) int
+}
+
+// predCodeRange converts a comparison against an order-preserving
+// dictionary into a half-open code range [lo, hi) using the sorted
+// dictionary's bounds. For OpNe it returns the full range (the caller
+// excludes the matching code). ok is false when no code can match, which
+// callers turn into an immediate zone/segment skip.
+func predCodeRange[T any](d sortedDict[T], op Op, v T) (lo, hi uint64, ok bool) {
+	n := uint64(d.Size())
+	switch op {
 	case OpEq:
-		l := uint64(dict.LowerBound(p.Val.S))
-		h := uint64(dict.UpperBound(p.Val.S))
+		l := uint64(d.LowerBound(v))
+		h := uint64(d.UpperBound(v))
 		return l, h, l < h
 	case OpNe:
 		return 0, n, n > 0
 	case OpLt:
-		return 0, uint64(dict.LowerBound(p.Val.S)), dict.LowerBound(p.Val.S) > 0
+		h := uint64(d.LowerBound(v))
+		return 0, h, h > 0
 	case OpLe:
-		return 0, uint64(dict.UpperBound(p.Val.S)), dict.UpperBound(p.Val.S) > 0
+		h := uint64(d.UpperBound(v))
+		return 0, h, h > 0
 	case OpGt:
-		l := uint64(dict.UpperBound(p.Val.S))
+		l := uint64(d.UpperBound(v))
 		return l, n, l < n
 	case OpGe:
-		l := uint64(dict.LowerBound(p.Val.S))
+		l := uint64(d.LowerBound(v))
 		return l, n, l < n
 	default:
 		return 0, 0, false
@@ -511,22 +762,29 @@ func stringPredCodeRange(dict interface {
 }
 
 // fillBatch materializes the projected survivors of one zone into batch
-// using the typed bulk appenders.
-func (s *Segment) fillBatch(batch *types.Batch, proj []int, sel []int, sc *scanScratch) {
+// using the typed bulk appenders — this runs strictly AFTER every
+// predicate, so non-filter columns decode only for surviving rows
+// (counted in stats.RowsDecoded).
+func (s *Segment) fillBatch(batch *types.Batch, proj []int, sel []int, sc *scanScratch, stats *ScanStats) {
 	for bi, ci := range proj {
 		fillColumn(batch.Cols[bi], s.cols[ci], sel, sc)
 	}
+	stats.RowsDecoded += len(sel) * len(proj)
 }
 
 // fillColumn gathers the selected rows of src into dst. Int columns
-// bulk-decode through the frame-of-reference coder, floats gather
-// straight from the raw array, and strings/bools decode into scratch
-// first — in every case the null bits travel as a word-packed mask, not
-// per-row Value boxing.
+// bulk-decode through the frame-of-reference coder (or the int
+// dictionary), floats gather straight from the raw array, and
+// strings/bools decode into scratch first — in every case the null bits
+// travel as a word-packed mask, not per-row Value boxing.
 func fillColumn(dst *types.Vector, src column, sel []int, sc *scanScratch) {
 	switch c := src.(type) {
 	case *intColumn:
 		sc.ints = c.enc.Gather(sel, sc.ints)
+		dst.AppendInts(sc.ints, gatherNulls(c.nulls, sel, sc), nil)
+	case *intDictColumn:
+		sc.codes = c.codes.Gather(sel, sc.codes)
+		sc.ints = decodeIntCodes(c.dict, sc.codes, sc.ints)
 		dst.AppendInts(sc.ints, gatherNulls(c.nulls, sel, sc), nil)
 	case *floatColumn:
 		dst.AppendFloats(c.vals, c.nulls, sel)

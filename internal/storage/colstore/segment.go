@@ -24,11 +24,22 @@ import (
 // ZoneSize is the number of rows summarized by one zone-map entry.
 const ZoneSize = 1024
 
-// Zone is the min/max summary of one column over one zone of rows.
+// Zone is the min/max/null summary of one column over one range of
+// rows. Rows is the physical row count of the range and NullCount the
+// number of nulls in it, so an all-null range is detected by count
+// (NullCount == Rows), never by a sentinel min/max: Min and Max are
+// meaningful only when the range holds at least one non-null value.
+// The same shape summarizes a ZoneSize range (the per-zone map) and a
+// whole segment column (the per-segment map the scan consults before
+// dealing any morsel).
 type Zone struct {
-	Min, Max types.Value
-	HasNull  bool
+	Min, Max  types.Value
+	Rows      int
+	NullCount int
 }
+
+// AllNull reports whether the summarized range holds no non-null value.
+func (z Zone) AllNull() bool { return z.NullCount == z.Rows }
 
 // column is an encoded column of a segment.
 type column interface {
@@ -36,6 +47,8 @@ type column interface {
 	get(i int) types.Value
 	// sizeBytes is the encoded payload size.
 	sizeBytes() int
+	// nullMask returns the column's null mask (nil-safe: may be nil).
+	nullMask() *types.NullMask
 }
 
 // intColumn stores int64s frame-of-reference coded.
@@ -50,7 +63,29 @@ func (c *intColumn) get(i int) types.Value {
 	}
 	return types.NewInt(c.enc.Get(i))
 }
-func (c *intColumn) sizeBytes() int { return c.enc.SizeBytes() + c.nulls.SizeBytes() }
+func (c *intColumn) sizeBytes() int             { return c.enc.SizeBytes() + c.nulls.SizeBytes() }
+func (c *intColumn) nullMask() *types.NullMask  { return c.nulls }
+
+// intDictColumn stores int64s as bit-packed codes into an
+// order-preserving int dictionary — chosen over frame-of-reference when
+// the distinct count is far below the value range (status codes,
+// warehouse ids), so predicates compare codes instead of values.
+type intDictColumn struct {
+	dict  *compress.IntDictionary
+	codes *compress.BitPacked
+	nulls *types.NullMask
+}
+
+func (c *intDictColumn) get(i int) types.Value {
+	if c.nulls.IsNull(i) {
+		return types.NewNull(types.Int64)
+	}
+	return types.NewInt(c.dict.Value(int(c.codes.Get(i))))
+}
+func (c *intDictColumn) sizeBytes() int {
+	return c.codes.SizeBytes() + c.nulls.SizeBytes() + c.dict.Size()*8
+}
+func (c *intDictColumn) nullMask() *types.NullMask { return c.nulls }
 
 // floatColumn stores float64s raw.
 type floatColumn struct {
@@ -64,7 +99,8 @@ func (c *floatColumn) get(i int) types.Value {
 	}
 	return types.NewFloat(c.vals[i])
 }
-func (c *floatColumn) sizeBytes() int { return len(c.vals)*8 + c.nulls.SizeBytes() }
+func (c *floatColumn) sizeBytes() int            { return len(c.vals)*8 + c.nulls.SizeBytes() }
+func (c *floatColumn) nullMask() *types.NullMask { return c.nulls }
 
 // stringColumn stores strings as bit-packed codes into an
 // order-preserving dictionary.
@@ -87,6 +123,7 @@ func (c *stringColumn) sizeBytes() int {
 	}
 	return sz
 }
+func (c *stringColumn) nullMask() *types.NullMask { return c.nulls }
 
 // boolColumn stores booleans bit-packed.
 type boolColumn struct {
@@ -100,7 +137,8 @@ func (c *boolColumn) get(i int) types.Value {
 	}
 	return types.NewBool(c.bits.Get(i) != 0)
 }
-func (c *boolColumn) sizeBytes() int { return c.bits.SizeBytes() + c.nulls.SizeBytes() }
+func (c *boolColumn) sizeBytes() int            { return c.bits.SizeBytes() + c.nulls.SizeBytes() }
+func (c *boolColumn) nullMask() *types.NullMask { return c.nulls }
 
 // Segment is an immutable compressed column segment.
 type Segment struct {
@@ -109,6 +147,10 @@ type Segment struct {
 	n        int
 	cols     []column
 	zones    [][]Zone // zones[col][zone]
+	// summary[col] folds that column's zones into one segment-level
+	// min/max/null-count — the map ScanParallelWorkers consults to skip
+	// the whole segment before any morsel is dealt or worker woken.
+	summary []Zone
 	// insTS[i] is the commit timestamp of the version merged into row i;
 	// it lets snapshots older than the merge evaluate visibility exactly.
 	insTS []uint64
@@ -158,6 +200,7 @@ func (b *Builder) Build() *Segment {
 		n:        n,
 		cols:     make([]column, len(b.schema.Cols)),
 		zones:    make([][]Zone, len(b.schema.Cols)),
+		summary:  make([]Zone, len(b.schema.Cols)),
 		insTS:    append([]uint64(nil), b.insTS...),
 		delTS:    make([]atomic.Uint64, n),
 		keyIdx:   make(map[uint64][]int32, n),
@@ -168,6 +211,7 @@ func (b *Builder) Build() *Segment {
 	for ci, col := range b.schema.Cols {
 		s.cols[ci] = encodeColumn(col.Type, b.rows, ci)
 		s.zones[ci] = buildZones(b.rows, ci)
+		s.summary[ci] = foldZones(s.zones[ci])
 	}
 	for i, row := range b.rows {
 		h := types.HashRow(row, b.schema.Key)
@@ -194,6 +238,14 @@ func encodeColumn(t types.Type, rows []types.Row, ci int) column {
 				continue
 			}
 			vals[i] = r[ci].I
+		}
+		if dict := tryIntDict(vals); dict != nil {
+			codes, _ := dict.Encode(vals)
+			maxCode := uint64(0)
+			if dict.Size() > 0 {
+				maxCode = uint64(dict.Size() - 1)
+			}
+			return &intDictColumn{dict: dict, codes: compress.Pack(codes, compress.BitWidthFor(maxCode)), nulls: nulls}
 		}
 		return &intColumn{enc: compress.FOREncode(vals), nulls: nulls}
 	case types.Float64:
@@ -239,6 +291,40 @@ func encodeColumn(t types.Type, rows []types.Row, ci int) column {
 	}
 }
 
+// tryIntDict decides whether an int column dictionary-encodes: the
+// distinct count must be far below the row count AND the code width
+// must beat frame-of-reference's delta width, otherwise FOR is at least
+// as compact and needs no indirection. Returns nil to keep FOR.
+func tryIntDict(vals []int64) *compress.IntDictionary {
+	n := len(vals)
+	if n < 2*ZoneSize {
+		return nil // small segments: not worth the dictionary overhead
+	}
+	limit := n / 8
+	seen := make(map[int64]struct{}, 256)
+	minV, maxV := vals[0], vals[0]
+	for _, v := range vals {
+		if v < minV {
+			minV = v
+		}
+		if v > maxV {
+			maxV = v
+		}
+		if len(seen) <= limit {
+			seen[v] = struct{}{}
+		}
+	}
+	if len(seen) > limit || len(seen) == 0 {
+		return nil
+	}
+	forWidth := compress.BitWidthFor(uint64(maxV - minV))
+	dictWidth := compress.BitWidthFor(uint64(len(seen) - 1))
+	if dictWidth >= forWidth {
+		return nil
+	}
+	return compress.BuildIntDictionary(vals)
+}
+
 func buildZones(rows []types.Row, ci int) []Zone {
 	n := len(rows)
 	nz := (n + ZoneSize - 1) / ZoneSize
@@ -248,11 +334,12 @@ func buildZones(rows []types.Row, ci int) []Zone {
 		if hi > n {
 			hi = n
 		}
+		zones[z].Rows = hi - lo
 		first := true
 		for i := lo; i < hi; i++ {
 			v := rows[i][ci]
 			if v.Null {
-				zones[z].HasNull = true
+				zones[z].NullCount++
 				continue
 			}
 			if first {
@@ -267,12 +354,35 @@ func buildZones(rows []types.Row, ci int) []Zone {
 				zones[z].Max = v
 			}
 		}
-		if first { // all-null zone
-			zones[z].Min = types.NewNull(rows[0][ci].Typ)
-			zones[z].Max = zones[z].Min
-		}
+		// An all-null zone keeps zero-valued Min/Max: pruning skips it
+		// by NullCount == Rows, never by comparing a sentinel.
 	}
 	return zones
+}
+
+// foldZones aggregates per-zone summaries into one segment-level zone.
+func foldZones(zones []Zone) Zone {
+	var seg Zone
+	first := true
+	for _, z := range zones {
+		seg.Rows += z.Rows
+		seg.NullCount += z.NullCount
+		if z.AllNull() {
+			continue
+		}
+		if first {
+			seg.Min, seg.Max = z.Min, z.Max
+			first = false
+			continue
+		}
+		if types.Compare(z.Min, seg.Min) < 0 {
+			seg.Min = z.Min
+		}
+		if types.Compare(z.Max, seg.Max) > 0 {
+			seg.Max = z.Max
+		}
+	}
+	return seg
 }
 
 // Schema returns the segment schema.
@@ -283,6 +393,14 @@ func (s *Segment) CreateTS() uint64 { return s.createTS }
 
 // NumRows returns the physical row count (including deleted rows).
 func (s *Segment) NumRows() int { return s.n }
+
+// NumZones returns the zone count of the segment.
+func (s *Segment) NumZones() int { return (s.n + ZoneSize - 1) / ZoneSize }
+
+// ColumnSummary returns the segment-level zone map entry of column ci:
+// min/max/null-count folded over every zone. Planners can use it for
+// selectivity estimation; the scan uses it to skip whole segments.
+func (s *Segment) ColumnSummary(ci int) Zone { return s.summary[ci] }
 
 // DeletedRows returns the committed-deleted row count.
 func (s *Segment) DeletedRows() int { return int(s.deleted.Load()) }

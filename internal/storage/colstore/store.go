@@ -107,8 +107,7 @@ func (st *Store) ScanParallelWorkers(readTS, self uint64, proj []int, preds []Pr
 			}
 			return true
 		})
-		total.ZonesTotal += stats.ZonesTotal
-		total.merge(stats)
+		total.Add(stats)
 	}
 	return total
 }
@@ -133,8 +132,7 @@ func (st *Store) scanSegments(done <-chan struct{}, fn func(b *types.Batch) bool
 			}
 			return true
 		})
-		total.ZonesTotal += stats.ZonesTotal
-		total.merge(stats)
+		total.Add(stats)
 	}
 	return total
 }
