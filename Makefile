@@ -26,7 +26,7 @@ lint: vet
 # This list is canonical: CI runs this target rather than maintaining
 # its own copy.
 race:
-	go test -race ./db ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/txn ./internal/wal ./internal/sched ./internal/server ./internal/wire ./client
+	go test -race ./db ./internal/storage/colstore ./internal/exec/... ./internal/core ./internal/types ./internal/scan ./internal/sql ./internal/txn ./internal/wal ./internal/sched ./internal/server ./internal/wire ./client
 
 # Durability gauntlet: the kill-and-recover fault matrix, torn-tail
 # property tests, and crash-recovery round trips, race-enabled.
@@ -42,7 +42,7 @@ OUT_JSON ?= BENCH_local.json
 bench:
 	OUT_TXT=$(OUT_TXT) OUT_JSON=$(OUT_JSON) scripts/bench.sh
 
-# Quick smoke: the E10/E13/E14/E15/E16/E17 scoreboards at minimal iterations.
+# Quick smoke: the E10/E13–E18 scoreboards at minimal iterations.
 bench-smoke:
 	go test -run '^$$' -bench 'E10_Execution' -benchtime=100x -benchmem .
 	go test -run '^$$' -bench 'E13_JoinSort' -benchtime=3x -benchmem .
@@ -50,6 +50,7 @@ bench-smoke:
 	go test -run '^$$' -bench 'E15_CommitThroughput' -benchtime=100x .
 	go test -run '^$$' -bench 'E16_MixedWorkload' -benchtime=20x .
 	go test -run '^$$' -bench 'E17_ScanSkipping' -benchtime=3x -benchmem .
+	go test -run '^$$' -bench 'E18_JoinOrdering' -benchtime=3x -benchmem .
 
 # Diff two bench.sh JSON recordings (quick trajectory view). Override
 # for newer recordings: make bench-compare NEW=BENCH_pr5.json

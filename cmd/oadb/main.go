@@ -178,7 +178,8 @@ func main() {
 }
 
 func isQuery(line string) bool {
-	return strings.HasPrefix(strings.ToUpper(strings.TrimSpace(line)), "SELECT")
+	up := strings.ToUpper(strings.TrimSpace(line))
+	return strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "EXPLAIN")
 }
 
 // runMeta handles \-commands; returns true to quit.

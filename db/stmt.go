@@ -27,10 +27,14 @@ func (s *Stmt) Text() string { return s.text }
 // NumParams returns the number of `?` placeholders.
 func (s *Stmt) NumParams() int { return s.plan.nParams }
 
-// IsQuery reports whether the statement is a SELECT (returns rows).
+// IsQuery reports whether the statement returns rows (SELECT or
+// EXPLAIN).
 func (s *Stmt) IsQuery() bool {
-	_, ok := s.plan.ast.(*sql.SelectStmt)
-	return ok
+	switch s.plan.ast.(type) {
+	case *sql.SelectStmt, *sql.ExplainStmt:
+		return true
+	}
+	return false
 }
 
 // Workload reports the statement's workload class (OLTP point work vs

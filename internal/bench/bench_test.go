@@ -173,7 +173,7 @@ func TestAnalyticQueriesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(counts) != 13 {
+	if len(counts) != 17 {
 		t.Fatalf("ran %d queries", len(counts))
 	}
 	// Structural expectations.
@@ -185,6 +185,12 @@ func TestAnalyticQueriesRun(t *testing.T) {
 	}
 	if counts[6] != 1 {
 		t.Fatalf("Q6 is a single-row aggregate, got %d", counts[6])
+	}
+	if counts[14] == 0 {
+		t.Fatal("Q14 should produce per-state groups")
+	}
+	if counts[17] == 0 {
+		t.Fatal("Q17 should find delivered large orders")
 	}
 }
 

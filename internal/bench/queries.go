@@ -17,7 +17,7 @@ type Query struct {
 	SQL  string
 }
 
-// Queries returns the analytic query set (12 representative CH queries).
+// Queries returns the analytic query set (17 representative CH queries).
 func Queries() []Query {
 	return []Query{
 		{1, "pricing-summary", `
@@ -104,6 +104,49 @@ func Queries() []Query {
 			WHERE o_carrier_id > 0
 			ORDER BY c_last
 			LIMIT 50`},
+		// Q14–Q17 are the multi-join queries driving the join-ordering
+		// work (PR 10). They are deliberately written with the row-heavy
+		// tables first: a syntactic planner probes from the worst
+		// relation, so the statistics-driven greedy orderer has room to
+		// win, and the parity tests verify order never changes results.
+		{14, "state-item-revenue", `
+			SELECT c_state, COUNT(*) AS n, SUM(ol_quantity) AS qty
+			FROM order_line
+			JOIN orders ON ol_w_id = o_w_id AND ol_d_id = o_d_id AND ol_o_id = o_id
+			JOIN customer ON o_w_id = c_w_id AND o_d_id = c_d_id AND o_c_id = c_id
+			JOIN item ON ol_i_id = i_id
+			WHERE i_price > 80
+			GROUP BY c_state
+			ORDER BY qty DESC`},
+		{15, "supplier-stock-drain", `
+			SELECT s_i_id, SUM(ol_quantity) AS moved
+			FROM order_line
+			JOIN stock ON ol_supply_w_id = s_w_id AND ol_i_id = s_i_id
+			JOIN item ON ol_i_id = i_id
+			WHERE i_price <= 20 AND s_quantity < 50
+			GROUP BY s_i_id
+			ORDER BY moved DESC
+			LIMIT 10`},
+		// Q16's WHERE filters only district, but transitive equality
+		// (d_w_id = o_w_id = ol_w_id) lets every scan prune on w_id = 1.
+		{16, "district-undelivered", `
+			SELECT d_name, COUNT(*) AS pending
+			FROM order_line
+			JOIN orders ON ol_w_id = o_w_id AND ol_d_id = o_d_id AND ol_o_id = o_id
+			JOIN district ON o_w_id = d_w_id AND o_d_id = d_id
+			WHERE o_carrier_id = 0 AND d_w_id = 1
+			GROUP BY d_name
+			ORDER BY pending DESC`},
+		// Q17 is the anti-join pattern: LEFT JOIN against new_order with
+		// IS NULL keeps delivered orders only (the join stays pinned —
+		// reordering around a null-extending join would change results).
+		{17, "delivered-large-orders", `
+			SELECT o_ol_cnt, COUNT(*) AS n
+			FROM orders
+			LEFT JOIN new_order ON o_w_id = no_w_id AND o_d_id = no_d_id AND o_id = no_o_id
+			WHERE no_o_id IS NULL AND o_ol_cnt >= 8
+			GROUP BY o_ol_cnt
+			ORDER BY o_ol_cnt`},
 	}
 }
 

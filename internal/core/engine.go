@@ -93,6 +93,10 @@ type Options struct {
 	// and the batches delivered to Scan callbacks are pooled: valid
 	// only until the callback returns (retainers must Copy them).
 	Parallelism int
+	// DisableJoinReorder forces the SQL planner to join tables in
+	// syntactic order instead of the statistics-driven greedy order —
+	// the A/B switch for plan-parity testing and benchmarks.
+	DisableJoinReorder bool
 }
 
 // Engine is the oadms database engine.
@@ -240,6 +244,10 @@ func (e *Engine) Mode() ConcurrencyMode { return e.opts.Mode }
 // normalized: <= 0 resolved to GOMAXPROCS at engine creation). The SQL
 // planner uses it to size parallel pipelines.
 func (e *Engine) Parallelism() int { return e.opts.Parallelism }
+
+// JoinReorder reports whether the SQL planner may reorder joins using
+// live statistics (Options.DisableJoinReorder inverts it).
+func (e *Engine) JoinReorder() bool { return !e.opts.DisableJoinReorder }
 
 // CreateTable registers a new dual-format table. With Dir-based
 // durability the catalog change is logged (and made durable per the

@@ -44,6 +44,10 @@ type TableScan struct {
 	err error
 	// Stats holds the pruning statistics of the last completed scan.
 	Stats colstore.ScanStats
+	// estRows is the planner's post-pushdown cardinality estimate for
+	// this scan (negative = unset), rendered by DescribePlan so EXPLAIN
+	// shows what drove join ordering.
+	estRows float64
 }
 
 // scanRun is the per-execution state of one producer goroutine.
@@ -71,13 +75,18 @@ func NewTableScan(e *Engine, table string, proj []int, preds []colstore.Predicat
 		}
 	}
 	return &TableScan{
-		engine: e,
-		tbl:    tbl,
-		proj:   proj,
-		schema: projectSchema(tbl.schema, proj),
-		preds:  preds,
+		engine:  e,
+		tbl:     tbl,
+		proj:    proj,
+		schema:  projectSchema(tbl.schema, proj),
+		preds:   preds,
+		estRows: -1,
 	}, nil
 }
+
+// SetEstRows annotates the scan with the planner's post-pushdown
+// cardinality estimate (shown by DescribePlan).
+func (t *TableScan) SetEstRows(rows float64) { t.estRows = rows }
 
 // Bind attaches the transaction whose snapshot the scan reads and the
 // context that cancels it. It resets any previous execution.
@@ -214,6 +223,9 @@ func (t *TableScan) DescribePlan() string {
 			}
 		}
 		sb.WriteString("]")
+	}
+	if t.estRows >= 0 {
+		fmt.Fprintf(&sb, " est=%d", int64(t.estRows+0.5))
 	}
 	if s := t.Stats; s.SegmentsTotal > 0 || s.RowsScanned > 0 {
 		fmt.Fprintf(&sb, " last[segments=%d/%d pruned zones=%d/%d pruned rows=%d matched=%d decoded=%d]",

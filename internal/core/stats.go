@@ -1,0 +1,85 @@
+package core
+
+import (
+	"repro/internal/storage/colstore"
+)
+
+// TableStats is a point-in-time statistics snapshot of one dual-format
+// table, the stable surface the SQL planner's join orderer reads. It
+// folds live row counts (delta included) with the column store's
+// per-segment zone summaries and dictionaries; the segment list is an
+// immutable snapshot, so a TableStats stays consistent for the duration
+// of one planning pass regardless of concurrent merges.
+type TableStats struct {
+	// Name is the table name.
+	Name string
+	// Rows is the live row estimate: cold physical rows minus committed
+	// deletes, plus live delta rows.
+	Rows int
+	// ColdRows is the physical column-store row count (deletes included).
+	ColdRows int
+	// DeltaRows is the live row-store count.
+	DeltaRows int
+
+	segs []*colstore.Segment
+}
+
+// TableStats snapshots the table's statistics for one planning pass.
+func (t *Table) TableStats() TableStats {
+	segs := t.cold.Segments()
+	cold, deleted := 0, 0
+	for _, s := range segs {
+		cold += s.NumRows()
+		deleted += s.DeletedRows()
+	}
+	delta := t.delta.LiveCount()
+	live := cold - deleted + delta
+	if live < 0 {
+		live = 0
+	}
+	return TableStats{Name: t.name, Rows: live, ColdRows: cold, DeltaRows: delta, segs: segs}
+}
+
+// PredSelectivity estimates the fraction of the table's rows matching p,
+// weighting each segment's estimate by its row count. Delta rows carry
+// no summaries, so they inherit the cold estimate when cold rows exist
+// and the operator default otherwise — which keeps estimates usable on
+// freshly loaded (unmerged) tables.
+func (ts TableStats) PredSelectivity(p colstore.Predicate) float64 {
+	coldRows := 0
+	weighted := 0.0
+	for _, s := range ts.segs {
+		coldRows += s.NumRows()
+		weighted += float64(s.NumRows()) * s.SelectivityEstimate(p)
+	}
+	if coldRows == 0 {
+		return colstore.DefaultSelectivity(p.Op)
+	}
+	return weighted / float64(coldRows)
+}
+
+// ColumnDistinct estimates the distinct-value count of column ci across
+// the table (0 = unknown). Per-segment dictionary sizes are summed —
+// segments merged at different times overlap in values, so this
+// overestimates, which is the safe direction for join-output estimates
+// — and capped by the live row count.
+func (ts TableStats) ColumnDistinct(ci int) int {
+	total := 0
+	known := false
+	for _, s := range ts.segs {
+		if d, ok := s.ColumnDistinct(ci); ok {
+			total += d
+			known = true
+		}
+	}
+	if !known {
+		return 0
+	}
+	if total > ts.Rows {
+		total = ts.Rows
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}

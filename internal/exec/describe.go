@@ -56,7 +56,11 @@ func describeInto(sb *strings.Builder, op Operator, depth int) {
 		if v.kind == LeftJoin {
 			kind = "left"
 		}
-		fmt.Fprintf(sb, "HashJoin(%s keys=%d)\n", kind, len(v.leftKeys))
+		if v.Note != "" {
+			fmt.Fprintf(sb, "HashJoin(%s keys=%d %s)\n", kind, len(v.leftKeys), v.Note)
+		} else {
+			fmt.Fprintf(sb, "HashJoin(%s keys=%d)\n", kind, len(v.leftKeys))
+		}
 		describeInto(sb, v.left, depth+1)
 		describeInto(sb, v.right, depth+1)
 	default:

@@ -35,6 +35,10 @@ type HashJoin struct {
 	kind        JoinKind
 	schema      *types.Schema
 
+	// Note is a free-form planner annotation rendered by DescribePlan
+	// (the SQL planner records its estimated output cardinality here).
+	Note string
+
 	// Build state.
 	built bool
 	store *types.Batch // materialized build side (dense)

@@ -82,6 +82,11 @@ type DeleteStmt struct {
 // MergeStmt is the engine extension MERGE TABLE t (delta-merge trigger).
 type MergeStmt struct{ Table string }
 
+// ExplainStmt is EXPLAIN <select>: it compiles the query and returns
+// the operator tree (join order, pushed predicates, cardinality
+// estimates) as rows instead of executing it.
+type ExplainStmt struct{ Query *SelectStmt }
+
 // CreateIndexStmt is CREATE [HASH] INDEX name ON table (cols).
 type CreateIndexStmt struct {
 	Name  string
@@ -98,6 +103,7 @@ func (*SelectStmt) stmt()      {}
 func (*UpdateStmt) stmt()      {}
 func (*DeleteStmt) stmt()      {}
 func (*MergeStmt) stmt()       {}
+func (*ExplainStmt) stmt()     {}
 
 // AstExpr is an unresolved scalar expression.
 type AstExpr interface{ expr() }

@@ -1,0 +1,41 @@
+package sql
+
+import (
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/types"
+)
+
+// EXPLAIN <select> compiles the query exactly as execution would —
+// predicates pushed down, projections pruned, joins ordered by the
+// statistics-driven greedy planner — and returns the operator tree as
+// rows instead of running it. Scan lines carry the planner's
+// post-pushdown cardinality estimates (est=N) and HashJoin lines the
+// estimated join output, so the chosen join order can be read straight
+// off the plan.
+
+// explainSchema is the one-column result shape of EXPLAIN.
+var explainSchema = types.MustSchema([]types.Column{{Name: "plan", Type: types.String}})
+
+// explainRows renders a compiled operator tree one row per plan line.
+func explainRows(root exec.Operator) []types.Row {
+	text := strings.TrimRight(exec.DescribePlan(root), "\n")
+	lines := strings.Split(text, "\n")
+	rows := make([]types.Row, len(lines))
+	for i, line := range lines {
+		rows[i] = types.Row{types.NewString(line)}
+	}
+	return rows
+}
+
+// explainSource wraps the plan rows as a streamable operator for the
+// prepared-statement cursor path.
+func explainSource(root exec.Operator) exec.Operator {
+	rows := explainRows(root)
+	b := types.NewBatch(explainSchema, len(rows))
+	for _, r := range rows {
+		b.AppendRow(r)
+	}
+	return exec.NewSource(explainSchema, []*types.Batch{b})
+}

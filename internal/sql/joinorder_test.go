@@ -1,0 +1,390 @@
+package sql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// newSessionReorder returns two sessions over identically-loaded
+// engines: one with the greedy join orderer (the default) and one
+// pinned to syntactic order — the A/B pair the parity tests compare.
+func newSessionReorder(t *testing.T) (greedy, syntactic *Session) {
+	t.Helper()
+	ge, err := core.NewEngine(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ge.Close() })
+	se, err := core.NewEngine(core.Options{DisableJoinReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { se.Close() })
+	return NewSession(ge), NewSession(se)
+}
+
+// setupJoinTables loads the same three-table star/chain data set into
+// every session: big (row-heavy, partially merged), mid (merged), and
+// small (delta-only, so its stats come from live row counts alone).
+// tag carries NULLs so LEFT-join and IS NULL paths get exercised.
+func setupJoinTables(t *testing.T, sessions ...*Session) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	type rowBig struct{ id, grp, val, sid int }
+	type rowMid struct {
+		id, grp, sid int
+		tag          string
+	}
+	bigRows := make([]rowBig, 2000)
+	for i := range bigRows {
+		bigRows[i] = rowBig{id: i, grp: rng.Intn(50), val: rng.Intn(100), sid: rng.Intn(40)}
+	}
+	midRows := make([]rowMid, 300)
+	for i := range midRows {
+		tag := fmt.Sprintf("t%d", rng.Intn(8))
+		if rng.Intn(5) == 0 {
+			tag = "" // rendered as NULL below
+		}
+		midRows[i] = rowMid{id: i, grp: rng.Intn(50), sid: rng.Intn(40), tag: tag}
+	}
+	for _, s := range sessions {
+		mustExec(t, s, `CREATE TABLE big (id BIGINT, grp BIGINT, val BIGINT, sid BIGINT, PRIMARY KEY (id))`)
+		mustExec(t, s, `CREATE TABLE mid (id BIGINT, grp BIGINT, sid BIGINT, tag VARCHAR, PRIMARY KEY (id))`)
+		mustExec(t, s, `CREATE TABLE small (id BIGINT, code BIGINT, PRIMARY KEY (id))`)
+		var sb strings.Builder
+		for i, r := range bigRows {
+			if i%500 == 0 {
+				if sb.Len() > 0 {
+					mustExec(t, s, sb.String())
+				}
+				sb.Reset()
+				sb.WriteString("INSERT INTO big VALUES ")
+			} else {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "(%d,%d,%d,%d)", r.id, r.grp, r.val, r.sid)
+		}
+		mustExec(t, s, sb.String())
+		sb.Reset()
+		sb.WriteString("INSERT INTO mid VALUES ")
+		for i, r := range midRows {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			if r.tag == "" {
+				fmt.Fprintf(&sb, "(%d,%d,%d,NULL)", r.id, r.grp, r.sid)
+			} else {
+				fmt.Fprintf(&sb, "(%d,%d,%d,'%s')", r.id, r.grp, r.sid, r.tag)
+			}
+		}
+		mustExec(t, s, sb.String())
+		sb.Reset()
+		sb.WriteString("INSERT INTO small VALUES ")
+		for i := 0; i < 40; i++ {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "(%d,%d)", i, i%12)
+		}
+		mustExec(t, s, sb.String())
+		mustExec(t, s, "MERGE TABLE big")
+		mustExec(t, s, "MERGE TABLE mid")
+		// small stays delta-only on purpose.
+	}
+}
+
+// renderResult flattens a result to schema plus sorted row strings so
+// two plans producing the same multiset in different orders compare
+// equal — and plans producing different column orders do not.
+func renderResult(r *Result) []string {
+	names := make([]string, len(r.Schema.Cols))
+	for i, c := range r.Schema.Cols {
+		names[i] = c.Name
+	}
+	out := make([]string, 0, len(r.Rows)+1)
+	rows := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		rows = append(rows, strings.Join(parts, "|"))
+	}
+	sort.Strings(rows)
+	out = append(out, "schema:"+strings.Join(names, "|"))
+	return append(out, rows...)
+}
+
+// TestJoinReorderParity runs a battery of multi-join queries — inner
+// chains, LEFT joins, pushdown-sensitive filters, transitive equality,
+// aggregates, stars — against a greedy and a syntactic engine over
+// identical data and requires byte-identical results modulo row order.
+func TestJoinReorderParity(t *testing.T) {
+	greedy, syntactic := newSessionReorder(t)
+	setupJoinTables(t, greedy, syntactic)
+
+	queries := []string{
+		// 3-way inner chain, no filter.
+		`SELECT b.id, b.val, m.tag, s.code FROM big b JOIN mid m ON b.grp = m.grp JOIN small s ON m.sid = s.id`,
+		// Selective predicate on the syntactically-last table: the case
+		// greedy reordering exists for.
+		`SELECT b.id, s.code FROM big b JOIN mid m ON b.grp = m.grp JOIN small s ON m.sid = s.id WHERE s.code = 3 AND b.val < 50`,
+		// Unqualified column references (CH style).
+		`SELECT val, tag FROM big JOIN mid ON big.grp = mid.grp WHERE val = 7`,
+		// Transitive equality: mid.grp = 5 must also filter big.
+		`SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE m.grp = 5`,
+		// LEFT JOIN with a null-rejecting WHERE on the nullable side
+		// (pushdown must keep the residual filter).
+		`SELECT b.id, m.tag FROM big b LEFT JOIN mid m ON b.id = m.id WHERE m.tag = 't1'`,
+		// LEFT JOIN keeping only null-extended rows (never pushed).
+		`SELECT b.id, m.tag FROM big b LEFT JOIN mid m ON b.id = m.id WHERE m.tag IS NULL`,
+		// Inner prefix reordered, LEFT join pinned behind it.
+		`SELECT b.id, m.id, s.code FROM big b JOIN mid m ON b.grp = m.grp LEFT JOIN small s ON m.sid = s.id WHERE b.val = 9`,
+		// ON-clause single-table filter on an inner join.
+		`SELECT b.id, m.id FROM big b JOIN mid m ON b.grp = m.grp AND m.sid = 3 WHERE b.val < 20`,
+		// Aggregation over a reordered join (integer sums commute).
+		`SELECT m.tag, COUNT(*) AS n, SUM(b.val) AS tv FROM big b JOIN mid m ON b.grp = m.grp WHERE b.val >= 10 GROUP BY m.tag`,
+		// Star expansion must keep declared column order.
+		`SELECT * FROM small s JOIN mid m ON s.id = m.sid WHERE s.code <= 5`,
+		// ORDER BY + LIMIT over a unique key (deterministic subset).
+		`SELECT m.id, s.code FROM small s JOIN mid m ON s.id = m.sid WHERE s.code < 6 ORDER BY m.id LIMIT 25`,
+	}
+	for _, q := range queries {
+		gr, err := greedy.Exec(q)
+		if err != nil {
+			t.Fatalf("greedy exec %q: %v", q, err)
+		}
+		sr, err := syntactic.Exec(q)
+		if err != nil {
+			t.Fatalf("syntactic exec %q: %v", q, err)
+		}
+		g, s := renderResult(gr), renderResult(sr)
+		if len(g) != len(s) {
+			t.Fatalf("row count mismatch for %q: greedy=%d syntactic=%d", q, len(g)-1, len(s)-1)
+		}
+		for i := range g {
+			if g[i] != s[i] {
+				t.Fatalf("result mismatch for %q at %d:\n greedy:    %s\n syntactic: %s", q, i, g[i], s[i])
+			}
+		}
+		if len(g) == 1 {
+			t.Fatalf("query %q returned no rows; parity check is vacuous", q)
+		}
+	}
+}
+
+// TestJoinReorderParityRandomized fuzzes filter constants over the
+// parity pair: every generated query must produce identical multisets
+// under greedy and syntactic orders.
+func TestJoinReorderParityRandomized(t *testing.T) {
+	greedy, syntactic := newSessionReorder(t)
+	setupJoinTables(t, greedy, syntactic)
+	rng := rand.New(rand.NewSource(7))
+
+	templates := []string{
+		`SELECT b.id, s.code FROM big b JOIN mid m ON b.grp = m.grp JOIN small s ON m.sid = s.id WHERE s.code = %d AND b.val < %d`,
+		`SELECT b.id, m.tag FROM big b LEFT JOIN mid m ON b.id = m.id WHERE m.tag = 't%d' AND b.val >= %d`,
+		`SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE m.grp = %d AND b.sid <= %d`,
+		`SELECT COUNT(*) AS n FROM big b JOIN mid m ON b.grp = m.grp JOIN small s ON b.sid = s.id WHERE s.code >= %d AND m.sid < %d`,
+	}
+	for i := 0; i < 24; i++ {
+		q := fmt.Sprintf(templates[i%len(templates)], rng.Intn(12), rng.Intn(60))
+		gr, err := greedy.Exec(q)
+		if err != nil {
+			t.Fatalf("greedy exec %q: %v", q, err)
+		}
+		sr, err := syntactic.Exec(q)
+		if err != nil {
+			t.Fatalf("syntactic exec %q: %v", q, err)
+		}
+		g, s := renderResult(gr), renderResult(sr)
+		if strings.Join(g, "\n") != strings.Join(s, "\n") {
+			t.Fatalf("result mismatch for %q:\n greedy:\n%s\n syntactic:\n%s",
+				q, strings.Join(g, "\n"), strings.Join(s, "\n"))
+		}
+	}
+}
+
+// TestLeftJoinPushdownSemantics pins LEFT JOIN filter semantics with
+// hand-computed expectations: a null-rejecting WHERE on the nullable
+// side drops null-extended rows even though the predicate is also
+// pushed into the scan, and IS NULL keeps exactly the unmatched rows.
+func TestLeftJoinPushdownSemantics(t *testing.T) {
+	s := newSession(t)
+	mustExec(t, s, `CREATE TABLE l (id BIGINT, x BIGINT, PRIMARY KEY (id))`)
+	mustExec(t, s, `CREATE TABLE r (id BIGINT, y BIGINT, PRIMARY KEY (id))`)
+	mustExec(t, s, `INSERT INTO l VALUES (1, 1), (2, 2), (3, 3)`)
+	mustExec(t, s, `INSERT INTO r VALUES (1, 10), (2, 20)`)
+	mustExec(t, s, "MERGE TABLE l")
+	mustExec(t, s, "MERGE TABLE r")
+
+	res := mustExec(t, s, `SELECT l.id, r.y FROM l LEFT JOIN r ON l.id = r.id WHERE r.y = 10`)
+	got := renderResult(res)
+	if len(got) != 2 || got[1] != "1|10" {
+		t.Fatalf("WHERE r.y = 10 over LEFT JOIN: want exactly [1|10], got %v", got[1:])
+	}
+
+	res = mustExec(t, s, `SELECT l.id FROM l LEFT JOIN r ON l.id = r.id WHERE r.y IS NULL`)
+	got = renderResult(res)
+	if len(got) != 2 || got[1] != "3" {
+		t.Fatalf("WHERE r.y IS NULL over LEFT JOIN: want exactly [3], got %v", got[1:])
+	}
+
+	res = mustExec(t, s, `SELECT l.id FROM l LEFT JOIN r ON l.id = r.id WHERE r.y IS NOT NULL`)
+	got = renderResult(res)
+	if len(got) != 3 || got[1] != "1" || got[2] != "2" {
+		t.Fatalf("WHERE r.y IS NOT NULL over LEFT JOIN: want [1 2], got %v", got[1:])
+	}
+
+	// ON-clause filter on the nullable side: restricts matching, still
+	// null-extends.
+	res = mustExec(t, s, `SELECT l.id, r.y FROM l LEFT JOIN r ON l.id = r.id AND r.y = 10`)
+	got = renderResult(res)
+	want := []string{"1|10", "2|NULL", "3|NULL"}
+	if len(got) != 4 || got[1] != want[0] || got[2] != want[1] || got[3] != want[2] {
+		t.Fatalf("ON r.y = 10 over LEFT JOIN: want %v, got %v", want, got[1:])
+	}
+}
+
+// TestGreedyJoinOrderPlan pins the plan shape: the greedy planner
+// probes from the smallest (most selective) relation while the
+// syntactic engine keeps declared order, and both annotate estimates.
+func TestGreedyJoinOrderPlan(t *testing.T) {
+	greedy, syntactic := newSessionReorder(t)
+	setupJoinTables(t, greedy, syntactic)
+
+	q := `SELECT b.id FROM big b JOIN small s ON b.sid = s.id`
+	gp := planOf(t, greedy, q)
+	if strings.Index(gp, "TableScan(small") > strings.Index(gp, "TableScan(big") {
+		t.Fatalf("greedy plan must probe from small, got:\n%s", gp)
+	}
+	if !strings.Contains(gp, " est=") {
+		t.Fatalf("plan must carry cardinality estimates, got:\n%s", gp)
+	}
+	sp := planOf(t, syntactic, q)
+	if strings.Index(sp, "TableScan(big") > strings.Index(sp, "TableScan(small") {
+		t.Fatalf("syntactic plan must keep declared order, got:\n%s", sp)
+	}
+
+	// A selective filter moves the filtered table to the front.
+	q = `SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE m.sid = 3`
+	gp = planOf(t, greedy, q)
+	if strings.Index(gp, "TableScan(mid") > strings.Index(gp, "TableScan(big") {
+		t.Fatalf("greedy plan must probe from the filtered table, got:\n%s", gp)
+	}
+}
+
+// TestTransitiveEqualityPushdown verifies a literal filter crosses an
+// inner equi-edge: WHERE m.grp = 5 must also appear as a pushed
+// predicate on big's scan.
+func TestTransitiveEqualityPushdown(t *testing.T) {
+	greedy, _ := newSessionReorder(t)
+	setupJoinTables(t, greedy)
+
+	plan := planOf(t, greedy, `SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE m.grp = 5`)
+	for _, line := range strings.Split(plan, "\n") {
+		if strings.Contains(line, "TableScan(big") {
+			if !strings.Contains(line, "grp=5") {
+				t.Fatalf("big's scan must carry the transitive grp=5 predicate, got:\n%s", plan)
+			}
+			return
+		}
+	}
+	t.Fatalf("no big scan in plan:\n%s", plan)
+}
+
+// TestMultiTableColumnPruning verifies join scans project only the
+// referenced columns instead of full schemas.
+func TestMultiTableColumnPruning(t *testing.T) {
+	greedy, _ := newSessionReorder(t)
+	setupJoinTables(t, greedy)
+
+	// big has 4 columns but only id+grp are referenced; mid has 4 and
+	// only grp is referenced.
+	plan := planOf(t, greedy, `SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp`)
+	for _, line := range strings.Split(plan, "\n") {
+		if strings.Contains(line, "TableScan(big") && !strings.Contains(line, "cols=2") {
+			t.Fatalf("big must project 2 columns, got:\n%s", plan)
+		}
+		if strings.Contains(line, "TableScan(mid") && !strings.Contains(line, "cols=1") {
+			t.Fatalf("mid must project 1 column, got:\n%s", plan)
+		}
+	}
+
+	// Ambiguity survives pruning: an unqualified name in two relations
+	// still errors.
+	if _, err := greedy.Exec(`SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE sid = 1`); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Fatalf("ambiguous unqualified column must error, got %v", err)
+	}
+}
+
+// TestExplainStatement runs EXPLAIN through the session and prepared
+// paths: plan rows round-trip the join order and estimates without
+// executing the query.
+func TestExplainStatement(t *testing.T) {
+	greedy, _ := newSessionReorder(t)
+	setupJoinTables(t, greedy)
+
+	res := mustExec(t, greedy, `EXPLAIN SELECT b.id, s.code FROM big b JOIN small s ON b.sid = s.id WHERE s.code = 3`)
+	if len(res.Schema.Cols) != 1 || res.Schema.Cols[0].Name != "plan" {
+		t.Fatalf("EXPLAIN schema = %v", res.Schema.Cols)
+	}
+	text := ""
+	for _, row := range res.Rows {
+		text += row[0].S + "\n"
+	}
+	if !strings.Contains(text, "HashJoin(inner keys=1 est=") {
+		t.Fatalf("EXPLAIN must annotate the join estimate, got:\n%s", text)
+	}
+	if !strings.Contains(text, "TableScan(big") || !strings.Contains(text, "TableScan(small") {
+		t.Fatalf("EXPLAIN must list both scans, got:\n%s", text)
+	}
+	if !strings.Contains(text, "Projection") {
+		t.Fatalf("EXPLAIN must render the full tree, got:\n%s", text)
+	}
+
+	// Prepared path: IsQuery, Schema, ExecTx.
+	p, err := Prepare(greedy.engine, `EXPLAIN SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsQuery() {
+		t.Fatal("EXPLAIN must report IsQuery")
+	}
+	if p.Schema().Cols[0].Name != "plan" {
+		t.Fatalf("prepared EXPLAIN schema = %v", p.Schema().Cols)
+	}
+
+	// EXPLAIN of invalid SQL errors like the query itself would.
+	if _, err := greedy.Exec(`EXPLAIN SELECT nope FROM big`); err == nil {
+		t.Fatal("EXPLAIN of an invalid query must error")
+	}
+	if _, err := greedy.Exec(`EXPLAIN INSERT INTO big VALUES (1,2,3,4)`); err == nil {
+		t.Fatal("EXPLAIN of non-SELECT must error")
+	}
+}
+
+// TestJoinReorderErrorsPreserved pins pre-existing planner errors the
+// rewrite must not lose.
+func TestJoinReorderErrorsPreserved(t *testing.T) {
+	greedy, _ := newSessionReorder(t)
+	setupJoinTables(t, greedy)
+
+	cases := []struct{ q, want string }{
+		{`SELECT b.id FROM big b JOIN mid m ON b.val < m.sid`, "equi-condition"},
+		{`SELECT b.id FROM big b LEFT JOIN mid m ON b.id = m.id AND b.val = 1`, "LEFT JOIN supports only equi-conditions"},
+		{`SELECT b.id FROM big b JOIN mid m ON b.grp = m.grp WHERE nosuch = 1`, "unknown column"},
+	}
+	for _, c := range cases {
+		_, err := greedy.Exec(c.q)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%q: want error containing %q, got %v", c.q, c.want, err)
+		}
+	}
+}

@@ -1,0 +1,683 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage/colstore"
+	"repro/internal/types"
+)
+
+// This file plans multi-table SELECTs. The planner builds a join graph
+// from the ON clauses (equi-edges), generalizes predicate pushdown so
+// any WHERE or ON conjunct that resolves within a single table filters
+// that table's scan, propagates literal comparisons across inner
+// equi-edges (transitive equality), prunes scan projections to the
+// columns the query actually references, and — when statistics allow —
+// reorders the inner joins greedily, smallest estimated intermediate
+// first. LEFT joins pin the order: relations from the first LEFT join
+// on attach in syntactic order, because reordering around null-
+// extending joins changes results. Reordering is invisible in the
+// output: the final projection restores declared column order, and
+// an engine started with DisableJoinReorder plans the same query in
+// syntactic order for A/B comparison.
+
+// relPred is one storage predicate destined for a relation's scan,
+// with the planner-side metadata the estimator and bind path need.
+type relPred struct {
+	p        colstore.Predicate
+	paramIdx int // >= 0: value arrives from this parameter slot at bind
+}
+
+// relation is one FROM-list table of a multi-table SELECT.
+type relation struct {
+	idx      int // syntactic position: 0 = FROM, i>0 = Joins[i-1].Table
+	ref      *TableRef
+	alias    string
+	schema   *types.Schema
+	joinIdx  int  // index into st.Joins; -1 for the FROM table
+	nullable bool // right side of a LEFT JOIN: rows may null-extend
+	preds    []relPred
+	est      float64
+	stats    core.TableStats
+	needed   map[int]bool
+	proj     []int       // sorted needed columns = the scan projection
+	pos      map[int]int // full-schema column -> position in proj
+	scan     *core.TableScan
+}
+
+// joinEdge is one equi-join conjunct linking two relations. Edges
+// always connect a join's own relation (joinIdx+1) to an earlier one.
+type joinEdge struct {
+	r1, c1  int // relation index, full-schema column
+	r2, c2  int
+	joinIdx int
+}
+
+// planJoinSelect compiles a SELECT with at least one JOIN.
+func planJoinSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
+	e := pc.engine
+
+	// Resolve relations. A relation is nullable when it is the right
+	// side of a LEFT JOIN — its columns may be null-extended above the
+	// join, which restricts what may be pushed into its scan.
+	rels := make([]*relation, 0, 1+len(st.Joins))
+	addRel := func(ref *TableRef, joinIdx int, nullable bool) error {
+		tbl, err := e.Table(ref.Table)
+		if err != nil {
+			return err
+		}
+		rels = append(rels, &relation{
+			idx:      len(rels),
+			ref:      ref,
+			alias:    strings.ToLower(ref.Alias),
+			schema:   tbl.Schema(),
+			joinIdx:  joinIdx,
+			nullable: nullable,
+			stats:    tbl.TableStats(),
+			needed:   map[int]bool{},
+		})
+		return nil
+	}
+	if err := addRel(st.From, -1, false); err != nil {
+		return nil, err
+	}
+	for i, j := range st.Joins {
+		if err := addRel(j.Table, i, j.Left); err != nil {
+			return nil, err
+		}
+	}
+
+	// Star expansion works on the DECLARED scope (syntactic relation
+	// order, full schemas): `SELECT *` column order must not depend on
+	// the physical join order the planner picks below.
+	declared := scope{pc: pc}
+	for _, rel := range rels {
+		for _, c := range rel.schema.Cols {
+			declared.cols = append(declared.cols, scopeCol{qual: rel.alias, name: strings.ToLower(c.Name), typ: c.Type})
+		}
+	}
+	items, err := expandStars(st.Items, &declared)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify WHERE conjuncts: anything resolving to one relation
+	// pushes into its scan, the rest stays as a residual filter.
+	var residual []AstExpr
+	if st.Where != nil {
+		for _, c := range splitConjuncts(st.Where, nil) {
+			if keep := pushWhereConjunct(rels, c); keep {
+				residual = append(residual, c)
+			}
+		}
+	}
+
+	// Classify ON clauses into equi-edges, single-table pushdowns, and
+	// residuals. Inner-join residuals are WHERE-equivalent; LEFT joins
+	// accept only equi-conditions plus filters on their own (right)
+	// relation, which push into the scan with matching semantics.
+	var edges []joinEdge
+	for i, j := range st.Joins {
+		newRel := i + 1
+		haveEdge := false
+		for _, c := range splitConjuncts(j.On, nil) {
+			if ed, ok := extractEquiEdge(rels, c, newRel); ok {
+				edges = append(edges, ed)
+				haveEdge = true
+				continue
+			}
+			if ri, rp, ok := pushableSingleRel(rels, c); ok {
+				if !j.Left {
+					if keep := applyPushPolicy(rels[ri], c, rp); keep {
+						residual = append(residual, c)
+					}
+					continue
+				}
+				if ri == newRel {
+					// An ON filter on the LEFT join's own relation
+					// restricts which build rows can match; unmatched
+					// probe rows still null-extend. Pushing into the
+					// scan is exactly those semantics.
+					rels[ri].preds = append(rels[ri].preds, rp)
+					continue
+				}
+				return nil, fmt.Errorf("sql: LEFT JOIN supports only equi-conditions")
+			}
+			if j.Left {
+				return nil, fmt.Errorf("sql: LEFT JOIN supports only equi-conditions")
+			}
+			residual = append(residual, c)
+		}
+		if !haveEdge {
+			return nil, fmt.Errorf("sql: join requires at least one equi-condition")
+		}
+	}
+
+	synthesizeTransitivePreds(rels, edges, st)
+
+	for _, rel := range rels {
+		rel.est = estimateRelRows(rel.stats, rel.preds)
+	}
+
+	// Physical join order: greedily reorder the prefix of inner joins;
+	// everything from the first LEFT join on is pinned syntactic.
+	reorderable := len(rels)
+	for i, j := range st.Joins {
+		if j.Left {
+			reorderable = i + 1
+			break
+		}
+	}
+	var order []int
+	if e.JoinReorder() && reorderable >= 2 {
+		order = greedyOrder(rels, edges, reorderable)
+	}
+	if order == nil {
+		order = make([]int, len(rels))
+		for i := range order {
+			order[i] = i
+		}
+	}
+
+	// Column pruning: a scan projects only the columns referenced above
+	// it. Pushed predicates are NOT included — the storage layer
+	// evaluates them without projection (late materialization).
+	for _, it := range items {
+		collectNeededCols(rels, it.Expr)
+	}
+	for _, c := range residual {
+		collectNeededCols(rels, c)
+	}
+	for _, g := range st.GroupBy {
+		collectNeededCols(rels, g)
+	}
+	if st.Having != nil {
+		collectNeededCols(rels, st.Having)
+	}
+	for _, oi := range st.OrderBy {
+		collectNeededCols(rels, oi.Expr)
+	}
+	for _, ed := range edges {
+		rels[ed.r1].needed[ed.c1] = true
+		rels[ed.r2].needed[ed.c2] = true
+	}
+	for _, rel := range rels {
+		rel.proj = make([]int, 0, len(rel.needed))
+		for ci := range rel.needed {
+			rel.proj = append(rel.proj, ci)
+		}
+		sort.Ints(rel.proj)
+		rel.pos = make(map[int]int, len(rel.proj))
+		for p, ci := range rel.proj {
+			rel.pos[ci] = p
+		}
+	}
+
+	// Compile the scans.
+	for _, rel := range rels {
+		preds := make([]colstore.Predicate, len(rel.preds))
+		var pps []predParamSlot
+		for i, rp := range rel.preds {
+			preds[i] = rp.p
+			if rp.paramIdx >= 0 {
+				pps = append(pps, predParamSlot{predIdx: i, paramIdx: rp.paramIdx, colType: rel.schema.Cols[rp.p.Col].Type})
+			}
+		}
+		scan, err := core.NewTableScan(e, rel.ref.Table, rel.proj, preds)
+		if err != nil {
+			return nil, err
+		}
+		scan.SetEstRows(rel.est)
+		rel.scan = scan
+		pc.scans = append(pc.scans, &scanBinding{scan: scan, predParams: pps})
+	}
+
+	// Assemble the left-deep join tree in physical order. The running
+	// scope concatenates each relation's PROJECTED columns; name-based
+	// resolution makes everything above order-independent, and the
+	// final projection restores declared output order.
+	sc := scope{pc: pc}
+	abs := map[[2]int]int{} // (relation, full-schema column) -> tree position
+	width := 0
+	inTree := make([]bool, len(rels))
+	appendRel := func(rel *relation) {
+		for p, ci := range rel.proj {
+			c := rel.schema.Cols[ci]
+			sc.cols = append(sc.cols, scopeCol{qual: rel.alias, name: strings.ToLower(c.Name), typ: c.Type})
+			abs[[2]int{rel.idx, ci}] = width + p
+		}
+		width += len(rel.proj)
+		inTree[rel.idx] = true
+	}
+	var op exec.Operator
+	curEst := 0.0
+	for oi, r := range order {
+		rel := rels[r]
+		if oi == 0 {
+			op = rel.scan
+			curEst = rel.est
+			appendRel(rel)
+			continue
+		}
+		kind := exec.InnerJoin
+		if rel.joinIdx >= 0 && st.Joins[rel.joinIdx].Left {
+			kind = exec.LeftJoin
+		}
+		es := incidentEdges(edges, r, inTree)
+		if kind == exec.LeftJoin {
+			// A LEFT join's match condition is its own ON clause only.
+			filtered := es[:0]
+			for _, ed := range es {
+				if ed.joinIdx == rel.joinIdx {
+					filtered = append(filtered, ed)
+				}
+			}
+			es = filtered
+		}
+		if len(es) == 0 {
+			return nil, fmt.Errorf("sql: join requires at least one equi-condition")
+		}
+		lk := make([]int, len(es))
+		rk := make([]int, len(es))
+		for i, ed := range es {
+			candCol, otherRel, otherCol := orientEdge(ed, r)
+			lk[i] = abs[[2]int{otherRel, otherCol}]
+			rk[i] = rel.pos[candCol]
+		}
+		outEst := joinOutEstimate(curEst, rels, r, es)
+		// The join build is a pipeline breaker: mark the build-side scan
+		// so the morsel workers materialize it in parallel.
+		hj := exec.NewHashJoin(op, exec.MarkPipeline(rel.scan, e.Parallelism()), lk, rk, kind)
+		hj.Note = fmt.Sprintf("est=%d", renderEst(outEst))
+		op = hj
+		curEst = outEst
+		appendRel(rel)
+	}
+
+	return planSelectTail(op, &sc, st, items, residual)
+}
+
+// pushWhereConjunct applies the WHERE pushdown policy to one conjunct.
+// It returns true when the conjunct must remain as a residual filter.
+func pushWhereConjunct(rels []*relation, c AstExpr) bool {
+	ri, rp, ok := pushableSingleRel(rels, c)
+	if !ok {
+		return true
+	}
+	return applyPushPolicy(rels[ri], c, rp)
+}
+
+// applyPushPolicy installs a single-relation predicate under LEFT JOIN
+// safe rules and reports whether the conjunct must also stay residual.
+//
+// Non-nullable relation: push and consume — filtering the scan is
+// exactly the WHERE semantics.
+//
+// Nullable relation (right side of a LEFT join): a WHERE filter on its
+// columns also rejects or accepts the NULL-extended rows the join
+// fabricates, which the scan never sees. Null-rejecting predicates
+// (comparisons, IS NOT NULL) still push — fewer build rows, same
+// survivors — but the conjunct is kept residual so null-extended rows
+// are filtered above the join. IS NULL must not push at all: a scan
+// filtered to NULLs would stop matching rows whose presence is exactly
+// what distinguishes a real NULL from a fabricated one.
+func applyPushPolicy(rel *relation, c AstExpr, rp relPred) (residual bool) {
+	if !rel.nullable {
+		rel.preds = append(rel.preds, rp)
+		return false
+	}
+	if rp.p.Op == colstore.OpIsNull {
+		return true
+	}
+	rel.preds = append(rel.preds, rp)
+	return true
+}
+
+// resolveRelCol attributes a column reference to exactly one relation.
+// ok is false when the name is unknown, or unqualified and ambiguous —
+// ambiguity is NOT resolved here so the compile-time error still fires.
+func resolveRelCol(rels []*relation, c *ColExpr) (ri, ci int, ok bool) {
+	q := strings.ToLower(c.Table)
+	ri, ci = -1, -1
+	for _, rel := range rels {
+		if q != "" && q != rel.alias {
+			continue
+		}
+		i := rel.schema.ColIndex(c.Name)
+		if i < 0 {
+			continue
+		}
+		if ri >= 0 {
+			return -1, -1, false // ambiguous
+		}
+		ri, ci = rel.idx, i
+	}
+	return ri, ci, ri >= 0
+}
+
+// pushableSingleRel matches conjuncts of the form `col op literal`,
+// `col op ?`, or `col IS [NOT] NULL` whose column attributes to exactly
+// one relation, and lowers them to a storage predicate. Literal values
+// follow the same numeric coercion rules as single-table pushdown.
+func pushableSingleRel(rels []*relation, c AstExpr) (int, relPred, bool) {
+	if n, ok := c.(*IsNullExpr); ok {
+		colE, ok := n.E.(*ColExpr)
+		if !ok {
+			return 0, relPred{}, false
+		}
+		ri, ci, ok := resolveRelCol(rels, colE)
+		if !ok {
+			return 0, relPred{}, false
+		}
+		op := colstore.OpIsNull
+		if n.Negate {
+			op = colstore.OpIsNotNull
+		}
+		return ri, relPred{p: colstore.Predicate{Col: ci, Op: op}, paramIdx: -1}, true
+	}
+	b, ok := c.(*BinExpr)
+	if !ok {
+		return 0, relPred{}, false
+	}
+	op, ok := cmpToColstore[b.Op]
+	if !ok {
+		return 0, relPred{}, false
+	}
+	colE, lit, param, flipped := extractColLit(b)
+	if colE == nil {
+		return 0, relPred{}, false
+	}
+	ri, ci, ok := resolveRelCol(rels, colE)
+	if !ok {
+		return 0, relPred{}, false
+	}
+	if flipped {
+		op = flipOp(op)
+	}
+	colT := rels[ri].schema.Cols[ci].Type
+	if param != nil {
+		return ri, relPred{p: colstore.Predicate{Col: ci, Op: op}, paramIdx: param.Idx}, true
+	}
+	val, ok := coerceLit(lit, colT)
+	if !ok {
+		return 0, relPred{}, false
+	}
+	return ri, relPred{p: colstore.Predicate{Col: ci, Op: op, Val: val}, paramIdx: -1}, true
+}
+
+// coerceLit coerces a literal to a column type for pushdown: int
+// literals widen for float columns; float literals are accepted
+// against int columns (storage compares numerically); anything else
+// must match exactly.
+func coerceLit(val types.Value, colT types.Type) (types.Value, bool) {
+	if colT == types.Float64 && val.Typ == types.Int64 {
+		return types.NewFloat(float64(val.I)), true
+	}
+	if val.Typ == colT {
+		return val, true
+	}
+	if val.IsNumeric() && colT == types.Int64 && val.Typ == types.Float64 {
+		return val, true
+	}
+	return val, false
+}
+
+// extractEquiEdge matches `col = col` conjuncts linking the join's own
+// relation (newRel) to an earlier one. Unqualified names resolve with
+// positional ON scoping — one side against the earlier relations, the
+// other against the new relation — mirroring how a left-deep planner
+// would scope the clause.
+func extractEquiEdge(rels []*relation, c AstExpr, newRel int) (joinEdge, bool) {
+	b, ok := c.(*BinExpr)
+	if !ok || b.Op != "=" {
+		return joinEdge{}, false
+	}
+	lc, lok := b.L.(*ColExpr)
+	rc, rok := b.R.(*ColExpr)
+	if !lok || !rok {
+		return joinEdge{}, false
+	}
+	earlier := func(i int) bool { return i < newRel }
+	isNew := func(i int) bool { return i == newRel }
+	if r1, c1, ok1 := resolveRelColIn(rels, lc, earlier); ok1 {
+		if r2, c2, ok2 := resolveRelColIn(rels, rc, isNew); ok2 {
+			return joinEdge{r1: r1, c1: c1, r2: r2, c2: c2, joinIdx: newRel - 1}, true
+		}
+	}
+	if r1, c1, ok1 := resolveRelColIn(rels, rc, earlier); ok1 {
+		if r2, c2, ok2 := resolveRelColIn(rels, lc, isNew); ok2 {
+			return joinEdge{r1: r1, c1: c1, r2: r2, c2: c2, joinIdx: newRel - 1}, true
+		}
+	}
+	return joinEdge{}, false
+}
+
+// resolveRelColIn is resolveRelCol restricted to relations allowed by
+// the filter (ambiguity within the allowed set still fails).
+func resolveRelColIn(rels []*relation, c *ColExpr, allowed func(int) bool) (ri, ci int, ok bool) {
+	q := strings.ToLower(c.Table)
+	ri, ci = -1, -1
+	for _, rel := range rels {
+		if !allowed(rel.idx) {
+			continue
+		}
+		if q != "" && q != rel.alias {
+			continue
+		}
+		i := rel.schema.ColIndex(c.Name)
+		if i < 0 {
+			continue
+		}
+		if ri >= 0 {
+			return -1, -1, false
+		}
+		ri, ci = rel.idx, i
+	}
+	return ri, ci, ri >= 0
+}
+
+// collectNeededCols marks every base-table column the expression
+// references as needed by its relation. An ambiguous unqualified
+// reference marks EVERY candidate: pruning one of them away would turn
+// the compile-time ambiguity error into silent resolution.
+func collectNeededCols(rels []*relation, e AstExpr) {
+	switch v := e.(type) {
+	case *ColExpr:
+		q := strings.ToLower(v.Table)
+		for _, rel := range rels {
+			if q != "" && q != rel.alias {
+				continue
+			}
+			if ci := rel.schema.ColIndex(v.Name); ci >= 0 {
+				rel.needed[ci] = true
+			}
+		}
+	case *BinExpr:
+		collectNeededCols(rels, v.L)
+		collectNeededCols(rels, v.R)
+	case *NotExpr:
+		collectNeededCols(rels, v.E)
+	case *IsNullExpr:
+		collectNeededCols(rels, v.E)
+	case *InExpr:
+		collectNeededCols(rels, v.E)
+	case *LikeExpr:
+		collectNeededCols(rels, v.E)
+	case *AggExpr:
+		if !v.Star {
+			collectNeededCols(rels, v.Arg)
+		}
+	}
+}
+
+// synthesizeTransitivePreds propagates literal comparisons across inner
+// equi-join edges: `a.x = b.y AND a.x < 5` implies `b.y < 5` on every
+// surviving row, so b's scan can filter and zone-prune with it too.
+// Synthesized predicates are push-only — the originating conjunct keeps
+// its own placement — and flow only through edges between non-nullable
+// relations of inner joins, where the implication is exact.
+func synthesizeTransitivePreds(rels []*relation, edges []joinEdge, st *SelectStmt) {
+	parent := map[[2]int][2]int{}
+	var find func(x [2]int) [2]int
+	find = func(x [2]int) [2]int {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	union := func(a, b [2]int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	var nodes [][2]int
+	seenNode := map[[2]int]bool{}
+	addNode := func(x [2]int) {
+		if !seenNode[x] {
+			seenNode[x] = true
+			nodes = append(nodes, x)
+		}
+	}
+	for _, ed := range edges {
+		if st.Joins[ed.joinIdx].Left || rels[ed.r1].nullable || rels[ed.r2].nullable {
+			continue
+		}
+		a, b := [2]int{ed.r1, ed.c1}, [2]int{ed.r2, ed.c2}
+		addNode(a)
+		addNode(b)
+		union(a, b)
+	}
+	if len(nodes) == 0 {
+		return
+	}
+	members := map[[2]int][][2]int{}
+	for _, x := range nodes {
+		r := find(x)
+		members[r] = append(members[r], x)
+	}
+	seenPred := func(rel *relation, p colstore.Predicate) bool {
+		for _, rp := range rel.preds {
+			if rp.p.Col == p.Col && rp.p.Op == p.Op && rp.paramIdx < 0 && rp.p.Val == p.Val {
+				return true
+			}
+		}
+		return false
+	}
+	// Snapshot source predicates first: synthesized ones must not
+	// themselves propagate (they are copies already).
+	type src struct {
+		rel int
+		col int
+		op  colstore.Op
+		val types.Value
+	}
+	var sources []src
+	for ri, rel := range rels {
+		if rel.nullable {
+			continue
+		}
+		for _, rp := range rel.preds {
+			if rp.paramIdx >= 0 {
+				continue
+			}
+			switch rp.p.Op {
+			case colstore.OpEq, colstore.OpNe, colstore.OpLt, colstore.OpLe, colstore.OpGt, colstore.OpGe:
+				sources = append(sources, src{rel: ri, col: rp.p.Col, op: rp.p.Op, val: rp.p.Val})
+			}
+		}
+	}
+	for _, s := range sources {
+		if !seenNode[[2]int{s.rel, s.col}] {
+			continue // the column participates in no class
+		}
+		for _, m := range members[find([2]int{s.rel, s.col})] {
+			if m == [2]int{s.rel, s.col} {
+				continue
+			}
+			target := rels[m[0]]
+			colT := target.schema.Cols[m[1]].Type
+			val, ok := coerceLit(s.val, colT)
+			if !ok {
+				continue
+			}
+			p := colstore.Predicate{Col: m[1], Op: s.op, Val: val}
+			if seenPred(target, p) {
+				continue
+			}
+			target.preds = append(target.preds, relPred{p: p, paramIdx: -1})
+		}
+	}
+}
+
+// greedyOrder picks the physical order of the reorderable prefix (the
+// first `reorderable` relations): seed with the smallest estimated
+// relation, then repeatedly attach the joinable candidate whose join
+// output estimate is smallest (ties: smaller candidate, then syntactic
+// position). Pinned relations follow in syntactic order. Returns nil
+// when greedy gets stuck (equi-edge graph disconnected over the
+// prefix); the caller keeps syntactic order.
+func greedyOrder(rels []*relation, edges []joinEdge, reorderable int) []int {
+	seed := 0
+	for i := 1; i < reorderable; i++ {
+		if rels[i].est < rels[seed].est {
+			seed = i
+		}
+	}
+	inTree := make([]bool, len(rels))
+	order := make([]int, 0, len(rels))
+	order = append(order, seed)
+	inTree[seed] = true
+	curEst := rels[seed].est
+	for len(order) < reorderable {
+		best := -1
+		bestOut := 0.0
+		for cand := 0; cand < reorderable; cand++ {
+			if inTree[cand] {
+				continue
+			}
+			es := incidentEdges(edges, cand, inTree)
+			if len(es) == 0 {
+				continue
+			}
+			out := joinOutEstimate(curEst, rels, cand, es)
+			if best < 0 || out < bestOut ||
+				(out == bestOut && (rels[cand].est < rels[best].est ||
+					(rels[cand].est == rels[best].est && cand < best))) {
+				best = cand
+				bestOut = out
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		order = append(order, best)
+		inTree[best] = true
+		curEst = bestOut
+	}
+	for i := reorderable; i < len(rels); i++ {
+		order = append(order, i)
+	}
+	return order
+}
+
+// incidentEdges returns the edges connecting relation cand to the
+// current join tree.
+func incidentEdges(edges []joinEdge, cand int, inTree []bool) []joinEdge {
+	var out []joinEdge
+	for _, ed := range edges {
+		if ed.r1 == cand && inTree[ed.r2] {
+			out = append(out, ed)
+		} else if ed.r2 == cand && inTree[ed.r1] {
+			out = append(out, ed)
+		}
+	}
+	return out
+}

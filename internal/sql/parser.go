@@ -69,6 +69,16 @@ func (p *Parser) parseStmt() (Stmt, error) {
 	switch {
 	case p.at(TokKeyword, "SELECT"):
 		return p.parseSelect()
+	case p.at(TokKeyword, "EXPLAIN"):
+		p.pos++
+		if !p.at(TokKeyword, "SELECT") {
+			return nil, fmt.Errorf("sql: EXPLAIN supports only SELECT, got %q", p.cur().Text)
+		}
+		sel, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Query: sel.(*SelectStmt)}, nil
 	case p.at(TokKeyword, "INSERT"):
 		return p.parseInsert()
 	case p.at(TokKeyword, "UPDATE"):

@@ -385,124 +385,79 @@ func flipOp(op colstore.Op) colstore.Op {
 
 // planSelect compiles a SELECT into an operator tree with unbound
 // TableScan leaves registered in pc (the caller binds them to a
-// transaction before execution).
+// transaction before execution). Multi-table queries route through the
+// join planner (joinplan.go), which reorders inner joins by estimated
+// cardinality and prunes scan projections.
 func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 	if st.From == nil {
 		return planSelectNoFrom(pc, st)
 	}
-	// Resolve base table and joins.
+	if len(st.Joins) > 0 {
+		return planJoinSelect(pc, st)
+	}
 	e := pc.engine
-	metas := make([]tableMeta, 0, 1+len(st.Joins))
 	base, err := e.Table(st.From.Table)
 	if err != nil {
 		return nil, err
 	}
-	metas = append(metas, tableMeta{ref: st.From, schema: base.Schema()})
-	for _, j := range st.Joins {
-		jt, err := e.Table(j.Table.Table)
-		if err != nil {
-			return nil, err
-		}
-		metas = append(metas, tableMeta{ref: j.Table, schema: jt.Schema()})
-	}
-	singleTable := len(metas) == 1
+	tm := tableMeta{ref: st.From, schema: base.Schema()}
 
 	var conjuncts []AstExpr
 	if st.Where != nil {
 		conjuncts = splitConjuncts(st.Where, nil)
 	}
-
-	// Scan each table with its pushed-down predicates; build the scope
-	// as the concatenation of full table schemas (column pruning is
-	// applied only for single-table scans to keep join resolution
-	// simple).
-	var op exec.Operator
-	sc := scope{pc: pc}
-	for i, tm := range metas {
-		preds, pps, rest := pushdown(conjuncts, tm, singleTable)
-		conjuncts = rest
-		tblOp, err := core.NewTableScan(e, tm.ref.Table, nil, preds)
-		if err != nil {
-			return nil, err
-		}
-		pc.scans = append(pc.scans, &scanBinding{scan: tblOp, predParams: pps})
-		alias := strings.ToLower(tm.ref.Alias)
-		for _, c := range tm.schema.Cols {
-			sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
-		}
-		if i == 0 {
-			op = tblOp
-			continue
-		}
-		// Extract equi-join keys from the ON expression.
-		j := st.Joins[i-1]
-		leftScope := scope{cols: sc.cols[:len(sc.cols)-len(tm.schema.Cols)]}
-		rightScope := scope{}
-		for _, c := range tm.schema.Cols {
-			rightScope.cols = append(rightScope.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
-		}
-		lk, rk, residual, err := extractJoinKeys(j.On, &leftScope, &rightScope)
-		if err != nil {
-			return nil, err
-		}
-		kind := exec.InnerJoin
-		if j.Left {
-			kind = exec.LeftJoin
-		}
-		if len(lk) == 0 {
-			return nil, fmt.Errorf("sql: join requires at least one equi-condition")
-		}
-		// The join build is a pipeline breaker: mark the build-side scan
-		// so the morsel workers materialize it in parallel.
-		op = exec.NewHashJoin(op, exec.MarkPipeline(tblOp, e.Parallelism()), lk, rk, kind)
-		if residual != nil {
-			if j.Left {
-				return nil, fmt.Errorf("sql: LEFT JOIN supports only equi-conditions")
-			}
-			resExpr, err := compileExpr(residual, &sc)
-			if err != nil {
-				return nil, err
-			}
-			op = exec.NewFilter(op, resExpr)
-		}
+	preds, pps, rest := pushdown(conjuncts, tm, true)
+	tblOp, err := core.NewTableScan(e, tm.ref.Table, nil, preds)
+	if err != nil {
+		return nil, err
 	}
+	pc.scans = append(pc.scans, &scanBinding{scan: tblOp, predParams: pps})
+	sc := scope{pc: pc}
+	alias := strings.ToLower(tm.ref.Alias)
+	for _, c := range tm.schema.Cols {
+		sc.cols = append(sc.cols, scopeCol{qual: alias, name: strings.ToLower(c.Name), typ: c.Type})
+	}
+	items, err := expandStars(st.Items, &sc)
+	if err != nil {
+		return nil, err
+	}
+	return planSelectTail(tblOp, &sc, st, items, rest)
+}
 
-	// Residual WHERE.
+// planSelectTail lowers everything above the scan/join tree: residual
+// WHERE conjuncts, aggregation, DISTINCT, ORDER BY/LIMIT, and the final
+// projection. items is the star-expanded select list; sc is the scope
+// of op's output columns.
+func planSelectTail(op exec.Operator, sc *scope, st *SelectStmt, items []SelectItem, conjuncts []AstExpr) (exec.Operator, error) {
 	if len(conjuncts) > 0 {
 		pred := conjuncts[0]
 		for _, c := range conjuncts[1:] {
 			pred = &BinExpr{Op: "AND", L: pred, R: c}
 		}
-		fe, err := compileExpr(pred, &sc)
+		fe, err := compileExpr(pred, sc)
 		if err != nil {
 			return nil, err
 		}
 		op = exec.NewFilter(op, fe)
 	}
 
-	// Expand stars.
-	items, err := expandStars(st.Items, &sc)
-	if err != nil {
-		return nil, err
-	}
-
 	// Aggregation?
 	aggs := collectAggs(items, st.Having, st.OrderBy)
 	if len(aggs) > 0 || len(st.GroupBy) > 0 {
-		return planAggregate(op, &sc, st, items, aggs)
+		return planAggregate(op, sc, st, items, aggs)
 	}
 
 	// Plain query. DISTINCT changes operator placement: the projection
 	// and Distinct run first, and ORDER BY/LIMIT apply ABOVE them — a
 	// limit below the de-duplication would truncate pre-dedup rows.
 	if st.Distinct {
-		exprs, names, err := compileItems(items, &sc)
+		exprs, names, err := compileItems(items, sc)
 		if err != nil {
 			return nil, err
 		}
 		var out exec.Operator = exec.NewProjection(op, exprs, names)
 		out = exec.NewDistinct(out)
-		return planDistinctOrderLimit(out, st, items, &sc)
+		return planDistinctOrderLimit(out, st, items, sc)
 	}
 	// Without DISTINCT, sort → limit run below the projection (ORDER BY
 	// may reference non-projected columns), fused into TopN when a
@@ -510,7 +465,7 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 	if len(st.OrderBy) > 0 {
 		keys := make([]exec.SortKey, len(st.OrderBy))
 		for i, oi := range st.OrderBy {
-			ke, err := compileOrderKey(oi.Expr, items, &sc)
+			ke, err := compileOrderKey(oi.Expr, items, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -518,11 +473,11 @@ func planSelect(pc *planCtx, st *SelectStmt) (exec.Operator, error) {
 		}
 		// Sort is a pipeline breaker: mark the chain below it so run
 		// generation rides the morsel workers.
-		op = planOrderLimit(exec.MarkPipeline(op, pc.engine.Parallelism()), keys, st)
+		op = planOrderLimit(exec.MarkPipeline(op, sc.pc.engine.Parallelism()), keys, st)
 	} else if st.Limit >= 0 || st.Offset > 0 {
 		op = exec.NewLimit(op, st.Limit, st.Offset)
 	}
-	exprs, names, err := compileItems(items, &sc)
+	exprs, names, err := compileItems(items, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -916,40 +871,4 @@ func rewritePostAgg(e AstExpr, post map[string]int, aggSchema *types.Schema, sc 
 	default:
 		return nil, fmt.Errorf("sql: cannot rewrite %T after aggregation", e)
 	}
-}
-
-// extractJoinKeys pulls equi-join column pairs out of an ON expression.
-// Returns left/right key positions and any residual condition.
-func extractJoinKeys(on AstExpr, left, right *scope) (lk, rk []int, residual AstExpr, err error) {
-	conjs := splitConjuncts(on, nil)
-	for _, c := range conjs {
-		b, ok := c.(*BinExpr)
-		if ok && b.Op == "=" {
-			lc, lok := b.L.(*ColExpr)
-			rc, rok := b.R.(*ColExpr)
-			if lok && rok {
-				// Try L in left scope, R in right scope; then swapped.
-				if li, _, e1 := left.resolve(lc.Table, lc.Name); e1 == nil {
-					if ri, _, e2 := right.resolve(rc.Table, rc.Name); e2 == nil {
-						lk = append(lk, li)
-						rk = append(rk, ri)
-						continue
-					}
-				}
-				if li, _, e1 := left.resolve(rc.Table, rc.Name); e1 == nil {
-					if ri, _, e2 := right.resolve(lc.Table, lc.Name); e2 == nil {
-						lk = append(lk, li)
-						rk = append(rk, ri)
-						continue
-					}
-				}
-			}
-		}
-		if residual == nil {
-			residual = c
-		} else {
-			residual = &BinExpr{Op: "AND", L: residual, R: c}
-		}
-	}
-	return lk, rk, residual, nil
 }

@@ -117,6 +117,7 @@ type Prepared struct {
 	stmt    Stmt
 	nParams int
 	sel     *CompiledSelect // non-nil iff the statement is a SELECT
+	explain *CompiledSelect // non-nil iff the statement is an EXPLAIN
 	pc      *planCtx        // binder for DML executions
 }
 
@@ -133,14 +134,24 @@ func Prepare(e *core.Engine, text string) (*Prepared, error) {
 // layer's plan cache keeps ASTs and compiles instances on demand).
 func PrepareParsed(e *core.Engine, text string, st Stmt, nParams int) (*Prepared, error) {
 	p := &Prepared{Text: text, engine: e, stmt: st, nParams: nParams}
-	if sel, ok := st.(*SelectStmt); ok {
-		cs, err := compileSelect(e, sel, nParams)
+	switch v := st.(type) {
+	case *SelectStmt:
+		cs, err := compileSelect(e, v, nParams)
 		if err != nil {
 			return nil, err
 		}
 		p.sel = cs
 		p.pc = cs.pc
-	} else {
+	case *ExplainStmt:
+		// Compile the inner query so plan errors surface at prepare
+		// time; execution renders the tree instead of binding it.
+		cs, err := compileSelect(e, v.Query, nParams)
+		if err != nil {
+			return nil, err
+		}
+		p.explain = cs
+		p.pc = cs.pc
+	default:
 		p.pc = &planCtx{engine: e, binder: newParamBinder(nParams)}
 	}
 	return p, nil
@@ -149,11 +160,16 @@ func PrepareParsed(e *core.Engine, text string, st Stmt, nParams int) (*Prepared
 // NumParams returns the number of `?` placeholders.
 func (p *Prepared) NumParams() int { return p.nParams }
 
-// IsQuery reports whether the statement is a SELECT.
-func (p *Prepared) IsQuery() bool { return p.sel != nil }
+// IsQuery reports whether the statement returns rows (SELECT or
+// EXPLAIN).
+func (p *Prepared) IsQuery() bool { return p.sel != nil || p.explain != nil }
 
-// Schema describes the result columns of a SELECT (nil otherwise).
+// Schema describes the result columns of a SELECT or EXPLAIN (nil
+// otherwise).
 func (p *Prepared) Schema() *types.Schema {
+	if p.explain != nil {
+		return explainSchema
+	}
 	if p.sel == nil {
 		return nil
 	}
@@ -164,6 +180,9 @@ func (p *Prepared) Schema() *types.Schema {
 // and returns the operator to pull batches from. Callers must drain it
 // or call CloseCursor before the next BindQuery.
 func (p *Prepared) BindQuery(ctx context.Context, tx *core.Tx, args []types.Value) (exec.Operator, error) {
+	if p.explain != nil {
+		return explainSource(p.explain.root), nil
+	}
 	if p.sel == nil {
 		return nil, fmt.Errorf("sql: statement is not a query: %s", p.Text)
 	}
@@ -185,6 +204,9 @@ func (p *Prepared) CloseCursor() {
 func (p *Prepared) ExecTx(ctx context.Context, tx *core.Tx, args []types.Value) (*Result, error) {
 	if res, handled, err := execDDL(p.engine, p.stmt); handled {
 		return res, err
+	}
+	if p.explain != nil {
+		return &Result{Schema: explainSchema, Rows: explainRows(p.explain.root)}, nil
 	}
 	if p.sel != nil {
 		if err := p.sel.Bind(ctx, tx, args); err != nil {

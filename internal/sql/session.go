@@ -169,6 +169,17 @@ func execStmtInTx(ctx context.Context, e *core.Engine, tx *core.Tx, st Stmt, pc 
 			return nil, err
 		}
 		return &Result{Schema: root.Schema(), Rows: rows}, nil
+	case *ExplainStmt:
+		// Compile the query exactly as execution would, but render the
+		// operator tree instead of binding and running it.
+		cpc := pc.child()
+		root, err := planSelect(cpc, v.Query)
+		if err != nil {
+			return nil, err
+		}
+		rows := explainRows(root)
+		cpc.close()
+		return &Result{Schema: explainSchema, Rows: rows}, nil
 	case *InsertStmt:
 		return execInsert(ctx, e, tx, v, pc)
 	case *UpdateStmt:

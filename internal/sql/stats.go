@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/storage/colstore"
+)
+
+// This file is the planner's cardinality model: it turns the storage
+// layer's live statistics (core.TableStats folding zone summaries,
+// dictionary code ranges, and delta row counts) into the per-relation
+// and per-join estimates that drive greedy join ordering. There is no
+// trained cost model — everything is derived from the same segment
+// summaries the scan layer already maintains for pruning, so estimates
+// are free to compute and never stale by more than one merge.
+
+// estimateRelRows estimates a relation's post-pushdown cardinality:
+// live rows times the product of per-predicate selectivities, assuming
+// predicate independence. Parameter-valued predicates have no literal
+// at plan time and fall back to the operator's default selectivity.
+func estimateRelRows(ts core.TableStats, preds []relPred) float64 {
+	est := float64(ts.Rows)
+	for _, rp := range preds {
+		if rp.paramIdx >= 0 {
+			est *= colstore.DefaultSelectivity(rp.p.Op)
+			continue
+		}
+		est *= ts.PredSelectivity(rp.p)
+	}
+	return est
+}
+
+// joinOutEstimate estimates the output cardinality of joining the
+// current tree (curEst rows) with candidate relation cand over the
+// given equi-edges, using |R ⋈ S| ≈ |R|·|S| / max(V(R,a), V(S,b)).
+// With several edges the largest per-edge divisor wins (the most
+// selective key dominates; treating the edges as independent would
+// underestimate badly on composite keys). Distinct counts come from
+// segment dictionaries and integer frame-of-reference spans, capped by
+// each side's estimated cardinality; when no endpoint has a usable
+// count the divisor falls back to the candidate's own cardinality —
+// the foreign-key-lookup assumption of about one match per probe row.
+func joinOutEstimate(curEst float64, rels []*relation, cand int, es []joinEdge) float64 {
+	denom := 0.0
+	for _, ed := range es {
+		candCol, otherRel, otherCol := orientEdge(ed, cand)
+		dc := capDistinct(rels[cand].stats.ColumnDistinct(candCol), rels[cand].est)
+		do := capDistinct(rels[otherRel].stats.ColumnDistinct(otherCol), curEst)
+		if d := math.Max(dc, do); d > denom {
+			denom = d
+		}
+	}
+	if denom < 1 {
+		denom = math.Max(rels[cand].est, 1)
+	}
+	return curEst * rels[cand].est / denom
+}
+
+// capDistinct bounds a distinct-count estimate by the (filtered) row
+// count of its side — a column cannot have more distinct values than
+// rows. Unknown counts (0) stay 0 so callers can fall back.
+func capDistinct(d int, rows float64) float64 {
+	if d <= 0 {
+		return 0
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return math.Min(float64(d), rows)
+}
+
+// orientEdge returns the edge's endpoint column on relation cand plus
+// the opposite endpoint.
+func orientEdge(ed joinEdge, cand int) (candCol, otherRel, otherCol int) {
+	if ed.r1 == cand {
+		return ed.c1, ed.r2, ed.c2
+	}
+	return ed.c2, ed.r1, ed.c1
+}
+
+// renderEst formats a cardinality estimate for plan output, clamped so
+// pathological estimates never overflow the int64 rendering.
+func renderEst(est float64) int64 {
+	if est < 0 {
+		return 0
+	}
+	if est > 1e15 {
+		return int64(1e15)
+	}
+	return int64(est + 0.5)
+}

@@ -1,0 +1,219 @@
+package colstore
+
+import (
+	"repro/internal/types"
+)
+
+// This file is the statistics surface the SQL planner's join orderer
+// reads: per-segment selectivity estimates derived from the structures
+// the scan already maintains — segment-level zone summaries (min/max/
+// null-count) and the order-preserving dictionaries — plus distinct-
+// count probes for join-output estimation. Everything here is an
+// ESTIMATE: it must be cheap (no row access, only summaries and
+// dictionary binary searches) and deterministic, never exact.
+
+// DefaultSelectivity is the estimate used when nothing is known about a
+// predicate's match fraction: an unbound `?` parameter, a column with
+// no summary, or an empty store. The values follow the classic System R
+// defaults (equality selective, ranges a third, null tests rare).
+func DefaultSelectivity(op Op) float64 {
+	switch op {
+	case OpEq:
+		return 0.1
+	case OpNe:
+		return 0.9
+	case OpIsNull:
+		return 0.1
+	case OpIsNotNull:
+		return 0.9
+	default: // ranges
+		return 1.0 / 3.0
+	}
+}
+
+// SelectivityEstimate returns the estimated fraction of this segment's
+// physical rows matching p, in [0, 1]:
+//
+//   - IS [NOT] NULL comes exactly from the summary null count.
+//   - Dictionary-encoded columns (strings and low-cardinality ints) use
+//     the sorted dictionary's LowerBound/UpperBound code range: the
+//     matched code range width over the dictionary size, assuming
+//     distinct values are uniformly frequent. An equality literal
+//     absent from the dictionary is exactly zero.
+//   - Frame-of-reference ints and floats interpolate range predicates
+//     linearly over the summary [min, max] span; equality assumes
+//     uniform distribution over the span's distinct-value estimate.
+//
+// Comparison estimates are scaled by the non-null fraction (NULL never
+// matches a comparison).
+func (s *Segment) SelectivityEstimate(p Predicate) float64 {
+	if s.n == 0 {
+		return 0
+	}
+	z := s.summary[p.Col]
+	rows := float64(z.Rows)
+	nullFrac := float64(z.NullCount) / rows
+	switch p.Op {
+	case OpIsNull:
+		return nullFrac
+	case OpIsNotNull:
+		return 1 - nullFrac
+	}
+	if p.Val.Null {
+		return DefaultSelectivity(p.Op) * (1 - nullFrac)
+	}
+	if z.AllNull() {
+		return 0
+	}
+	if !zoneCanMatch(p, z) {
+		return 0
+	}
+	notNull := 1 - nullFrac
+	switch c := s.cols[p.Col].(type) {
+	case *stringColumn:
+		if p.Val.Typ == types.String {
+			return dictSelectivity(float64(c.dict.Size()), codeRangeWidth(c.dict, p.Op, p.Val.S)) * notNull
+		}
+	case *intDictColumn:
+		if p.Val.Typ == types.Int64 {
+			return dictSelectivity(float64(c.dict.Size()), codeRangeWidth(c.dict, p.Op, p.Val.I)) * notNull
+		}
+	case *boolColumn:
+		return 0.5 * notNull
+	}
+	return zoneSelectivity(p, z) * notNull
+}
+
+// codeRangeWidth returns the width of the half-open code range p
+// rewrites to against an order-preserving dictionary (0 when no code
+// can match). For OpNe the width excludes the matched code.
+func codeRangeWidth[T any](d sortedDict[T], op Op, v T) float64 {
+	lo, hi, ok := predCodeRange(d, op, v)
+	if !ok {
+		return 0
+	}
+	w := float64(hi - lo)
+	if op == OpNe {
+		w -= float64(d.UpperBound(v) - d.LowerBound(v))
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+func dictSelectivity(size, width float64) float64 {
+	if size <= 0 {
+		return 0
+	}
+	return clamp01(width / size)
+}
+
+// zoneSelectivity interpolates a comparison linearly over the summary's
+// [min, max] span — the zone min/max overlap fraction. Only numeric
+// spans interpolate; any other type falls back to the defaults.
+func zoneSelectivity(p Predicate, z Zone) float64 {
+	lo, hi, ok := numericSpan(z)
+	if !ok {
+		return DefaultSelectivity(p.Op)
+	}
+	v := p.Val.AsFloat()
+	span := hi - lo
+	// Distinct-value estimate for the span: every integer in it for int
+	// columns (capped by the non-null row count), unknown for floats.
+	nonNull := float64(z.Rows - z.NullCount)
+	distinct := nonNull
+	if p.Val.Typ == types.Int64 || z.Min.Typ == types.Int64 {
+		if d := span + 1; d < distinct {
+			distinct = d
+		}
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	eq := 1 / distinct
+	if span <= 0 {
+		// Single-valued span: the zone prune already said it can match.
+		switch p.Op {
+		case OpNe:
+			return 0
+		default:
+			return 1
+		}
+	}
+	frac := func(x float64) float64 { return clamp01((x - lo) / span) }
+	switch p.Op {
+	case OpEq:
+		return eq
+	case OpNe:
+		return 1 - eq
+	case OpLt:
+		return frac(v)
+	case OpLe:
+		return clamp01(frac(v) + eq)
+	case OpGt:
+		return 1 - clamp01(frac(v)+eq)
+	case OpGe:
+		return 1 - frac(v)
+	default:
+		return DefaultSelectivity(p.Op)
+	}
+}
+
+// numericSpan extracts the summary's [min, max] as floats (ok=false for
+// non-numeric columns).
+func numericSpan(z Zone) (lo, hi float64, ok bool) {
+	switch z.Min.Typ {
+	case types.Int64, types.Float64:
+	default:
+		return 0, 0, false
+	}
+	if z.Min.Null || z.Max.Null {
+		return 0, 0, false
+	}
+	return z.Min.AsFloat(), z.Max.AsFloat(), true
+}
+
+// ColumnDistinct returns the distinct-value count of column ci when the
+// segment knows it cheaply: the dictionary size for dictionary-encoded
+// columns, the integer span width (capped by the non-null row count)
+// for frame-of-reference ints, 2 for booleans. ok is false when the
+// segment has no estimate (floats, empty segments).
+func (s *Segment) ColumnDistinct(ci int) (int, bool) {
+	if s.n == 0 {
+		return 0, false
+	}
+	switch c := s.cols[ci].(type) {
+	case *stringColumn:
+		return c.dict.Size(), true
+	case *intDictColumn:
+		return c.dict.Size(), true
+	case *boolColumn:
+		return 2, true
+	case *intColumn:
+		z := s.summary[ci]
+		if z.AllNull() || z.Min.Null {
+			return 0, false
+		}
+		span := z.Max.I - z.Min.I + 1
+		if nonNull := int64(z.Rows - z.NullCount); span > nonNull {
+			span = nonNull
+		}
+		if span < 1 {
+			return 0, false
+		}
+		return int(span), true
+	default:
+		return 0, false
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

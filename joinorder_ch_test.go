@@ -1,0 +1,207 @@
+// CH-benCHmark join-ordering suite: greedy-vs-syntactic parity over
+// every multi-join CH query, plus golden plan-shape pins asserting the
+// join order the statistics-driven planner picks on the loaded dataset.
+package repro
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// newCHEngine loads the CH dataset at default scale and merges every
+// table so segment statistics (zone maps, dictionaries) exist.
+func newCHEngine(t *testing.T, disableReorder bool) *core.Engine {
+	t.Helper()
+	e, err := core.NewEngine(core.Options{DisableJoinReorder: disableReorder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	if err := bench.CreateTables(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.Load(e, bench.DefaultScale(), 1); err != nil {
+		t.Fatal(err)
+	}
+	for name := range bench.Schemas() {
+		if _, err := e.Merge(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// chJoinQueryIDs are the CH queries with at least one join.
+var chJoinQueryIDs = map[int]bool{3: true, 5: true, 8: true, 12: true, 13: true, 14: true, 15: true, 16: true, 17: true}
+
+// renderRows renders rows for order-insensitive comparison. Float
+// values are rounded to 9 significant digits: SUM over floats is not
+// associative, so two join orders legitimately differ in the last bits.
+func renderRows(rows []types.Row) []string {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			if !v.Null && v.Typ == types.Float64 {
+				parts[i] = fmt.Sprintf("%.9g", v.F)
+			} else {
+				parts[i] = v.String()
+			}
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestCHMultiJoinParity requires every CH join query to return the
+// same multiset of rows whether the greedy orderer or syntactic order
+// plans it.
+func TestCHMultiJoinParity(t *testing.T) {
+	greedy := newCHEngine(t, false)
+	syntactic := newCHEngine(t, true)
+	for _, q := range bench.Queries() {
+		if !chJoinQueryIDs[q.ID] {
+			continue
+		}
+		gr, err := bench.RunQuery(greedy, q)
+		if err != nil {
+			t.Fatalf("greedy Q%d: %v", q.ID, err)
+		}
+		sr, err := bench.RunQuery(syntactic, q)
+		if err != nil {
+			t.Fatalf("syntactic Q%d: %v", q.ID, err)
+		}
+		g, s := renderRows(gr), renderRows(sr)
+		if strings.Join(g, "\n") != strings.Join(s, "\n") {
+			t.Fatalf("Q%d (%s): greedy and syntactic plans disagree\ngreedy (%d rows):\n%s\nsyntactic (%d rows):\n%s",
+				q.ID, q.Name, len(g), strings.Join(g, "\n"), len(s), strings.Join(s, "\n"))
+		}
+		if len(g) == 0 && q.ID != 16 {
+			t.Fatalf("Q%d returned no rows; parity is vacuous", q.ID)
+		}
+	}
+}
+
+// explainQuery returns the EXPLAIN text of a query through the session
+// layer (the same path a client uses).
+func explainQuery(t *testing.T, e *core.Engine, sqlText string) string {
+	t.Helper()
+	s := sql.NewSession(e)
+	res, err := s.Exec("EXPLAIN " + sqlText)
+	if err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	var sb strings.Builder
+	for _, row := range res.Rows {
+		sb.WriteString(row[0].S)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// scanOrder extracts the table names of the plan's TableScan leaves in
+// plan order (left/probe side first — the join order).
+func scanOrder(plan string) []string {
+	var out []string
+	for _, line := range strings.Split(plan, "\n") {
+		i := strings.Index(line, "TableScan(")
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len("TableScan("):]
+		if j := strings.Index(rest, " "); j >= 0 {
+			rest = rest[:j]
+		}
+		out = append(out, rest)
+	}
+	return out
+}
+
+func chQuery(t *testing.T, id int) bench.Query {
+	t.Helper()
+	for _, q := range bench.Queries() {
+		if q.ID == id {
+			return q
+		}
+	}
+	t.Fatalf("no CH query %d", id)
+	return bench.Query{}
+}
+
+// TestCHMultiJoinPlanShape pins the join order the greedy planner picks
+// for each multi-join CH query on the default-scale dataset, and that
+// the syntactic engine keeps declared order.
+func TestCHMultiJoinPlanShape(t *testing.T) {
+	greedy := newCHEngine(t, false)
+	syntactic := newCHEngine(t, true)
+
+	// Golden join orders on the default-scale dataset. The greedy
+	// column is the statistics-picked order (smallest filtered relation
+	// seeds, cheapest join attaches next); the syntactic column is
+	// declared order. Data or estimator changes that move these are
+	// worth a deliberate re-pin.
+	pins := []struct {
+		id        int
+		greedy    []string
+		syntactic []string
+	}{
+		{3, []string{"orders", "order_line"}, []string{"orders", "order_line"}},
+		{5, []string{"orders", "customer", "order_line"}, []string{"customer", "orders", "order_line"}},
+		{12, []string{"item", "order_line"}, []string{"order_line", "item"}},
+		{14, []string{"item", "order_line", "orders", "customer"}, []string{"order_line", "orders", "customer", "item"}},
+		{15, []string{"item", "order_line", "stock"}, []string{"order_line", "stock", "item"}},
+		{16, []string{"district", "orders", "order_line"}, []string{"order_line", "orders", "district"}},
+		{17, []string{"orders", "new_order"}, []string{"orders", "new_order"}},
+	}
+	for _, pin := range pins {
+		q := chQuery(t, pin.id)
+		gp := explainQuery(t, greedy, q.SQL)
+		sp := explainQuery(t, syntactic, q.SQL)
+		if got := scanOrder(gp); !slicesEqual(got, pin.greedy) {
+			t.Errorf("Q%d greedy join order = %v, pinned %v\nplan:\n%s", pin.id, got, pin.greedy, gp)
+		}
+		if got := scanOrder(sp); !slicesEqual(got, pin.syntactic) {
+			t.Errorf("Q%d syntactic join order = %v, pinned %v\nplan:\n%s", pin.id, got, pin.syntactic, sp)
+		}
+		if !strings.Contains(gp, " est=") {
+			t.Errorf("Q%d greedy plan carries no estimates:\n%s", pin.id, gp)
+		}
+	}
+
+	// Q16: the WHERE clause filters only district (d_w_id = 1), but
+	// transitive equality over the join keys must prune the other two
+	// scans on their own w_id columns.
+	q16 := explainQuery(t, greedy, chQuery(t, 16).SQL)
+	for _, want := range []string{"o_w_id=1", "ol_w_id=1", "d_w_id=1"} {
+		if !strings.Contains(q16, want) {
+			t.Errorf("Q16 plan misses transitive pushdown %q:\n%s", want, q16)
+		}
+	}
+
+	// Q17: the anti-join stays a left join with the IS NULL filter
+	// above it — never reordered, never pushed into the nullable side.
+	q17 := explainQuery(t, greedy, chQuery(t, 17).SQL)
+	if !strings.Contains(q17, "HashJoin(left") || !strings.Contains(q17, "Filter(no_o_id IS NULL)") {
+		t.Errorf("Q17 plan lost the left join or IS NULL residual:\n%s", q17)
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

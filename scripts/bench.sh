@@ -12,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 COUNT="${COUNT:-5}"
-BENCH="${BENCH:-E1_|E2_|E6_|E10_|E11_|E13_|E14_|E15_|E16_|E17_}"
+BENCH="${BENCH:-E1_|E2_|E6_|E10_|E11_|E13_|E14_|E15_|E16_|E17_|E18_}"
 OUT_TXT="${OUT_TXT:-BENCH_baseline.txt}"
 OUT_JSON="${OUT_JSON:-BENCH_baseline.json}"
 
